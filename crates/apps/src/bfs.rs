@@ -1,0 +1,226 @@
+//! Breadth-First Search (BFS) — **extension application** (not part of
+//! the paper's six-workload matrix; added per §VIII's outlook of
+//! extending the taxonomy to more algorithms).
+//!
+//! Level-synchronous BFS from a single root: static traversal, source
+//! control (the frontier predicate elides whole inner loops for push),
+//! symmetric information (both variants exchange only the level word).
+//! Structurally it is the forward phase of Betweenness Centrality
+//! without the path counting, which makes it a useful minimal probe of
+//! the frontier-control dimension.
+
+use ggs_graph::Csr;
+use ggs_model::Propagation;
+use ggs_sim::layout::AddressSpace;
+use ggs_sim::trace::{KernelTrace, MicroOp};
+
+use crate::common::{vertex_kernel, GraphArrays};
+
+/// Root vertex of every BFS run.
+pub const ROOT: u32 = 0;
+
+/// Maximum levels simulated per run (the reference always runs the full
+/// traversal).
+pub const MAX_LEVELS: u32 = 12;
+
+/// Level value for unreached vertices.
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Host-reference BFS from [`ROOT`]: per-vertex levels (hop distances).
+///
+/// # Example
+///
+/// ```
+/// use ggs_apps::bfs;
+/// use ggs_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new(4)
+///     .edges([(0, 1), (1, 2), (2, 3)])
+///     .symmetric(true)
+///     .build();
+/// assert_eq!(bfs::reference(&g), vec![0, 1, 2, 3]);
+/// ```
+pub fn reference(graph: &Csr) -> Vec<u32> {
+    let n = graph.num_vertices() as usize;
+    let mut level = vec![UNREACHED; n];
+    if n == 0 {
+        return level;
+    }
+    level[ROOT as usize] = 0;
+    let mut frontier = vec![ROOT];
+    let mut l = 0;
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &s in &frontier {
+            for &t in graph.neighbors(s) {
+                if level[t as usize] == UNREACHED {
+                    level[t as usize] = l + 1;
+                    next.push(t);
+                }
+            }
+        }
+        frontier = next;
+        l += 1;
+    }
+    level
+}
+
+/// Generates the kernel sequence of a BFS run (one kernel per level)
+/// and feeds each to `run`.
+///
+/// # Panics
+///
+/// Panics if `prop` is [`Propagation::PushPull`].
+pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(&KernelTrace)) {
+    assert_ne!(
+        prop,
+        Propagation::PushPull,
+        "BFS has static traversal: use Push or Pull"
+    );
+    let n = graph.num_vertices();
+    let mut space = AddressSpace::new(64);
+    let arrays = GraphArrays::new(&mut space, graph);
+    let level_arr = space.array("level", n as u64);
+
+    let level = reference(graph);
+    let max_level = level
+        .iter()
+        .filter(|&&l| l != UNREACHED)
+        .max()
+        .copied()
+        .unwrap_or(0);
+
+    for l in 0..max_level.min(MAX_LEVELS) {
+        let kernel = match prop {
+            Propagation::Push => vertex_kernel(n, tb_size, |s, ops| {
+                // Source control: one level load elides off-frontier
+                // sources entirely.
+                ops.push(MicroOp::load(level_arr.addr(s as u64)));
+                if level[s as usize] != l {
+                    return;
+                }
+                for e in graph.edge_range(s) {
+                    arrays.load_edge_target(e as u64, ops);
+                    let t = graph.col_idx()[e as usize];
+                    if level[t as usize] == l + 1 {
+                        // Racy benign write: first writer wins.
+                        ops.push(MicroOp::atomic(level_arr.addr(t as u64)));
+                    }
+                }
+            }),
+            Propagation::Pull => vertex_kernel(n, tb_size, |t, ops| {
+                ops.push(MicroOp::load(level_arr.addr(t as u64)));
+                if level[t as usize] < l + 1 {
+                    return; // already settled
+                }
+                for e in graph.edge_range(t) {
+                    arrays.load_edge_target(e as u64, ops);
+                    let s = graph.col_idx()[e as usize];
+                    ops.push(MicroOp::load(level_arr.addr(s as u64)));
+                    if level[s as usize] == l {
+                        // Found a frontier parent; real kernels break out
+                        // here, so remaining edges are skipped.
+                        break;
+                    }
+                }
+                if level[t as usize] == l + 1 {
+                    ops.push(MicroOp::store(level_arr.addr(t as u64)));
+                }
+            }),
+            Propagation::PushPull => unreachable!(),
+        };
+        run(&kernel);
+    }
+}
+
+/// The workload's address map: `(array name, base, bytes)` for every
+/// region its kernels touch, in the exact layout `generate` uses
+/// (deterministic). Feed these to
+/// [`ggs_sim::Simulation::register_region`] for per-data-structure
+/// attribution.
+pub fn memory_map(graph: &Csr) -> Vec<(String, u64, u64)> {
+    let mut space = AddressSpace::new(64);
+    let _ = GraphArrays::new(&mut space, graph);
+    let _ = space.array("level", graph.num_vertices() as u64);
+    space
+        .regions()
+        .map(|(name, base, bytes)| (name.to_owned(), base, bytes))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggs_graph::GraphBuilder;
+
+    fn path(n: u32) -> Csr {
+        GraphBuilder::new(n)
+            .edges((0..n - 1).map(|i| (i, i + 1)))
+            .symmetric(true)
+            .build()
+    }
+
+    #[test]
+    fn reference_levels_on_path() {
+        assert_eq!(reference(&path(5)), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reference_unreachable() {
+        let g = GraphBuilder::new(3).edge(0, 1).symmetric(true).build();
+        assert_eq!(reference(&g), vec![0, 1, UNREACHED]);
+    }
+
+    #[test]
+    fn reference_matches_unit_weight_sssp() {
+        let g = GraphBuilder::new(64)
+            .edges((0..64u32).map(|i| (i, (i * 7 + 1) % 64)).filter(|&(a, b)| a != b))
+            .symmetric(true)
+            .build();
+        let bfs = reference(&g);
+        let sssp = crate::sssp::reference(&g);
+        for v in 0..64 {
+            let want = if sssp[v] == crate::sssp::INF {
+                UNREACHED
+            } else {
+                sssp[v]
+            };
+            assert_eq!(bfs[v], want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn push_elides_off_frontier() {
+        let g = path(32);
+        let mut first = true;
+        generate(&g, Propagation::Push, 256, &mut |k| {
+            if first {
+                assert!(k.thread(0).len() > 1);
+                assert_eq!(k.thread(20).len(), 1);
+                first = false;
+            }
+        });
+    }
+
+    #[test]
+    fn pull_early_exits_on_found_parent() {
+        let g = path(32);
+        let mut first = true;
+        generate(&g, Propagation::Pull, 256, &mut |k| {
+            if first {
+                // Vertex 1 finds its parent on the first in-edge:
+                // 1 own-level load + col_idx + parent level + store.
+                assert!(k.thread(1).len() <= 4);
+                first = false;
+            }
+        });
+    }
+
+    #[test]
+    fn kernel_count_is_levels() {
+        let g = path(6);
+        let mut kernels = 0;
+        generate(&g, Propagation::Push, 256, &mut |_| kernels += 1);
+        assert_eq!(kernels, 5);
+    }
+}

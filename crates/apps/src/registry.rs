@@ -1,0 +1,262 @@
+//! Application registry: the Table III rows and a uniform dispatch
+//! surface for workload construction.
+
+use std::fmt;
+use std::str::FromStr;
+
+use ggs_graph::Csr;
+use ggs_model::taxonomy::{AlgoBias, AlgoProfile, Propagation, Traversal};
+use ggs_sim::trace::KernelTrace;
+
+/// One of the paper's six applications (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AppKind {
+    /// PageRank.
+    Pr,
+    /// Single-Source Shortest Path.
+    Sssp,
+    /// Maximal Independent Set.
+    Mis,
+    /// Graph Coloring.
+    Clr,
+    /// Betweenness Centrality.
+    Bc,
+    /// Connected Components (ECL-CC).
+    Cc,
+    /// Breadth-First Search — extension application beyond the paper's
+    /// six-workload matrix (not in [`AppKind::ALL`]; see
+    /// [`AppKind::EXTENDED`]).
+    Bfs,
+}
+
+impl AppKind {
+    /// All six applications in Table III order (the paper's workload
+    /// matrix).
+    pub const ALL: [AppKind; 6] = [
+        AppKind::Pr,
+        AppKind::Sssp,
+        AppKind::Mis,
+        AppKind::Clr,
+        AppKind::Bc,
+        AppKind::Cc,
+    ];
+
+    /// Extension applications beyond the paper's matrix (§VIII outlook).
+    pub const EXTENDED: [AppKind; 1] = [AppKind::Bfs];
+
+    /// Table III mnemonic (`PR`, `SSSP`, …).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AppKind::Pr => "PR",
+            AppKind::Sssp => "SSSP",
+            AppKind::Mis => "MIS",
+            AppKind::Clr => "CLR",
+            AppKind::Bc => "BC",
+            AppKind::Cc => "CC",
+            AppKind::Bfs => "BFS",
+        }
+    }
+
+    /// The application's algorithmic-property row from Table III.
+    pub fn algo_profile(self) -> AlgoProfile {
+        match self {
+            AppKind::Pr => AlgoProfile::new_static(AlgoBias::Symmetric, AlgoBias::Source),
+            AppKind::Sssp => AlgoProfile::new_static(AlgoBias::Source, AlgoBias::Source),
+            AppKind::Mis => AlgoProfile::new_static(AlgoBias::Symmetric, AlgoBias::Symmetric),
+            AppKind::Clr => AlgoProfile::new_static(AlgoBias::Symmetric, AlgoBias::Target),
+            AppKind::Bc => AlgoProfile::new_static(AlgoBias::Source, AlgoBias::Symmetric),
+            AppKind::Cc => AlgoProfile::new_dynamic(),
+            AppKind::Bfs => AlgoProfile::new_static(AlgoBias::Source, AlgoBias::Symmetric),
+        }
+    }
+
+    /// Propagation variants this application implements.
+    pub fn supported_propagations(self) -> &'static [Propagation] {
+        match self.algo_profile().traversal {
+            Traversal::Static => &[Propagation::Pull, Propagation::Push],
+            Traversal::Dynamic => &[Propagation::PushPull],
+        }
+    }
+
+    /// `true` if the application needs edge weights (SSSP).
+    pub fn needs_weights(self) -> bool {
+        matches!(self, AppKind::Sssp)
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Error returned when parsing an unknown application mnemonic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAppError(String);
+
+impl fmt::Display for ParseAppError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown application {:?} (expected one of PR, SSSP, MIS, CLR, BC, CC)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseAppError {}
+
+impl FromStr for AppKind {
+    type Err = ParseAppError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "PR" => Ok(AppKind::Pr),
+            "SSSP" => Ok(AppKind::Sssp),
+            "MIS" => Ok(AppKind::Mis),
+            "CLR" => Ok(AppKind::Clr),
+            "BC" => Ok(AppKind::Bc),
+            "CC" => Ok(AppKind::Cc),
+            "BFS" => Ok(AppKind::Bfs),
+            _ => Err(ParseAppError(s.to_owned())),
+        }
+    }
+}
+
+/// An application bound to an input graph — one of the paper's 36
+/// workloads.
+///
+/// # Example
+///
+/// ```
+/// use ggs_apps::{AppKind, Workload};
+/// use ggs_graph::GraphBuilder;
+/// use ggs_model::Propagation;
+///
+/// let g = GraphBuilder::new(8)
+///     .edges((0..7).map(|i| (i, i + 1)))
+///     .symmetric(true)
+///     .build();
+/// let w = Workload::new(AppKind::Cc, &g);
+/// let mut kernels = 0;
+/// w.generate(Propagation::PushPull, 256, &mut |_| kernels += 1);
+/// assert!(kernels > 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Workload<'g> {
+    app: AppKind,
+    graph: &'g Csr,
+}
+
+impl<'g> Workload<'g> {
+    /// Binds an application to a graph.
+    pub fn new(app: AppKind, graph: &'g Csr) -> Self {
+        Self { app, graph }
+    }
+
+    /// The application.
+    pub fn app(&self) -> AppKind {
+        self.app
+    }
+
+    /// The input graph.
+    pub fn graph(&self) -> &'g Csr {
+        self.graph
+    }
+
+    /// The workload's address map (`(array name, base, bytes)` per
+    /// region), matching the layout `generate` uses; see each app's
+    /// `memory_map`.
+    pub fn memory_map(&self) -> Vec<(String, u64, u64)> {
+        match self.app {
+            AppKind::Pr => crate::pr::memory_map(self.graph),
+            AppKind::Sssp => crate::sssp::memory_map(self.graph),
+            AppKind::Mis => crate::mis::memory_map(self.graph),
+            AppKind::Clr => crate::clr::memory_map(self.graph),
+            AppKind::Bc => crate::bc::memory_map(self.graph),
+            AppKind::Cc => crate::cc::memory_map(self.graph),
+            AppKind::Bfs => crate::bfs::memory_map(self.graph),
+        }
+    }
+
+    /// Generates the workload's kernel sequence under propagation
+    /// `prop`, feeding each kernel trace to `run` (streamed so only one
+    /// kernel's trace is live at a time).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prop` is not supported by the application (see
+    /// [`AppKind::supported_propagations`]).
+    pub fn generate(&self, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(&KernelTrace)) {
+        match self.app {
+            AppKind::Pr => crate::pr::generate(self.graph, prop, tb_size, run),
+            AppKind::Sssp => crate::sssp::generate(self.graph, prop, tb_size, run),
+            AppKind::Mis => crate::mis::generate(self.graph, prop, tb_size, run),
+            AppKind::Clr => crate::clr::generate(self.graph, prop, tb_size, run),
+            AppKind::Bc => crate::bc::generate(self.graph, prop, tb_size, run),
+            AppKind::Cc => crate::cc::generate(self.graph, prop, tb_size, run),
+            AppKind::Bfs => crate::bfs::generate(self.graph, prop, tb_size, run),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggs_graph::GraphBuilder;
+
+    #[test]
+    fn mnemonics_roundtrip() {
+        for app in AppKind::ALL.into_iter().chain(AppKind::EXTENDED) {
+            let parsed: AppKind = app.mnemonic().parse().unwrap();
+            assert_eq!(parsed, app);
+        }
+        assert!("XYZ".parse::<AppKind>().is_err());
+    }
+
+    #[test]
+    fn table3_profiles() {
+        use Traversal::*;
+        assert_eq!(AppKind::Pr.algo_profile().traversal, Static);
+        assert_eq!(AppKind::Cc.algo_profile().traversal, Dynamic);
+        assert!(AppKind::Sssp.algo_profile().favors_source());
+        assert!(AppKind::Bc.algo_profile().favors_source());
+        assert!(!AppKind::Mis.algo_profile().favors_source());
+        assert!(!AppKind::Clr.algo_profile().favors_source());
+    }
+
+    #[test]
+    fn supported_propagations() {
+        assert_eq!(AppKind::Pr.supported_propagations().len(), 2);
+        assert_eq!(
+            AppKind::Cc.supported_propagations(),
+            &[Propagation::PushPull]
+        );
+    }
+
+    #[test]
+    fn only_sssp_needs_weights() {
+        for app in AppKind::ALL {
+            assert_eq!(app.needs_weights(), app == AppKind::Sssp);
+        }
+    }
+
+    #[test]
+    fn every_static_app_generates_both_variants() {
+        let g = GraphBuilder::new(32)
+            .edges((0..31).map(|i| (i, i + 1)))
+            .symmetric(true)
+            .build()
+            .with_hashed_weights(4);
+        for app in AppKind::ALL.into_iter().chain(AppKind::EXTENDED) {
+            for &prop in app.supported_propagations() {
+                let mut kernels = 0;
+                Workload::new(app, &g).generate(prop, 256, &mut |k| {
+                    kernels += 1;
+                    assert_eq!(k.num_threads(), 32);
+                });
+                assert!(kernels > 0, "{app}/{prop} emitted no kernels");
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Table II bench: synthetic input generation and taxonomy metric
+//! computation (volume, reuse, imbalance) for each of the six presets.
+//!
+//! The `repro table2` binary prints the actual table; this bench tracks
+//! the cost of regenerating it.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ggs_graph::synth::{GraphPreset, SynthConfig};
+use ggs_model::{GraphProfile, MetricParams};
+
+const SCALE: f64 = 0.03;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/generate");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for preset in GraphPreset::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(preset),
+            &preset,
+            |b, &preset| {
+                let cfg = SynthConfig::preset(preset).scale(SCALE);
+                b.iter(|| cfg.generate());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let params = MetricParams::default().scaled_caches(SCALE);
+    let mut group = c.benchmark_group("table2/measure");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(2));
+    for preset in GraphPreset::ALL {
+        let graph = SynthConfig::preset(preset).scale(SCALE).generate();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(preset),
+            &graph,
+            |b, graph| b.iter(|| GraphProfile::measure(graph, &params)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table V bench: the specialization decision tree (full design space
+//! and the §IV-B partial variant) over the whole 36-workload matrix.
+//!
+//! The model is meant to be cheap enough to run per kernel launch in an
+//! adaptive system; this bench quantifies that claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ggs_apps::AppKind;
+use ggs_graph::synth::{GraphPreset, SynthConfig};
+use ggs_model::{predict_full, predict_partial, GraphProfile, MetricParams};
+
+fn bench_predictions(c: &mut Criterion) {
+    let scale = 0.03;
+    let params = MetricParams::default().scaled_caches(scale);
+    let profiles: Vec<GraphProfile> = GraphPreset::ALL
+        .into_iter()
+        .map(|p| {
+            let g = SynthConfig::preset(p).scale(scale).generate();
+            GraphProfile::measure(&g, &params)
+        })
+        .collect();
+    let algos: Vec<_> = AppKind::ALL.iter().map(|a| a.algo_profile()).collect();
+
+    c.bench_function("table5/predict_full_36_workloads", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for p in &profiles {
+                for a in &algos {
+                    acc = acc.wrapping_add(predict_full(a, p).code().len() as u32);
+                }
+            }
+            acc
+        })
+    });
+
+    c.bench_function("table5/predict_partial_36_workloads", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for p in &profiles {
+                for a in &algos {
+                    acc = acc.wrapping_add(predict_partial(a, p).code().len() as u32);
+                }
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_predictions);
+criterion_main!(benches);

@@ -1,0 +1,566 @@
+//! `repro` — regenerates every table and figure of *Specializing
+//! Coherence, Consistency, and Push/Pull for GPU Graph Analytics*
+//! (ISPASS 2020).
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--scale S] [--threads N] [--json PATH] [--svg PATH]
+//!       [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|all]
+//! ```
+//!
+//! Default scale is 0.125 (inputs and cache capacities scaled together,
+//! preserving every Table II class — see DESIGN.md). The expensive
+//! simulation study (fig5/fig6/summary/table5-empirical) is run once and
+//! shared between sections.
+
+use std::collections::BTreeMap;
+
+use ggs_apps::AppKind;
+use ggs_bench::render::TextTable;
+use ggs_core::study::{ConfigSet, Study};
+use ggs_graph::synth::{GraphPreset, SynthConfig};
+use ggs_model::taxonomy::Traversal;
+use ggs_model::{predict_full, GraphProfile};
+use ggs_sim::SystemParams;
+
+fn main() {
+    let mut scale = 0.125f64;
+    let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
+    let mut json_path: Option<String> = None;
+    let mut svg_path: Option<String> = None;
+    let mut sections: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| die("--scale needs a positive number"));
+            }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs a positive integer"));
+            }
+            "--json" => {
+                json_path = Some(args.next().unwrap_or_else(|| die("--json needs a path")));
+            }
+            "--svg" => {
+                svg_path = Some(args.next().unwrap_or_else(|| die("--svg needs a path")));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro [--scale S] [--threads N] [--json PATH] [--svg PATH] \
+                     [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|all]..."
+                );
+                return;
+            }
+            s => sections.push(s.to_owned()),
+        }
+    }
+    if sections.is_empty() {
+        sections.push("all".to_owned());
+    }
+    const KNOWN: [&str; 13] = [
+        "table1", "table2", "table3", "table4", "table5", "fig5", "fig6", "partial",
+        "flexible", "traffic", "gsi", "summary", "all",
+    ];
+    for s in &sections {
+        if !KNOWN.contains(&s.as_str()) {
+            die(&format!(
+                "unknown section {s:?} (expected one of {})",
+                KNOWN.join("|")
+            ));
+        }
+    }
+    let want = |name: &str| -> bool {
+        sections.iter().any(|s| s == name || s == "all")
+    };
+    let needs_study = ["fig5", "fig6", "summary", "partial", "flexible"]
+        .iter()
+        .any(|s| want(s))
+        || svg_path.is_some();
+
+    if want("traffic") {
+        traffic(scale);
+    }
+    if want("gsi") {
+        gsi(scale);
+    }
+
+    if want("table1") {
+        table1();
+    }
+    if want("table2") {
+        table2(scale);
+    }
+    if want("table3") {
+        table3();
+    }
+    if want("table4") {
+        table4(scale);
+    }
+    if want("table5") {
+        table5(scale);
+    }
+
+    if needs_study || json_path.is_some() {
+        eprintln!(
+            "[repro] running the 36-workload study at scale {scale} on {threads} threads…"
+        );
+        let start = std::time::Instant::now();
+        let study = Study::run(scale, ConfigSet::Figure5, threads);
+        eprintln!("[repro] study finished in {:.1}s", start.elapsed().as_secs_f64());
+        if let Some(path) = &json_path {
+            let json = serde_json::to_string_pretty(&study).expect("study serializes");
+            std::fs::write(path, json).expect("write json results");
+            eprintln!("[repro] wrote {path}");
+        }
+        if want("fig5") {
+            fig5(&study);
+        }
+        if let Some(path) = &svg_path {
+            let svg = fig5_svg(&study);
+            std::fs::write(path, svg).expect("write svg figure");
+            eprintln!("[repro] wrote {path}");
+        }
+        if want("fig6") {
+            fig6(&study);
+        }
+        if want("partial") {
+            partial(&study);
+        }
+        if want("flexible") {
+            flexible(&study);
+        }
+        if want("summary") {
+            summary(&study);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}");
+    std::process::exit(2);
+}
+
+/// Table I: the design space (static text; the code itself is the
+/// artifact).
+fn table1() {
+    println!("== Table I: implementation design space ==");
+    let mut t = TextTable::new(["Dimension", "Option", "Salient features"]);
+    t.row(["Push vs. Pull", "Pull (T)", "target outer loop; dense local updates; sparse remote reads; no atomics"]);
+    t.row(["", "Push (S)", "source outer loop; dense local reads; sparse remote atomics"]);
+    t.row(["", "Push+Pull (D)", "dynamic source/target; racy remote reads and updates"]);
+    t.row(["Coherence", "GPU (G)", "write-through + self-invalidate at sync; atomics at L2"]);
+    t.row(["", "DeNovo (D)", "ownership at L1; atomics at L1; good with update reuse"]);
+    t.row(["Consistency", "DRF0 (0)", "every atomic paired acquire/release; simplest to program"]);
+    t.row(["", "DRF1 (1)", "unpaired atomics overlap data accesses"]);
+    t.row(["", "DRFrlx (R)", "relaxed atomics overlap each other; MLP hides imbalance"]);
+    println!("{}", t.render());
+}
+
+/// Table II: input graph statistics and taxonomy classes.
+fn table2(scale: f64) {
+    println!("== Table II: graph inputs at scale {scale} (classes must match the paper) ==");
+    let params = ggs_model::MetricParams::default().scaled_caches(scale);
+    let mut t = TextTable::new([
+        "Graph", "Vertices", "Edges", "MaxDeg", "AvgDeg", "StdDev", "Volume(KB)", "ANL",
+        "ANR", "Reuse", "Imbalance", "Classes",
+    ]);
+    for p in GraphPreset::ALL {
+        let g = SynthConfig::preset(p).scale(scale).generate();
+        let prof = GraphProfile::measure(&g, &params);
+        t.row([
+            p.mnemonic().to_owned(),
+            prof.vertices.to_string(),
+            prof.edges.to_string(),
+            prof.degrees.max.to_string(),
+            format!("{:.3}", prof.degrees.avg),
+            format!("{:.3}", prof.degrees.std_dev),
+            format!("{:.3} ({})", prof.volume_kb, prof.volume.letter()),
+            format!("{:.3}", prof.anl),
+            format!("{:.3}", prof.anr),
+            format!("{:.3} ({})", prof.reuse, prof.reuse_class.letter()),
+            format!("{:.3} ({})", prof.imbalance, prof.imbalance_class.letter()),
+            prof.class_code(),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Table III: algorithmic properties.
+fn table3() {
+    println!("== Table III: algorithmic properties ==");
+    let mut t = TextTable::new(["App", "Traversal", "Control", "Information"]);
+    for app in AppKind::ALL {
+        let p = app.algo_profile();
+        let bias = |b: Option<ggs_model::AlgoBias>| match b {
+            Some(ggs_model::AlgoBias::Source) => "Source",
+            Some(ggs_model::AlgoBias::Target) => "Target",
+            Some(ggs_model::AlgoBias::Symmetric) => "Symmetric",
+            None => "-",
+        };
+        t.row([
+            app.mnemonic(),
+            match p.traversal {
+                Traversal::Static => "Static",
+                Traversal::Dynamic => "Dynamic",
+            },
+            bias(p.control),
+            bias(p.information),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Table IV: simulated system parameters.
+fn table4(scale: f64) {
+    println!("== Table IV: simulated system parameters (scale {scale}) ==");
+    let p = SystemParams::default().scaled_caches(scale);
+    let mut t = TextTable::new(["Parameter", "Value"]);
+    t.row(["GPU CUs (SMs)", &p.num_sms.to_string()]);
+    t.row(["L1 size (8-way)", &format!("{} KB per SM", p.l1_bytes / 1024)]);
+    t.row(["L2 size (16 banks, NUCA)", &format!("{} KB shared", p.l2_bytes / 1024)]);
+    t.row(["Store buffer", &format!("{} entries", p.store_buffer_entries)]);
+    t.row(["L1 MSHRs", &format!("{} entries", p.mshr_entries)]);
+    t.row(["L1 hit latency", "1 cycle"]);
+    t.row(["Remote L1 latency", "35-83 cycles"]);
+    t.row(["L2 hit latency", "29-59 cycles"]);
+    t.row(["Memory latency", "197-255 cycles"]);
+    println!("{}", t.render());
+}
+
+/// Table V: model predictions for every workload.
+fn table5(scale: f64) {
+    println!("== Table V: model-predicted best configuration per workload ==");
+    let params = ggs_model::MetricParams::default().scaled_caches(scale);
+    let mut rows: BTreeMap<GraphPreset, Vec<String>> = BTreeMap::new();
+    for p in GraphPreset::ALL {
+        let g = SynthConfig::preset(p).scale(scale).generate();
+        let prof = GraphProfile::measure(&g, &params);
+        let row: Vec<String> = AppKind::ALL
+            .iter()
+            .map(|a| predict_full(&a.algo_profile(), &prof).code())
+            .collect();
+        rows.insert(p, row);
+    }
+    let mut t = TextTable::new(["", "PR", "SSSP", "MIS", "CLR", "BC", "CC"]);
+    for (p, row) in rows {
+        let mut cells = vec![p.mnemonic().to_owned()];
+        cells.extend(row);
+        t.row(cells);
+    }
+    println!("{}", t.render());
+}
+
+/// Figure 5: normalized execution-time breakdown per workload.
+fn fig5(study: &Study) {
+    println!("== Figure 5: normalized execution time (to TG0; DG1 for CC) ==");
+    println!("   columns: config = normalized-total [busy/comp/data/sync/idle %]");
+    for report in &study.reports {
+        let mut line = format!("{:4} {:4} |", report.app, report.graph);
+        for row in &report.rows {
+            let norm = report.normalized(&row.config);
+            line.push_str(&format!(" {}={:.2}", row.config, norm));
+        }
+        let best = report.best.clone();
+        let pred = report.predicted.clone();
+        line.push_str(&format!("  BEST={best} PRED={pred}"));
+        println!("{line}");
+    }
+    println!();
+    // Geomean BEST and PRED per app, as the extra Figure 5 bars.
+    let mut t = TextTable::new(["App", "geomean BEST/base", "geomean PRED/base"]);
+    for app in AppKind::ALL {
+        let reports: Vec<_> = study
+            .reports
+            .iter()
+            .filter(|r| r.app == app.mnemonic())
+            .collect();
+        let geo = |f: &dyn Fn(&ggs_core::WorkloadReport) -> f64| -> f64 {
+            let s: f64 = reports.iter().map(|r| f(r).ln()).sum();
+            (s / reports.len() as f64).exp()
+        };
+        let best = geo(&|r| r.normalized(&r.best));
+        let pred = geo(&|r| r.normalized(&r.predicted));
+        t.row([
+            app.mnemonic().to_owned(),
+            format!("{best:.3}"),
+            format!("{pred:.3}"),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// Renders Figure 5 as a standalone SVG: one group per workload, one
+/// stacked bar per configuration (normalized to TG0/DG1), stacked by
+/// the five stall classes.
+fn fig5_svg(study: &Study) -> String {
+    use ggs_bench::svg::{Bar, BarGroup, GroupedBarChart};
+    let groups = study
+        .reports
+        .iter()
+        .map(|r| BarGroup {
+            label: format!("{}-{}", r.app, r.graph),
+            bars: r
+                .rows
+                .iter()
+                .map(|row| {
+                    let norm = r.normalized(&row.config);
+                    Bar {
+                        label: row.config.clone(),
+                        segments: row.fractions.iter().map(|f| f * norm).collect(),
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    GroupedBarChart {
+        title: format!(
+            "Figure 5: GPU execution time, normalized to TG0 (DG1 for CC) — scale {}",
+            study.scale
+        ),
+        legend: ["Busy", "Comp", "Data", "Sync", "Idle"]
+            .into_iter()
+            .map(str::to_owned)
+            .collect(),
+        groups,
+    }
+    .render()
+}
+
+/// Figure 6: workloads where the default (SGR / DGR) is not best.
+fn fig6(study: &Study) {
+    println!("== Figure 6: SGR (DGR for CC) vs BEST vs PRED ==");
+    let mut t = TextTable::new([
+        "Workload", "Default", "BEST", "PRED", "reduction(BEST vs default)", "PRED within",
+    ]);
+    for (r, reduction) in study.figure6_rows() {
+        t.row([
+            format!("{}-{}", r.app, r.graph),
+            r.default_config().to_owned(),
+            r.best.clone(),
+            r.predicted.clone(),
+            format!("{:.0}%", reduction * 100.0),
+            format!("{:.1}%", r.prediction_slowdown() * 100.0),
+        ]);
+    }
+    println!("{}", t.render());
+}
+
+/// NoC traffic analysis: line payloads and control messages per
+/// configuration — the communication-volume view of the coherence
+/// tradeoff (DeNovo trades L2 atomic round-trips for registrations and
+/// ownership transfers).
+fn traffic(scale: f64) {
+    use ggs_apps::AppKind;
+    use ggs_core::experiment::{run_workload, ExperimentSpec};
+
+    println!("== NoC traffic per configuration (PR on OLS and EML) ==");
+    let spec = ExperimentSpec::at_scale(scale);
+    let mut t = TextTable::new([
+        "Workload", "Config", "line transfers", "control msgs", "~KB moved",
+    ]);
+    for preset in [GraphPreset::Ols, GraphPreset::Eml] {
+        let graph = SynthConfig::preset(preset).scale(scale).generate();
+        for code in ["TG0", "SGR", "SDR"] {
+            let cfg = code.parse().expect("valid config");
+            let stats = run_workload(AppKind::Pr, &graph, cfg, &spec);
+            let kb = (stats.mem.noc_line_transfers * 64 + stats.mem.noc_control_messages * 8)
+                / 1024;
+            t.row([
+                format!("PR-{preset}"),
+                code.to_owned(),
+                stats.mem.noc_line_transfers.to_string(),
+                stats.mem.noc_control_messages.to_string(),
+                kb.to_string(),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+}
+
+/// GSI-style per-data-structure attribution for two contrasting
+/// workloads: where each array's accesses execute and what they cost
+/// under the model-predicted configuration.
+fn gsi(scale: f64) {
+    use ggs_apps::AppKind;
+    use ggs_core::experiment::{run_workload_profiled, ExperimentSpec};
+
+    println!("== Per-data-structure attribution (GSI-style) ==");
+    let spec = ExperimentSpec::at_scale(scale);
+    for (app, preset, code) in [
+        (AppKind::Pr, GraphPreset::Eml, "SGR"),
+        (AppKind::Cc, GraphPreset::Raj, "DD1"),
+    ] {
+        let graph = SynthConfig::preset(preset).scale(scale).generate();
+        let cfg = code.parse().expect("valid config");
+        let (stats, regions) = run_workload_profiled(app, &graph, cfg, &spec);
+        println!("{app}-{preset} under {code}: {} cycles", stats.total_cycles());
+        let mut t = TextTable::new(["array", "loads", "stores", "atomics", "L1 hit%", "avg lat"]);
+        for (name, s) in &regions {
+            if s.accesses() == 0 {
+                continue;
+            }
+            let hit = if s.loads > 0 {
+                100.0 * s.l1_hits as f64 / s.loads as f64
+            } else {
+                0.0
+            };
+            t.row([
+                name.clone(),
+                s.loads.to_string(),
+                s.stores.to_string(),
+                s.atomics.to_string(),
+                format!("{hit:.1}"),
+                format!("{:.1}", s.avg_latency()),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+}
+
+/// §IV-B / §VI: the partial design space (hardware without DRFrlx).
+///
+/// For each static workload: the empirically best configuration when
+/// DRFrlx is unavailable, whether the push/pull choice *flips* relative
+/// to the full design space, and whether the partial model (Figure 4
+/// extension) predicts the restricted best.
+fn partial(study: &Study) {
+    println!("== Partial design space (no DRFrlx hardware, §IV-B) ==");
+    let mut t = TextTable::new([
+        "Workload", "BEST(full)", "BEST(no-rlx)", "PRED(partial)", "flip?", "pred ok?",
+    ]);
+    let mut flips = 0;
+    let mut flips_predicted = 0;
+    let mut exact = 0;
+    let mut total = 0;
+    for r in &study.reports {
+        if r.app == "CC" {
+            continue; // CC's recommendation (DD1) never uses DRFrlx
+        }
+        total += 1;
+        let best_norlx = r
+            .rows
+            .iter()
+            .filter(|row| !row.config.ends_with('R'))
+            .min_by_key(|row| row.total_cycles)
+            .expect("non-rlx configs present")
+            .config
+            .clone();
+        let flip = r.best.starts_with('S') && best_norlx.starts_with('T');
+        if flip {
+            flips += 1;
+            if r.predicted_partial.starts_with('T') {
+                flips_predicted += 1;
+            }
+        }
+        let ok = r.predicted_partial == best_norlx;
+        if ok {
+            exact += 1;
+        }
+        t.row([
+            format!("{}-{}", r.app, r.graph),
+            r.best.clone(),
+            best_norlx,
+            r.predicted_partial.clone(),
+            if flip { "PULL".into() } else { String::new() },
+            if ok { "yes".into() } else { "no".into() },
+        ]);
+    }
+    println!("{}", t.render());
+    println!(
+        "workloads flipping to pull without DRFrlx: {flips} (paper: 7);          partial model predicts the flip for {flips_predicted} of them (paper: 4 of 7)"
+    );
+    println!("partial model exact on {exact}/{total} static workloads\n");
+}
+
+/// Quantifies the paper's flexibility motivation: how much a system
+/// locked to one configuration loses versus per-workload BEST and
+/// versus following the model's per-workload prediction.
+fn flexible(study: &Study) {
+    println!("== Flexibility: fixed configurations vs adaptive selection ==");
+    let geomean = |norms: &[f64]| -> f64 {
+        (norms.iter().map(|v| v.ln()).sum::<f64>() / norms.len() as f64).exp()
+    };
+    let static_reports: Vec<_> = study.reports.iter().filter(|r| r.app != "CC").collect();
+    let mut t = TextTable::new(["Strategy", "geomean time / BEST (static workloads)"]);
+    for code in ["TG0", "SG1", "SGR", "SD1", "SDR"] {
+        let norms: Vec<f64> = static_reports
+            .iter()
+            .map(|r| {
+                r.cycles_of(code).expect("swept") as f64
+                    / r.cycles_of(&r.best).expect("best") as f64
+            })
+            .collect();
+        t.row([format!("always {code}"), format!("{:.3}", geomean(&norms))]);
+    }
+    let pred_norms: Vec<f64> = static_reports
+        .iter()
+        .map(|r| {
+            r.cycles_of(&r.predicted).expect("swept") as f64
+                / r.cycles_of(&r.best).expect("best") as f64
+        })
+        .collect();
+    t.row([
+        "model-predicted per workload".to_owned(),
+        format!("{:.3}", geomean(&pred_norms)),
+    ]);
+    t.row(["oracle BEST per workload".to_owned(), "1.000".to_owned()]);
+    println!("{}", t.render());
+}
+
+/// §VI headline numbers.
+fn summary(study: &Study) {
+    println!("== Summary (paper §VI headline claims vs this reproduction) ==");
+    let fig6 = study.figure6_rows();
+    let reductions: Vec<f64> = fig6.iter().map(|(_, r)| *r).collect();
+    let avg = if reductions.is_empty() {
+        0.0
+    } else {
+        reductions.iter().sum::<f64>() / reductions.len() as f64
+    };
+    let max = reductions.iter().copied().fold(0.0, f64::max);
+    println!(
+        "workloads where the default config (SGR/DGR) is not best: {} (paper: 12)",
+        fig6.len()
+    );
+    println!(
+        "execution-time reduction of BEST vs default on those: avg {:.0}%, max {:.0}% (paper: avg 44%, max 87%)",
+        avg * 100.0,
+        max * 100.0
+    );
+    println!(
+        "model picks the exact best configuration for {}/36 workloads (paper: 28/36)",
+        study.exact_predictions()
+    );
+    println!(
+        "worst model misprediction costs {:.1}% over best (paper: <= 3.5%)",
+        study.worst_prediction_slowdown() * 100.0
+    );
+    // Interdependence: workloads whose best flips to pull without DRFrlx.
+    let flips = study
+        .reports
+        .iter()
+        .filter(|r| {
+            r.app != "CC" && {
+                let best_no_rlx = r
+                    .rows
+                    .iter()
+                    .filter(|row| !row.config.ends_with('R'))
+                    .min_by_key(|row| row.total_cycles);
+                best_no_rlx.is_some_and(|b| b.config == "TG0") && r.best.starts_with('S')
+            }
+        })
+        .count();
+    println!(
+        "workloads preferring push with DRFrlx but pull without it: {} (paper: 7)",
+        flips
+    );
+}

@@ -1,0 +1,11 @@
+//! Benchmark and reproduction harness for the GGS workspace.
+//!
+//! The library surface is minimal: shared helpers for the `repro`
+//! binary (which regenerates every table and figure of the paper) and
+//! the Criterion benches. See the `repro` binary (`src/bin/repro.rs`)
+//! and `benches/` for the entry points.
+
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod svg;

@@ -1,0 +1,206 @@
+//! Minimal dependency-free SVG rendering for the reproduction's
+//! figures: grouped, stacked bar charts in the style of the paper's
+//! Figure 5 (per-configuration execution time, stacked by stall class,
+//! normalized to a baseline).
+
+/// One bar: a label plus stacked segment heights (already normalized;
+/// the segment order is the caller's legend order).
+#[derive(Debug, Clone)]
+pub struct Bar {
+    /// Label under the bar (configuration code).
+    pub label: String,
+    /// Stacked segment values, bottom-up, in legend order.
+    pub segments: Vec<f64>,
+}
+
+/// A group of bars sharing an x-axis label (one workload).
+#[derive(Debug, Clone)]
+pub struct BarGroup {
+    /// Group label (e.g. `PR-AMZ`).
+    pub label: String,
+    /// Bars in display order.
+    pub bars: Vec<Bar>,
+}
+
+/// A grouped, stacked bar chart.
+#[derive(Debug, Clone)]
+pub struct GroupedBarChart {
+    /// Chart title.
+    pub title: String,
+    /// Legend entries, one per stacked segment, in stacking order.
+    pub legend: Vec<String>,
+    /// Bar groups in display order.
+    pub groups: Vec<BarGroup>,
+}
+
+const SEGMENT_COLORS: [&str; 6] = [
+    "#4e79a7", "#f28e2b", "#e15759", "#76b7b2", "#59a14f", "#edc948",
+];
+const BAR_W: f64 = 14.0;
+const BAR_GAP: f64 = 2.0;
+const GROUP_GAP: f64 = 18.0;
+const PLOT_H: f64 = 260.0;
+const MARGIN_L: f64 = 46.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 64.0;
+
+impl GroupedBarChart {
+    /// Renders the chart as a standalone SVG document.
+    ///
+    /// The y-axis is scaled to the tallest bar (min 1.0 so the baseline
+    /// gridline is always visible).
+    pub fn render(&self) -> String {
+        let max_total = self
+            .groups
+            .iter()
+            .flat_map(|g| g.bars.iter())
+            .map(|b| b.segments.iter().sum::<f64>())
+            .fold(1.0f64, f64::max);
+
+        let group_w = |g: &BarGroup| g.bars.len() as f64 * (BAR_W + BAR_GAP);
+        let plot_w: f64 =
+            self.groups.iter().map(group_w).sum::<f64>() + GROUP_GAP * self.groups.len() as f64;
+        let width = MARGIN_L + plot_w + 140.0; // legend space
+        let height = MARGIN_T + PLOT_H + MARGIN_B;
+
+        let mut s = String::new();
+        s.push_str(&format!(
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" font-family="sans-serif" font-size="10">"#
+        ));
+        s.push('\n');
+        s.push_str(&format!(
+            r#"<text x="{:.0}" y="20" font-size="14">{}</text>"#,
+            MARGIN_L,
+            xml_escape(&self.title)
+        ));
+        s.push('\n');
+
+        // Gridlines + y labels at 0, 0.5, 1.0 ... up to max.
+        let mut yv = 0.0;
+        while yv <= max_total + 1e-9 {
+            let y = MARGIN_T + PLOT_H - yv / max_total * PLOT_H;
+            s.push_str(&format!(
+                r##"<line x1="{MARGIN_L:.0}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/><text x="{:.0}" y="{:.1}" text-anchor="end">{yv:.1}</text>"##,
+                MARGIN_L + plot_w,
+                MARGIN_L - 4.0,
+                y + 3.0
+            ));
+            s.push('\n');
+            yv += 0.5;
+        }
+
+        // Bars.
+        let mut x = MARGIN_L + GROUP_GAP / 2.0;
+        for group in &self.groups {
+            let gx = x;
+            for bar in &group.bars {
+                let mut y = MARGIN_T + PLOT_H;
+                for (i, &v) in bar.segments.iter().enumerate() {
+                    let h = v / max_total * PLOT_H;
+                    y -= h;
+                    let color = SEGMENT_COLORS[i % SEGMENT_COLORS.len()];
+                    s.push_str(&format!(
+                        r#"<rect x="{x:.1}" y="{y:.1}" width="{BAR_W}" height="{h:.1}" fill="{color}"/>"#
+                    ));
+                }
+                s.push('\n');
+                s.push_str(&format!(
+                    r#"<text x="{:.1}" y="{:.1}" text-anchor="start" transform="rotate(60 {:.1} {:.1})" font-size="8">{}</text>"#,
+                    x + BAR_W / 2.0,
+                    MARGIN_T + PLOT_H + 8.0,
+                    x + BAR_W / 2.0,
+                    MARGIN_T + PLOT_H + 8.0,
+                    xml_escape(&bar.label)
+                ));
+                s.push('\n');
+                x += BAR_W + BAR_GAP;
+            }
+            let gw = x - gx;
+            s.push_str(&format!(
+                r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-size="9" font-weight="bold">{}</text>"#,
+                gx + gw / 2.0,
+                MARGIN_T + PLOT_H + 44.0,
+                xml_escape(&group.label)
+            ));
+            s.push('\n');
+            x += GROUP_GAP;
+        }
+
+        // Legend.
+        let lx = MARGIN_L + plot_w + 16.0;
+        for (i, entry) in self.legend.iter().enumerate() {
+            let ly = MARGIN_T + 14.0 * i as f64;
+            let color = SEGMENT_COLORS[i % SEGMENT_COLORS.len()];
+            s.push_str(&format!(
+                r#"<rect x="{lx:.0}" y="{ly:.0}" width="10" height="10" fill="{color}"/><text x="{:.0}" y="{:.0}">{}</text>"#,
+                lx + 14.0,
+                ly + 9.0,
+                xml_escape(entry)
+            ));
+            s.push('\n');
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> GroupedBarChart {
+        GroupedBarChart {
+            title: "Figure 5".into(),
+            legend: vec!["Busy".into(), "Data".into()],
+            groups: vec![BarGroup {
+                label: "PR-AMZ".into(),
+                bars: vec![
+                    Bar {
+                        label: "TG0".into(),
+                        segments: vec![0.2, 0.8],
+                    },
+                    Bar {
+                        label: "SGR".into(),
+                        segments: vec![0.1, 0.3],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn renders_valid_svg_skeleton() {
+        let svg = chart().render();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("PR-AMZ"));
+        assert!(svg.contains("TG0"));
+        assert!(svg.contains("Figure 5"));
+        // One rect per segment (4) + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 6);
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let mut c = chart();
+        c.title = "a<b&c>d".into();
+        let svg = c.render();
+        assert!(svg.contains("a&lt;b&amp;c&gt;d"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn empty_chart_still_renders() {
+        let c = GroupedBarChart {
+            title: "empty".into(),
+            legend: vec![],
+            groups: vec![],
+        };
+        let svg = c.render();
+        assert!(svg.contains("</svg>"));
+    }
+}

@@ -1,0 +1,86 @@
+//! End-to-end tests of the `repro` binary's CLI (the cheap, static
+//! sections; the simulation-study sections are covered by the library
+//! tests and the paper-claims integration suite).
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        out.status.success(),
+        "repro {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf8 output")
+}
+
+#[test]
+fn table1_lists_all_three_dimensions() {
+    let out = repro(&["table1"]);
+    for needle in ["Push vs. Pull", "Coherence", "Consistency", "DeNovo (D)", "DRFrlx (R)"] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
+}
+
+#[test]
+fn table2_reproduces_all_class_codes() {
+    // Tiny scale keeps this fast; volume classes are scale-invariant by
+    // construction, and reuse/imbalance presets are robust down to a few
+    // thousand vertices.
+    let out = repro(&["--scale", "0.125", "table2"]);
+    for row in ["AMZ", "DCT", "EML", "OLS", "RAJ", "WNG"] {
+        assert!(out.contains(row), "missing row {row}");
+    }
+    for class in ["HML", "MMM", "HLH", "MHL", "LHH", "MLL"] {
+        assert!(out.contains(class), "missing class {class} in:\n{out}");
+    }
+}
+
+#[test]
+fn table3_matches_the_paper() {
+    let out = repro(&["table3"]);
+    assert!(out.contains("CC"));
+    assert!(out.contains("Dynamic"));
+    // SSSP row: Source control and information.
+    let sssp = out.lines().find(|l| l.contains("SSSP")).expect("SSSP row");
+    assert_eq!(sssp.matches("Source").count(), 2, "{sssp}");
+}
+
+#[test]
+fn table5_matches_the_paper_cell_for_cell() {
+    let out = repro(&["--scale", "0.125", "table5"]);
+    let row = |g: &str| {
+        out.lines()
+            .find(|l| l.starts_with(g))
+            .unwrap_or_else(|| panic!("row {g} missing:\n{out}"))
+            .to_owned()
+    };
+    assert_eq!(
+        row("OLS").split_whitespace().collect::<Vec<_>>(),
+        ["OLS", "SDR", "SDR", "TG0", "TG0", "SDR", "DD1"]
+    );
+    assert_eq!(
+        row("RAJ").split_whitespace().collect::<Vec<_>>(),
+        ["RAJ", "SDR", "SDR", "SDR", "SDR", "SDR", "DD1"]
+    );
+    for g in ["AMZ", "DCT", "EML", "WNG"] {
+        assert_eq!(
+            row(g).split_whitespace().collect::<Vec<_>>(),
+            [g, "SGR", "SGR", "SGR", "SGR", "SGR", "DD1"]
+        );
+    }
+}
+
+#[test]
+fn help_and_bad_flags() {
+    let out = repro(&["--help"]);
+    assert!(out.contains("usage"));
+    let bad = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale"])
+        .output()
+        .expect("runs");
+    assert!(!bad.status.success(), "missing --scale value must fail");
+}

@@ -1,0 +1,231 @@
+//! Running one (application, graph, configuration) experiment point.
+
+use ggs_apps::{AppKind, Workload};
+use ggs_graph::Csr;
+use ggs_model::SystemConfig;
+use ggs_sim::{ExecStats, Simulation, SystemParams};
+
+/// Experiment-wide settings shared by every simulation of a study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Scale factor applied to the synthetic inputs *and* (already) to
+    /// the cache capacities inside `params`. Stored for reporting.
+    pub scale: f64,
+    /// Simulated hardware parameters (Table IV, possibly cache-scaled).
+    pub params: SystemParams,
+}
+
+impl Default for ExperimentSpec {
+    fn default() -> Self {
+        Self::at_scale(1.0)
+    }
+}
+
+impl ExperimentSpec {
+    /// A spec for inputs generated at `scale`, with cache capacities
+    /// scaled to match (so the paper's volume classes are preserved —
+    /// DESIGN.md §7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not positive and finite.
+    pub fn at_scale(scale: f64) -> Self {
+        let mut params = SystemParams::default().scaled_caches(scale);
+        // Scale the fixed kernel-launch overhead with the input size so
+        // the overhead-to-work ratio matches the full-scale system
+        // (otherwise launches dominate small inputs and bias against
+        // multi-kernel variants).
+        params.kernel_launch_cycles =
+            ((params.kernel_launch_cycles as f64 * scale) as u64).max(100);
+        // Scale resident thread blocks with the caches so each thread's
+        // share of the L1 matches the full-scale machine (otherwise the
+        // shrunken L1 is thrashed by an unshrunken warp population and
+        // the dense-read caching that push relies on disappears).
+        params.max_blocks_per_sm =
+            ((params.max_blocks_per_sm as f64 * scale).round() as u32).max(1);
+        // Floor the simulated L1 at one thread block's working window
+        // (~8 KB): a thread block's CSR slice does not shrink with the
+        // scale factor, so an exactly-scaled L1 below this floor loses
+        // the intra-block locality both pull and DeNovo rely on. The
+        // *classifier* keeps nominal scaling (see `metric_params`) so
+        // every Table II volume class is preserved.
+        params.l1_bytes = params.l1_bytes.max(8 * 1024);
+        Self { scale, params }
+    }
+
+    /// Metric parameters for the *nominal* scaled machine (cache
+    /// capacities scaled exactly, without the simulator's L1 fidelity
+    /// floor), so metric classes match the paper's Table II at every
+    /// scale.
+    pub fn metric_params(&self) -> ggs_model::MetricParams {
+        ggs_model::MetricParams::default().scaled_caches(self.scale)
+    }
+}
+
+/// Simulates `app` on `graph` under `config`, returning the final
+/// execution statistics.
+///
+/// The application's kernel sequence is generated (streamed) and fed to
+/// a fresh [`Simulation`] configured with the hardware half of
+/// `config`; cache and ownership state persist across the workload's
+/// kernels, as on the simulated machine.
+///
+/// SSSP requires a weighted graph; deterministic weights are attached
+/// on the fly when missing.
+///
+/// # Panics
+///
+/// Panics if `config.propagation` is not supported by `app` (e.g. push
+/// for CC).
+pub fn run_workload(
+    app: AppKind,
+    graph: &Csr,
+    config: SystemConfig,
+    spec: &ExperimentSpec,
+) -> ExecStats {
+    assert!(
+        app.supported_propagations().contains(&config.propagation),
+        "{app} does not support {} propagation",
+        config.propagation
+    );
+    let weighted;
+    let graph = if app.needs_weights() && !graph.is_weighted() {
+        weighted = graph.clone().with_hashed_weights(64);
+        &weighted
+    } else {
+        graph
+    };
+    let mut sim = Simulation::new(spec.params.clone(), config.hw());
+    let tb = spec.params.tb_size;
+    Workload::new(app, graph).generate(config.propagation, tb, &mut |kernel| {
+        sim.run_kernel(kernel);
+    });
+    sim.finish()
+}
+
+/// Like [`run_workload`], additionally registering the application's
+/// address map so the result carries GSI-style per-data-structure
+/// attribution (`(array name, stats)` in address order).
+///
+/// # Panics
+///
+/// Panics if `config.propagation` is not supported by `app`.
+pub fn run_workload_profiled(
+    app: AppKind,
+    graph: &Csr,
+    config: SystemConfig,
+    spec: &ExperimentSpec,
+) -> (ExecStats, Vec<(String, ggs_sim::stats::RegionStats)>) {
+    assert!(
+        app.supported_propagations().contains(&config.propagation),
+        "{app} does not support {} propagation",
+        config.propagation
+    );
+    let weighted;
+    let graph = if app.needs_weights() && !graph.is_weighted() {
+        weighted = graph.clone().with_hashed_weights(64);
+        &weighted
+    } else {
+        graph
+    };
+    let mut sim = Simulation::new(spec.params.clone(), config.hw());
+    let workload = Workload::new(app, graph);
+    for (name, base, bytes) in workload.memory_map() {
+        sim.register_region(name, base, bytes);
+    }
+    workload.generate(config.propagation, spec.params.tb_size, &mut |kernel| {
+        sim.run_kernel(kernel);
+    });
+    let regions = sim.region_stats();
+    (sim.finish(), regions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggs_graph::GraphBuilder;
+
+    fn graph() -> Csr {
+        GraphBuilder::new(1024)
+            .edges((0..1023).map(|i| (i, i + 1)))
+            .edges((0..1024).map(|i| (i, (i * 37) % 1024)).filter(|&(a, b)| a != b))
+            .symmetric(true)
+            .build()
+    }
+
+    #[test]
+    fn every_app_runs_on_every_supported_config() {
+        let g = graph();
+        let spec = ExperimentSpec::at_scale(0.05);
+        for app in AppKind::ALL {
+            for cfg in ggs_model::SystemConfig::all_for(app.algo_profile().traversal) {
+                let stats = run_workload(app, &g, cfg, &spec);
+                assert!(
+                    stats.total_cycles() > 0,
+                    "{app}/{cfg} produced no cycles"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn rejects_unsupported_propagation() {
+        let g = graph();
+        let spec = ExperimentSpec::default();
+        let _ = run_workload(AppKind::Cc, &g, "SGR".parse().unwrap(), &spec);
+    }
+
+    #[test]
+    fn sssp_weights_attached_automatically() {
+        let g = graph();
+        assert!(!g.is_weighted());
+        let spec = ExperimentSpec::at_scale(0.05);
+        let stats = run_workload(AppKind::Sssp, &g, "SG1".parse().unwrap(), &spec);
+        assert!(stats.total_cycles() > 0);
+    }
+
+    #[test]
+    fn profiled_run_attributes_every_graph_walk() {
+        let g = graph();
+        let spec = ExperimentSpec::at_scale(0.05);
+        let (stats, regions) = run_workload_profiled(
+            AppKind::Pr,
+            &g,
+            "SGR".parse().unwrap(),
+            &spec,
+        );
+        assert!(stats.total_cycles() > 0);
+        let by_name = |n: &str| {
+            regions
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, s)| *s)
+                .expect("region present")
+        };
+        // Push PR walks col_idx and atomically updates one rank buffer
+        // per iteration.
+        assert!(by_name("col_idx").loads > 0);
+        let rank_atomics = by_name("rank_a").atomics + by_name("rank_b").atomics;
+        assert_eq!(
+            rank_atomics,
+            g.num_edges() * u64::from(ggs_apps::pr::ITERATIONS),
+        );
+        // No atomics ever hit the read-only CSR arrays.
+        assert_eq!(by_name("col_idx").atomics, 0);
+        assert_eq!(by_name("row_ptr").atomics, 0);
+    }
+
+    #[test]
+    fn drf0_push_is_slowest_push_variant() {
+        // The paper shows DRF0 performs poorly for all push configs
+        // (§VI): heavy atomics + full invalidate/flush per atomic.
+        let g = graph();
+        let spec = ExperimentSpec::at_scale(0.05);
+        let t0 = run_workload(AppKind::Pr, &g, "SG0".parse().unwrap(), &spec).total_cycles();
+        let t1 = run_workload(AppKind::Pr, &g, "SG1".parse().unwrap(), &spec).total_cycles();
+        let tr = run_workload(AppKind::Pr, &g, "SGR".parse().unwrap(), &spec).total_cycles();
+        assert!(t0 > t1, "DRF0 ({t0}) must be slower than DRF1 ({t1})");
+        assert!(t1 >= tr, "DRF1 ({t1}) must not beat DRFrlx ({tr})");
+    }
+}

@@ -1,0 +1,50 @@
+//! Top-level experiment API for the GGS reproduction of *Specializing
+//! Coherence, Consistency, and Push/Pull for GPU Graph Analytics*
+//! (ISPASS 2020).
+//!
+//! This crate composes the substrates — [`ggs_graph`] inputs,
+//! [`ggs_apps`] kernels, the [`ggs_sim`] simulator, and the
+//! [`ggs_model`] taxonomy/decision tree — into the paper's experiments:
+//!
+//! * [`experiment::run_workload`] — one (application, graph, system
+//!   configuration) point: generates the kernel sequence and simulates
+//!   it end to end, returning the execution-time breakdown.
+//! * [`sweep::WorkloadSweep`] — one workload across a set of
+//!   configurations (the bars of one Figure 5 group), with
+//!   normalization against the paper's baselines and best-config
+//!   selection.
+//! * [`study::Study`] — the full 36-workload × configurations study
+//!   behind Figures 5–6 and the Table V accuracy evaluation, runnable
+//!   in parallel.
+//! * [`adaptive::run_adaptive`] — the paper's §VIII outlook: per-kernel
+//!   hardware reconfiguration driven by runtime metrics on flexible
+//!   (Spandex-style) hardware.
+//!
+//! # Example
+//!
+//! ```
+//! use ggs_core::experiment::{run_workload, ExperimentSpec};
+//! use ggs_apps::AppKind;
+//! use ggs_graph::GraphBuilder;
+//!
+//! let graph = GraphBuilder::new(512)
+//!     .edges((0..511).map(|i| (i, i + 1)))
+//!     .symmetric(true)
+//!     .build();
+//! let spec = ExperimentSpec::default();
+//! let stats = run_workload(AppKind::Pr, &graph, "SGR".parse()?, &spec);
+//! assert!(stats.total_cycles() > 0);
+//! # Ok::<(), ggs_model::decision::ParseConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adaptive;
+pub mod experiment;
+pub mod study;
+pub mod sweep;
+
+pub use experiment::{run_workload, ExperimentSpec};
+pub use study::{Study, WorkloadReport};
+pub use sweep::WorkloadSweep;

@@ -1,0 +1,259 @@
+//! Sweeping one workload across system configurations (one group of
+//! bars in the paper's Figure 5).
+
+use ggs_apps::AppKind;
+use ggs_graph::Csr;
+use ggs_model::taxonomy::Traversal;
+use ggs_model::SystemConfig;
+use ggs_sim::ExecStats;
+
+use crate::experiment::{run_workload, ExperimentSpec};
+
+/// The result of one configuration point within a sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigResult {
+    /// The configuration simulated.
+    pub config: SystemConfig,
+    /// Its execution statistics.
+    pub stats: ExecStats,
+}
+
+/// One workload (application + graph) swept across configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSweep {
+    /// The application.
+    pub app: AppKind,
+    /// Name of the input graph (preset mnemonic or custom name).
+    pub graph_name: String,
+    /// Per-configuration results, in the order simulated.
+    pub results: Vec<ConfigResult>,
+}
+
+/// The five configurations Figure 5 shows per static workload —
+/// TG0 (the only pull bar: pull is insensitive to coherence/consistency)
+/// plus push over {GPU, DeNovo} × {DRF1, DRFrlx} (DRF0 push is uniformly
+/// poor and omitted, §VI) — and the four `D*` bars for CC.
+pub fn figure5_configs(app: AppKind) -> Vec<SystemConfig> {
+    let codes: &[&str] = match app.algo_profile().traversal {
+        Traversal::Static => &["TG0", "SG1", "SGR", "SD1", "SDR"],
+        Traversal::Dynamic => &["DG1", "DGR", "DD1", "DDR"],
+    };
+    codes
+        .iter()
+    .map(|c| c.parse().expect("static config table is valid"))
+    .collect()
+}
+
+/// The baseline every bar of a Figure 5 group is normalized to: `TG0`
+/// for static workloads, `DG1` for CC.
+pub fn baseline_config(app: AppKind) -> SystemConfig {
+    match app.algo_profile().traversal {
+        Traversal::Static => "TG0",
+        Traversal::Dynamic => "DG1",
+    }
+    .parse()
+    .expect("baseline config is valid")
+}
+
+impl WorkloadSweep {
+    /// Runs `app` on `graph` across `configs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any configuration's propagation is unsupported by
+    /// `app`.
+    pub fn run(
+        app: AppKind,
+        graph_name: impl Into<String>,
+        graph: &Csr,
+        configs: &[SystemConfig],
+        spec: &ExperimentSpec,
+    ) -> Self {
+        let results = configs
+            .iter()
+            .map(|&config| ConfigResult {
+                config,
+                stats: run_workload(app, graph, config, spec),
+            })
+            .collect();
+        Self {
+            app,
+            graph_name: graph_name.into(),
+            results,
+        }
+    }
+
+    /// The fastest configuration (the paper's per-workload BEST).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty.
+    pub fn best(&self) -> &ConfigResult {
+        self.results
+            .iter()
+            .min_by_key(|r| r.stats.total_cycles())
+            .expect("sweep has at least one configuration")
+    }
+
+    /// The result for a specific configuration, if it was swept.
+    pub fn result_for(&self, config: SystemConfig) -> Option<&ConfigResult> {
+        self.results.iter().find(|r| r.config == config)
+    }
+
+    /// Execution times normalized to `baseline` (the paper's Figure 5
+    /// y-axis). Configurations map to `time / baseline_time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `baseline` was not part of the sweep.
+    pub fn normalized_to(&self, baseline: SystemConfig) -> Vec<(SystemConfig, f64)> {
+        let base = self
+            .result_for(baseline)
+            .expect("baseline configuration must be part of the sweep")
+            .stats
+            .total_cycles() as f64;
+        self.results
+            .iter()
+            .map(|r| (r.config, r.stats.total_cycles() as f64 / base))
+            .collect()
+    }
+
+    /// Relative slowdown of configuration `cfg` versus the best
+    /// (0.0 = it *is* the best; 0.10 = 10% slower).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` was not part of the sweep.
+    pub fn slowdown_vs_best(&self, cfg: SystemConfig) -> f64 {
+        let best = self.best().stats.total_cycles() as f64;
+        let t = self
+            .result_for(cfg)
+            .expect("configuration must be part of the sweep")
+            .stats
+            .total_cycles() as f64;
+        t / best - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggs_graph::GraphBuilder;
+
+    fn graph() -> Csr {
+        GraphBuilder::new(768)
+            .edges((0..767).map(|i| (i, i + 1)))
+            .symmetric(true)
+            .build()
+    }
+
+    #[test]
+    fn figure5_config_sets() {
+        let static_cfgs = figure5_configs(AppKind::Pr);
+        assert_eq!(static_cfgs.len(), 5);
+        assert_eq!(static_cfgs[0].code(), "TG0");
+        let cc_cfgs = figure5_configs(AppKind::Cc);
+        assert_eq!(cc_cfgs.len(), 4);
+        assert!(cc_cfgs.iter().all(|c| c.code().starts_with('D')));
+    }
+
+    #[test]
+    fn baselines_match_figure5_caption() {
+        assert_eq!(baseline_config(AppKind::Mis).code(), "TG0");
+        assert_eq!(baseline_config(AppKind::Cc).code(), "DG1");
+    }
+
+    #[test]
+    fn sweep_normalization_and_best() {
+        let g = graph();
+        let spec = ExperimentSpec::at_scale(0.05);
+        let sweep = WorkloadSweep::run(
+            AppKind::Pr,
+            "chain",
+            &g,
+            &figure5_configs(AppKind::Pr),
+            &spec,
+        );
+        let norm = sweep.normalized_to(baseline_config(AppKind::Pr));
+        assert_eq!(norm.len(), 5);
+        let (_, base_val) = norm.iter().find(|(c, _)| c.code() == "TG0").unwrap();
+        assert!((base_val - 1.0).abs() < 1e-12);
+        assert!(sweep.slowdown_vs_best(sweep.best().config).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use ggs_graph::GraphBuilder;
+
+    fn graph() -> Csr {
+        GraphBuilder::new(512)
+            .edges((0..511).map(|i| (i, i + 1)))
+            .symmetric(true)
+            .build()
+    }
+
+    #[test]
+    fn result_for_absent_config_is_none() {
+        let spec = ExperimentSpec::at_scale(0.02);
+        let sweep = WorkloadSweep::run(
+            AppKind::Pr,
+            "chain",
+            &graph(),
+            &["TG0".parse().unwrap()],
+            &spec,
+        );
+        assert!(sweep.result_for("SGR".parse().unwrap()).is_none());
+        assert!(sweep.result_for("TG0".parse().unwrap()).is_some());
+    }
+
+    #[test]
+    fn slowdown_vs_best_is_nonnegative_everywhere() {
+        let spec = ExperimentSpec::at_scale(0.02);
+        let sweep = WorkloadSweep::run(
+            AppKind::Sssp,
+            "chain",
+            &graph(),
+            &figure5_configs(AppKind::Sssp),
+            &spec,
+        );
+        for r in &sweep.results {
+            assert!(sweep.slowdown_vs_best(r.config) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline configuration")]
+    fn normalization_requires_baseline_in_sweep() {
+        let spec = ExperimentSpec::at_scale(0.02);
+        let sweep = WorkloadSweep::run(
+            AppKind::Pr,
+            "chain",
+            &graph(),
+            &["SGR".parse().unwrap()],
+            &spec,
+        );
+        let _ = sweep.normalized_to("TG0".parse().unwrap());
+    }
+
+    #[test]
+    fn full_config_set_sweep_runs() {
+        let spec = ExperimentSpec::at_scale(0.02);
+        let configs = ggs_model::SystemConfig::all_for(
+            ggs_model::taxonomy::Traversal::Static,
+        );
+        let sweep = WorkloadSweep::run(AppKind::Mis, "chain", &graph(), &configs, &spec);
+        assert_eq!(sweep.results.len(), 12);
+        // Pull bars are hardware-insensitive on the consistency axis.
+        let t = |code: &str| {
+            sweep
+                .result_for(code.parse().unwrap())
+                .unwrap()
+                .stats
+                .total_cycles()
+        };
+        assert_eq!(t("TG0"), t("TG1"));
+        assert_eq!(t("TG0"), t("TGR"));
+    }
+}

@@ -1,0 +1,398 @@
+//! Compressed-sparse-row graph representation.
+
+use crate::stats::DegreeStats;
+
+/// Identifier of a vertex.
+///
+/// Vertices are dense integers `0..num_vertices`. `u32` comfortably covers
+/// the paper's largest input (410 236 vertices / 6 713 648 edges) while
+/// halving the memory traffic of the simulator's adjacency walks relative
+/// to `usize`.
+pub type VertexId = u32;
+
+/// A directed graph in compressed-sparse-row form.
+///
+/// `row_ptr` has `num_vertices + 1` entries; the out-neighbors of vertex
+/// `v` are `col_idx[row_ptr[v] .. row_ptr[v + 1]]`, optionally paired with
+/// positive edge weights (used by SSSP).
+///
+/// The paper's methodology (§V-A) converts every input to a *directed,
+/// symmetric* graph with self-edges removed; [`crate::GraphBuilder`]
+/// performs those normalizations. `Csr` itself represents any directed
+/// graph.
+///
+/// # Example
+///
+/// ```
+/// use ggs_graph::Csr;
+///
+/// let g = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+/// assert_eq!(g.out_degree(0), 2);
+/// assert_eq!(g.neighbors(0), &[1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    row_ptr: Vec<u32>,
+    col_idx: Vec<VertexId>,
+    weights: Option<Vec<u32>>,
+}
+
+impl Csr {
+    /// Creates a graph from raw CSR arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays are inconsistent: `row_ptr` must be non-empty,
+    /// non-decreasing, start at 0 and end at `col_idx.len()`; every column
+    /// index must be `< row_ptr.len() - 1`; `weights`, when present, must
+    /// have one entry per edge.
+    pub fn from_raw_parts(
+        row_ptr: Vec<u32>,
+        col_idx: Vec<VertexId>,
+        weights: Option<Vec<u32>>,
+    ) -> Self {
+        assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
+        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
+        assert_eq!(
+            *row_ptr.last().expect("non-empty") as usize,
+            col_idx.len(),
+            "row_ptr must end at the number of edges"
+        );
+        assert!(
+            row_ptr.windows(2).all(|w| w[0] <= w[1]),
+            "row_ptr must be non-decreasing"
+        );
+        let n = (row_ptr.len() - 1) as u32;
+        assert!(
+            col_idx.iter().all(|&c| c < n),
+            "column index out of range"
+        );
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), col_idx.len(), "one weight per edge required");
+        }
+        Self {
+            row_ptr,
+            col_idx,
+            weights,
+        }
+    }
+
+    /// Creates an unweighted graph from an edge list, sorting each
+    /// adjacency list by target.
+    ///
+    /// Duplicate edges and self-loops are kept verbatim; use
+    /// [`crate::GraphBuilder`] for normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn from_edges(num_vertices: u32, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut counts = vec![0u32; num_vertices as usize + 1];
+        for &(s, t) in edges {
+            assert!(s < num_vertices && t < num_vertices, "edge endpoint out of range");
+            counts[s as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; edges.len()];
+        let mut next = counts;
+        for &(s, t) in edges {
+            col_idx[next[s as usize] as usize] = t;
+            next[s as usize] += 1;
+        }
+        for v in 0..num_vertices as usize {
+            col_idx[row_ptr[v] as usize..row_ptr[v + 1] as usize].sort_unstable();
+        }
+        Self {
+            row_ptr,
+            col_idx,
+            weights: None,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> u32 {
+        (self.row_ptr.len() - 1) as u32
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.col_idx.len() as u64
+    }
+
+    /// Out-degree of vertex `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        self.row_ptr[v as usize + 1] - self.row_ptr[v as usize]
+    }
+
+    /// Out-neighbors of vertex `v`, sorted ascending when the graph was
+    /// produced by [`Csr::from_edges`] or [`crate::GraphBuilder`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.col_idx[self.row_ptr[v as usize] as usize..self.row_ptr[v as usize + 1] as usize]
+    }
+
+    /// Weights of the out-edges of `v`, parallel to [`Csr::neighbors`], if
+    /// the graph is weighted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn edge_weights(&self, v: VertexId) -> Option<&[u32]> {
+        self.weights.as_ref().map(|w| {
+            &w[self.row_ptr[v as usize] as usize..self.row_ptr[v as usize + 1] as usize]
+        })
+    }
+
+    /// Index range of `v`'s out-edges within the CSR arrays.
+    ///
+    /// The simulator uses these indices to derive the *addresses* of the
+    /// `col_idx`/weight words a kernel touches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vertices`.
+    pub fn edge_range(&self, v: VertexId) -> std::ops::Range<u32> {
+        self.row_ptr[v as usize]..self.row_ptr[v as usize + 1]
+    }
+
+    /// The raw `row_ptr` array.
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// The raw `col_idx` array.
+    pub fn col_idx(&self) -> &[VertexId] {
+        &self.col_idx
+    }
+
+    /// `true` if the graph carries edge weights.
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Attaches uniform pseudo-random weights in `1..=max_weight` derived
+    /// from a deterministic hash of each edge, returning the weighted
+    /// graph.
+    ///
+    /// Weights are a function of `(source, target)` only, so the
+    /// symmetrized reverse edge `(t, s)` receives the same weight as
+    /// `(s, t)` — required for SSSP on the paper's symmetric inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_weight == 0`.
+    pub fn with_hashed_weights(mut self, max_weight: u32) -> Self {
+        assert!(max_weight > 0, "max_weight must be positive");
+        let mut w = Vec::with_capacity(self.col_idx.len());
+        for v in 0..self.num_vertices() {
+            for &t in self.neighbors(v) {
+                let (a, b) = if v <= t { (v, t) } else { (t, v) };
+                let h = splitmix64(((a as u64) << 32) | b as u64);
+                w.push((h % max_weight as u64) as u32 + 1);
+            }
+        }
+        self.weights = Some(w);
+        self
+    }
+
+    /// Iterates over all directed edges as `(source, target)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices())
+            .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+    }
+
+    /// Returns the transpose graph (all edges reversed).
+    ///
+    /// For the paper's symmetric inputs the transpose equals the graph
+    /// itself; pull kernels nevertheless conceptually traverse in-edges, so
+    /// the transpose is exposed for generality.
+    pub fn transpose(&self) -> Csr {
+        let n = self.num_vertices();
+        let mut counts = vec![0u32; n as usize + 1];
+        for &t in &self.col_idx {
+            counts[t as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let row_ptr = counts.clone();
+        let mut col_idx = vec![0u32; self.col_idx.len()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0u32; self.col_idx.len()]);
+        let mut next = counts;
+        for v in 0..n {
+            let base = self.row_ptr[v as usize] as usize;
+            for (i, &t) in self.neighbors(v).iter().enumerate() {
+                let slot = next[t as usize] as usize;
+                col_idx[slot] = v;
+                if let (Some(w), Some(src)) = (&mut weights, &self.weights) {
+                    w[slot] = src[base + i];
+                }
+                next[t as usize] += 1;
+            }
+        }
+        Csr {
+            row_ptr,
+            col_idx,
+            weights,
+        }
+    }
+
+    /// `true` if for every edge `(s, t)` the reverse edge `(t, s)` exists.
+    pub fn is_symmetric(&self) -> bool {
+        self.edges()
+            .all(|(s, t)| self.neighbors(t).binary_search(&s).is_ok())
+    }
+
+    /// `true` if any vertex has an edge to itself.
+    pub fn has_self_loops(&self) -> bool {
+        self.edges().any(|(s, t)| s == t)
+    }
+
+    /// Maximum out-degree over all vertices (0 for an empty graph).
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_vertices())
+            .map(|v| self.out_degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average out-degree (`|E| / |V|`; 0 for an empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Full degree statistics (max, average, standard deviation) as
+    /// reported in the paper's Table II.
+    pub fn degree_stats(&self) -> DegreeStats {
+        DegreeStats::from_degrees((0..self.num_vertices()).map(|v| self.out_degree(v)))
+    }
+}
+
+/// SplitMix64 hash step, used for deterministic edge weights.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Csr {
+        Csr::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])
+    }
+
+    #[test]
+    fn from_edges_builds_sorted_adjacency() {
+        let g = Csr::from_edges(4, &[(1, 3), (1, 0), (1, 2), (0, 2)]);
+        assert_eq!(g.neighbors(1), &[0, 2, 3]);
+        assert_eq!(g.neighbors(0), &[2]);
+        assert_eq!(g.neighbors(2), &[] as &[u32]);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn degrees_and_ranges() {
+        let g = triangle();
+        assert_eq!(g.out_degree(1), 2);
+        assert_eq!(g.edge_range(1), 2..4);
+        assert_eq!(g.avg_degree(), 2.0);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn transpose_reverses_edges() {
+        let g = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+        let t = g.transpose();
+        assert_eq!(t.neighbors(2), &[0, 1]);
+        assert_eq!(t.neighbors(0), &[] as &[u32]);
+        assert_eq!(t.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn transpose_of_symmetric_graph_is_identical() {
+        let g = triangle();
+        assert!(g.is_symmetric());
+        assert_eq!(g.transpose(), g);
+    }
+
+    #[test]
+    fn symmetry_and_self_loop_detection() {
+        let asym = Csr::from_edges(3, &[(0, 1)]);
+        assert!(!asym.is_symmetric());
+        assert!(!asym.has_self_loops());
+        let looped = Csr::from_edges(2, &[(0, 0), (0, 1), (1, 0)]);
+        assert!(looped.has_self_loops());
+    }
+
+    #[test]
+    fn hashed_weights_are_symmetric_and_in_range() {
+        let g = triangle().with_hashed_weights(16);
+        for v in 0..3 {
+            let ws = g.edge_weights(v).expect("weighted");
+            assert!(ws.iter().all(|&w| (1..=16).contains(&w)));
+        }
+        // weight(s -> t) == weight(t -> s)
+        let w01 = g.edge_weights(0).unwrap()[g.neighbors(0).binary_search(&1).unwrap()];
+        let w10 = g.edge_weights(1).unwrap()[g.neighbors(1).binary_search(&0).unwrap()];
+        assert_eq!(w01, w10);
+    }
+
+    #[test]
+    fn transpose_carries_weights() {
+        let g = Csr::from_edges(3, &[(0, 1), (0, 2)]).with_hashed_weights(8);
+        let t = g.transpose();
+        assert!(t.is_weighted());
+        assert_eq!(
+            g.edge_weights(0).unwrap()[0],
+            t.edge_weights(1).unwrap()[0]
+        );
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_rejects_out_of_range() {
+        let _ = Csr::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr must end")]
+    fn from_raw_parts_validates_lengths() {
+        let _ = Csr::from_raw_parts(vec![0, 2], vec![0], None);
+    }
+
+    #[test]
+    fn edges_iterator_matches_csr() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 6);
+        assert!(edges.contains(&(0, 1)));
+        assert!(edges.contains(&(2, 0)));
+    }
+}

@@ -1,0 +1,105 @@
+//! Degree statistics matching the columns of the paper's Table II.
+
+/// Degree statistics of a graph: the `Max Deg`, `Avg Deg`, and `Std Dev`
+/// columns of Table II.
+///
+/// # Example
+///
+/// ```
+/// use ggs_graph::{Csr, DegreeStats};
+///
+/// let g = Csr::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
+/// let s = g.degree_stats();
+/// assert_eq!(s.max, 2);
+/// assert!((s.avg - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DegreeStats {
+    /// Maximum out-degree.
+    pub max: u32,
+    /// Minimum out-degree.
+    pub min: u32,
+    /// Mean out-degree.
+    pub avg: f64,
+    /// Population standard deviation of the out-degree.
+    pub std_dev: f64,
+}
+
+impl DegreeStats {
+    /// Computes statistics from an iterator of per-vertex degrees.
+    ///
+    /// Returns the all-zero statistics for an empty iterator.
+    pub fn from_degrees<I>(degrees: I) -> Self
+    where
+        I: IntoIterator<Item = u32>,
+    {
+        let mut n = 0u64;
+        let mut sum = 0u64;
+        let mut sum_sq = 0u128;
+        let mut max = 0u32;
+        let mut min = u32::MAX;
+        for d in degrees {
+            n += 1;
+            sum += d as u64;
+            sum_sq += (d as u128) * (d as u128);
+            max = max.max(d);
+            min = min.min(d);
+        }
+        if n == 0 {
+            return Self::default();
+        }
+        let avg = sum as f64 / n as f64;
+        let var = (sum_sq as f64 / n as f64) - avg * avg;
+        Self {
+            max,
+            min,
+            avg,
+            std_dev: var.max(0.0).sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for DegreeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "max={} min={} avg={:.3} std={:.3}",
+            self.max, self.min, self.avg, self.std_dev
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_zero() {
+        let s = DegreeStats::from_degrees(std::iter::empty());
+        assert_eq!(s, DegreeStats::default());
+    }
+
+    #[test]
+    fn uniform_degrees_have_zero_stddev() {
+        let s = DegreeStats::from_degrees([4, 4, 4, 4]);
+        assert_eq!(s.max, 4);
+        assert_eq!(s.min, 4);
+        assert_eq!(s.avg, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn known_distribution() {
+        // degrees 1..=5: mean 3, population variance 2
+        let s = DegreeStats::from_degrees(1..=5);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.min, 1);
+        assert!((s.avg - 3.0).abs() < 1e-12);
+        assert!((s.std_dev - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", DegreeStats::default()).is_empty());
+    }
+}

@@ -1,0 +1,334 @@
+//! Degree-sequence models for the synthetic generators.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How per-vertex target degrees are drawn and laid out over vertex ids.
+///
+/// The layout is what controls the paper's *Imbalance* metric: degrees
+/// assigned smoothly along vertex ids give every warp in a thread block a
+/// similar maximum degree (no imbalance), while *hubs* planted into a
+/// chosen fraction of thread blocks make exactly that fraction of blocks
+/// imbalanced (Equation 7 of the paper).
+#[derive(Debug, Clone)]
+pub struct DegreeModel {
+    base: Base,
+    hubs: Option<HubSpec>,
+    min_degree: u32,
+    max_degree: Option<u32>,
+}
+
+#[derive(Debug, Clone)]
+enum Base {
+    /// Near-constant degree (mesh-like graphs such as WNG).
+    Constant {
+        value: u32,
+        /// Fraction of vertices decremented by one (adds a little
+        /// standard deviation without changing the shape).
+        jitter: f64,
+    },
+    /// Log-normal degrees with the given coefficient of variation,
+    /// assigned in ascending order along vertex ids (smooth layout).
+    LogNormal { cv: f64 },
+}
+
+/// Hubs planted into a fraction of thread blocks.
+#[derive(Debug, Clone)]
+pub(crate) struct HubSpec {
+    /// Fraction of thread blocks that receive one hub vertex.
+    pub block_fraction: f64,
+    /// Hub degrees are drawn from a truncated Pareto on `[lo, hi]`.
+    pub degree_lo: f64,
+    pub degree_hi: f64,
+    /// Pareto shape; larger values concentrate hubs near `lo`.
+    pub alpha: f64,
+    /// Hubs never drop below this degree when the graph is scaled down,
+    /// so the k-means imbalance classifier (centroid gap > 10) keeps
+    /// marking their blocks.
+    pub floor: u32,
+}
+
+impl DegreeModel {
+    /// Near-constant degrees: every vertex gets `value`, except a
+    /// `jitter` fraction that gets `value - 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is outside `[0, 1]`.
+    pub fn constant(value: u32, jitter: f64) -> Self {
+        assert!((0.0..=1.0).contains(&jitter), "jitter must be in [0, 1]");
+        Self {
+            base: Base::Constant { value, jitter },
+            hubs: None,
+            min_degree: value.saturating_sub(1),
+            max_degree: None,
+        }
+    }
+
+    /// Log-normal degrees with coefficient of variation `cv`, assigned
+    /// smoothly (ascending) along vertex ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cv` is negative.
+    pub fn log_normal(cv: f64) -> Self {
+        assert!(cv >= 0.0, "cv must be non-negative");
+        Self {
+            base: Base::LogNormal { cv },
+            hubs: None,
+            min_degree: 1,
+            max_degree: None,
+        }
+    }
+
+    /// Clamps every sampled degree into `[min, max]`.
+    pub fn clamped(mut self, min: u32, max: u32) -> Self {
+        self.min_degree = min;
+        self.max_degree = Some(max);
+        self
+    }
+
+    /// Plants one hub per thread block in a `block_fraction` of blocks,
+    /// with degrees drawn from a truncated Pareto over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_fraction` is outside `[0, 1]` or `lo > hi`.
+    pub fn with_hubs(mut self, block_fraction: f64, lo: f64, hi: f64, alpha: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&block_fraction),
+            "block_fraction must be in [0, 1]"
+        );
+        assert!(lo <= hi, "hub degree range must be ordered");
+        self.hubs = Some(HubSpec {
+            block_fraction,
+            degree_lo: lo,
+            degree_hi: hi,
+            alpha,
+            floor: 24,
+        });
+        self
+    }
+
+    /// Returns the model with hub degree ranges (and the max-degree
+    /// clamp) multiplied by `factor`, respecting each hub's imbalance
+    /// floor.
+    pub(crate) fn scaled(mut self, factor: f64) -> Self {
+        if let Some(h) = &mut self.hubs {
+            h.degree_lo = (h.degree_lo * factor).max(h.floor as f64);
+            h.degree_hi = (h.degree_hi * factor).max(h.floor as f64 + 1.0);
+        }
+        if let Some(m) = &mut self.max_degree {
+            let scaled = (*m as f64 * factor).round() as u32;
+            // Never clamp below what the base distribution needs.
+            *m = scaled.max(self.min_degree + 1).max(*m.min(&mut 16));
+        }
+        self
+    }
+
+    /// Samples the per-vertex degree sequence.
+    ///
+    /// `avg_degree` is the target mean of the *whole* sequence: the base
+    /// distribution's mean is adjusted downward to compensate for the
+    /// degree mass the hubs add.
+    pub(crate) fn sample(
+        &self,
+        num_vertices: u32,
+        avg_degree: f64,
+        block_size: u32,
+        rng: &mut SmallRng,
+    ) -> Vec<u32> {
+        let n = num_vertices as usize;
+        if n == 0 {
+            return Vec::new();
+        }
+        let num_blocks = num_vertices.div_ceil(block_size);
+
+        // Decide hub placement and degree mass first so the base mean can
+        // compensate.
+        let mut hub_positions: Vec<(u32, u32)> = Vec::new(); // (vertex, degree)
+        let mut hub_sum = 0.0;
+        if let Some(h) = &self.hubs {
+            let hub_blocks = ((num_blocks as f64) * h.block_fraction).round() as u32;
+            let mut blocks: Vec<u32> = (0..num_blocks).collect();
+            // Partial Fisher-Yates to pick hub blocks uniformly.
+            for i in 0..hub_blocks.min(num_blocks) {
+                let j = rng.gen_range(i..num_blocks);
+                blocks.swap(i as usize, j as usize);
+            }
+            for &b in blocks.iter().take(hub_blocks.min(num_blocks) as usize) {
+                let lo = b * block_size;
+                let hi = ((b + 1) * block_size).min(num_vertices);
+                let v = rng.gen_range(lo..hi);
+                let deg = truncated_pareto(h.degree_lo, h.degree_hi, h.alpha, rng)
+                    .round()
+                    .max(h.floor as f64) as u32;
+                let deg = deg.min(num_vertices - 1);
+                hub_sum += deg as f64;
+                hub_positions.push((v, deg));
+            }
+        }
+
+        let base_count = n - hub_positions.len();
+        let base_mean = if base_count == 0 {
+            0.0
+        } else {
+            ((avg_degree * n as f64) - hub_sum).max(0.0) / base_count as f64
+        };
+
+        let mut degrees = match self.base {
+            Base::Constant { value, jitter } => {
+                // Shift the constant so the overall mean tracks the target
+                // even after hubs (usually none for constant models).
+                let v = if base_mean > 0.0 {
+                    base_mean.round() as u32
+                } else {
+                    value
+                };
+                let v = v.max(1);
+                (0..n)
+                    .map(|_| {
+                        if rng.gen_bool(jitter) {
+                            v.saturating_sub(1).max(1)
+                        } else {
+                            v
+                        }
+                    })
+                    .collect::<Vec<u32>>()
+            }
+            Base::LogNormal { cv } => {
+                let mean = base_mean.max(0.5);
+                let sigma2 = (1.0 + cv * cv).ln();
+                let mu = mean.ln() - sigma2 / 2.0;
+                let sigma = sigma2.sqrt();
+                let mut d: Vec<u32> = (0..n)
+                    .map(|_| {
+                        let z = standard_normal(rng);
+                        (mu + sigma * z).exp().round().max(1.0) as u32
+                    })
+                    .collect();
+                // Smooth layout: ascending along vertex ids removes warp
+                // imbalance from the base distribution.
+                d.sort_unstable();
+                d
+            }
+        };
+
+        let cap = self.max_degree.unwrap_or(u32::MAX).min(num_vertices - 1);
+        for d in &mut degrees {
+            *d = (*d).clamp(self.min_degree.max(1).min(cap), cap);
+        }
+        for (v, deg) in hub_positions {
+            degrees[v as usize] = deg.clamp(1, num_vertices - 1);
+        }
+        degrees
+    }
+}
+
+/// Truncated Pareto sample on `[lo, hi]` with shape `alpha` (inverse-CDF
+/// method). `alpha == 0` degenerates to log-uniform.
+fn truncated_pareto(lo: f64, hi: f64, alpha: f64, rng: &mut SmallRng) -> f64 {
+    let lo = lo.max(1.0);
+    let hi = hi.max(lo + f64::EPSILON);
+    let u: f64 = rng.gen_range(0.0..1.0);
+    if alpha.abs() < 1e-9 {
+        // log-uniform
+        (lo.ln() + u * (hi.ln() - lo.ln())).exp()
+    } else {
+        let la = lo.powf(-alpha);
+        let ha = hi.powf(-alpha);
+        (la - u * (la - ha)).powf(-1.0 / alpha)
+    }
+}
+
+/// Standard normal via Box-Muller.
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_model_matches_value() {
+        let d = DegreeModel::constant(4, 0.0).sample(1000, 4.0, 256, &mut rng());
+        assert!(d.iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn constant_jitter_lowers_some() {
+        let d = DegreeModel::constant(4, 0.25).sample(10_000, 4.0, 256, &mut rng());
+        let threes = d.iter().filter(|&&x| x == 3).count();
+        assert!(threes > 1500 && threes < 3500, "threes = {threes}");
+    }
+
+    #[test]
+    fn lognormal_mean_tracks_target() {
+        let d = DegreeModel::log_normal(1.0).sample(50_000, 16.0, 256, &mut rng());
+        let mean = d.iter().map(|&x| x as f64).sum::<f64>() / d.len() as f64;
+        assert!((mean - 16.0).abs() < 1.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn lognormal_is_sorted_smooth() {
+        let d = DegreeModel::log_normal(0.5).sample(4096, 8.0, 256, &mut rng());
+        assert!(d.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn hubs_land_in_expected_fraction_of_blocks() {
+        let block = 256u32;
+        let n = 256 * 100;
+        let d = DegreeModel::log_normal(0.3)
+            .with_hubs(0.5, 200.0, 400.0, 1.0)
+            .sample(n, 8.0, block, &mut rng());
+        let hub_blocks = (0..100)
+            .filter(|b| {
+                d[(b * 256) as usize..((b + 1) * 256) as usize]
+                    .iter()
+                    .any(|&x| x >= 100)
+            })
+            .count();
+        assert_eq!(hub_blocks, 50);
+    }
+
+    #[test]
+    fn hubs_respect_floor_when_scaled() {
+        let m = DegreeModel::log_normal(0.5)
+            .with_hubs(1.0, 1000.0, 2000.0, 1.0)
+            .scaled(0.001);
+        let d = m.sample(2560, 4.0, 256, &mut rng());
+        assert!(d.iter().any(|&x| x >= 24));
+    }
+
+    #[test]
+    fn clamp_is_enforced() {
+        let d = DegreeModel::log_normal(1.0)
+            .clamped(3, 10)
+            .sample(10_000, 7.0, 256, &mut rng());
+        assert!(d.iter().all(|&x| (3..=10).contains(&x)));
+    }
+
+    #[test]
+    fn truncated_pareto_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = truncated_pareto(10.0, 100.0, 0.8, &mut r);
+            assert!((10.0..=100.0001).contains(&x), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_degrees() {
+        let d = DegreeModel::constant(4, 0.0).sample(0, 4.0, 256, &mut rng());
+        assert!(d.is_empty());
+    }
+}

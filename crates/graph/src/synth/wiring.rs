@@ -1,0 +1,178 @@
+//! Stub pairing: turns a degree sequence plus a locality split into a
+//! directed symmetric graph with an exact edge count.
+
+use std::collections::HashSet;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::csr::Csr;
+
+/// Canonical undirected key for an edge.
+fn key(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    ((lo as u64) << 32) | hi as u64
+}
+
+/// Wires `degrees[v]` stubs per vertex into undirected pairs — a
+/// `p_local` share inside each `block_size` window of vertex ids, the
+/// rest globally — then trims or pads random pairs until the directed
+/// edge count equals `target_edges` exactly, and emits the symmetric
+/// [`Csr`].
+pub(crate) fn wire(
+    num_vertices: u32,
+    degrees: &[u32],
+    p_local: f64,
+    block_size: u32,
+    target_edges: u64,
+    rng: &mut SmallRng,
+) -> Csr {
+    assert_eq!(degrees.len(), num_vertices as usize);
+    let target_pairs = (target_edges / 2) as usize;
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(target_pairs + target_pairs / 8);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(target_pairs * 2);
+
+    let push_pair = |a: u32, b: u32, pairs: &mut Vec<(u32, u32)>, seen: &mut HashSet<u64>| {
+        if a != b && seen.insert(key(a, b)) {
+            pairs.push((a, b));
+        }
+    };
+
+    // Local stubs, paired within each thread-block window. A vertex's
+    // local share is capped below the window population so its adjacency
+    // can actually be realized without duplicates.
+    let num_blocks = num_vertices.div_ceil(block_size);
+    let mut remote_stubs: Vec<u32> = Vec::new();
+    for b in 0..num_blocks {
+        let lo = b * block_size;
+        let hi = ((b + 1) * block_size).min(num_vertices);
+        let window = hi - lo;
+        let cap = (window.saturating_sub(1)) * 3 / 4;
+        let mut local_stubs: Vec<u32> = Vec::new();
+        for v in lo..hi {
+            let d = degrees[v as usize];
+            let want_local = ((d as f64) * p_local).round() as u32;
+            let local = want_local.min(cap);
+            for _ in 0..local {
+                local_stubs.push(v);
+            }
+            for _ in 0..(d - local) {
+                remote_stubs.push(v);
+            }
+        }
+        local_stubs.shuffle(rng);
+        for chunk in local_stubs.chunks_exact(2) {
+            push_pair(chunk[0], chunk[1], &mut pairs, &mut seen);
+        }
+    }
+
+    // Remote stubs, paired globally.
+    remote_stubs.shuffle(rng);
+    for chunk in remote_stubs.chunks_exact(2) {
+        push_pair(chunk[0], chunk[1], &mut pairs, &mut seen);
+    }
+    drop(remote_stubs);
+
+    // Exact edge-count adjustment. Trimming removes uniformly random
+    // pairs; padding adds pairs drawn with the same local/remote mix as
+    // the stub wiring, so both adjustments preserve the metric profile in
+    // expectation.
+    while pairs.len() > target_pairs {
+        let i = rng.gen_range(0..pairs.len());
+        let (a, b) = pairs.swap_remove(i);
+        seen.remove(&key(a, b));
+    }
+    if num_vertices >= 2 {
+        let mut attempts_left = (target_pairs as u64 + 64) * 64;
+        while pairs.len() < target_pairs && attempts_left > 0 {
+            attempts_left -= 1;
+            let a = rng.gen_range(0..num_vertices);
+            let b = if rng.gen_bool(p_local.clamp(0.0, 1.0)) {
+                let blk = a / block_size;
+                let lo = blk * block_size;
+                let hi = ((blk + 1) * block_size).min(num_vertices);
+                if hi - lo < 2 {
+                    rng.gen_range(0..num_vertices)
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            } else {
+                rng.gen_range(0..num_vertices)
+            };
+            push_pair(a, b, &mut pairs, &mut seen);
+        }
+    }
+
+    let mut directed: Vec<(u32, u32)> = Vec::with_capacity(pairs.len() * 2);
+    for (a, b) in pairs {
+        directed.push((a, b));
+        directed.push((b, a));
+    }
+    Csr::from_edges(num_vertices, &directed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn exact_edge_count() {
+        let degrees = vec![4u32; 1024];
+        let g = wire(1024, &degrees, 0.5, 256, 4096, &mut rng());
+        assert_eq!(g.num_edges(), 4096);
+        assert!(g.is_symmetric());
+        assert!(!g.has_self_loops());
+    }
+
+    #[test]
+    fn degrees_roughly_match_targets() {
+        let degrees = vec![8u32; 2048];
+        let g = wire(2048, &degrees, 0.3, 256, 8 * 2048, &mut rng());
+        let stats = g.degree_stats();
+        assert!((stats.avg - 8.0).abs() < 0.5, "avg = {}", stats.avg);
+    }
+
+    #[test]
+    fn high_locality_keeps_edges_in_block() {
+        let degrees = vec![6u32; 2048];
+        let g = wire(2048, &degrees, 1.0, 256, 6 * 2048, &mut rng());
+        let local = g
+            .edges()
+            .filter(|&(s, t)| s / 256 == t / 256)
+            .count() as f64;
+        let frac = local / g.num_edges() as f64;
+        assert!(frac > 0.9, "local fraction = {frac}");
+    }
+
+    #[test]
+    fn zero_locality_keeps_edges_mostly_remote() {
+        let degrees = vec![6u32; 4096];
+        let g = wire(4096, &degrees, 0.0, 256, 6 * 4096, &mut rng());
+        let local = g
+            .edges()
+            .filter(|&(s, t)| s / 256 == t / 256)
+            .count() as f64;
+        let frac = local / g.num_edges() as f64;
+        assert!(frac < 0.15, "local fraction = {frac}");
+    }
+
+    #[test]
+    fn trims_when_over_target() {
+        let degrees = vec![10u32; 512];
+        let g = wire(512, &degrees, 0.5, 256, 1000, &mut rng());
+        assert_eq!(g.num_edges(), 1000);
+    }
+
+    #[test]
+    fn tiny_graph_does_not_hang() {
+        let degrees = vec![1u32, 1];
+        let g = wire(2, &degrees, 1.0, 256, 2, &mut rng());
+        assert_eq!(g.num_edges(), 2);
+    }
+}

@@ -1,0 +1,92 @@
+//! Discretized metric levels (the H/M/L letters of the paper's
+//! Table II).
+
+use std::fmt;
+
+/// A discretized metric value: low, medium, or high.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Level {
+    /// Below the low threshold.
+    Low,
+    /// Between the thresholds.
+    Medium,
+    /// Above the high threshold.
+    High,
+}
+
+impl Level {
+    /// Classifies `value` against `[low, high)` thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `low > high`.
+    pub fn classify(value: f64, low: f64, high: f64) -> Level {
+        assert!(low <= high, "thresholds must be ordered");
+        if value < low {
+            Level::Low
+        } else if value > high {
+            Level::High
+        } else {
+            Level::Medium
+        }
+    }
+
+    /// The Table II letter (`L`, `M`, or `H`).
+    pub fn letter(self) -> char {
+        match self {
+            Level::Low => 'L',
+            Level::Medium => 'M',
+            Level::High => 'H',
+        }
+    }
+
+    /// `true` for [`Level::Low`] or [`Level::Medium`].
+    pub fn at_most_medium(self) -> bool {
+        self != Level::High
+    }
+
+    /// `true` for [`Level::Medium`] or [`Level::High`].
+    pub fn at_least_medium(self) -> bool {
+        self != Level::Low
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_boundaries() {
+        assert_eq!(Level::classify(0.1, 0.15, 0.40), Level::Low);
+        assert_eq!(Level::classify(0.15, 0.15, 0.40), Level::Medium);
+        assert_eq!(Level::classify(0.40, 0.15, 0.40), Level::Medium);
+        assert_eq!(Level::classify(0.41, 0.15, 0.40), Level::High);
+    }
+
+    #[test]
+    fn letters_and_predicates() {
+        assert_eq!(Level::Low.letter(), 'L');
+        assert_eq!(Level::High.to_string(), "H");
+        assert!(Level::Medium.at_most_medium());
+        assert!(Level::Medium.at_least_medium());
+        assert!(!Level::High.at_most_medium());
+        assert!(!Level::Low.at_least_medium());
+    }
+
+    #[test]
+    fn ordering_is_low_to_high() {
+        assert!(Level::Low < Level::Medium && Level::Medium < Level::High);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn rejects_inverted_thresholds() {
+        let _ = Level::classify(0.0, 1.0, 0.5);
+    }
+}

@@ -1,0 +1,55 @@
+//! The workload taxonomy and specialization model of *Specializing
+//! Coherence, Consistency, and Push/Pull for GPU Graph Analytics*
+//! (ISPASS 2020), §III–§IV.
+//!
+//! Three graph-structure metrics characterize an input graph:
+//!
+//! * **Volume** (Equation 1) — average working-set size per GPU core,
+//!   discretized against the L1/L2 capacities;
+//! * **Reuse** (Equations 2–6) — intra-thread-block locality from the
+//!   average numbers of local (ANL) and remote (ANR) neighbors;
+//! * **Imbalance** (Equation 7) — fraction of thread blocks whose
+//!   per-warp maximum degrees split into two k-means clusters more than
+//!   a threshold apart.
+//!
+//! Three algorithmic properties characterize an application
+//! ([`taxonomy`]): traversal (static/dynamic), control (which predicate
+//! elides work), and information (which side hoists property loads).
+//!
+//! [`decision`] implements the paper's Figure 4 decision tree over these
+//! six inputs, predicting the best system configuration — update
+//! propagation (push/pull), coherence (GPU/DeNovo), and consistency
+//! (DRF0/DRF1/DRFrlx) — plus the §IV-B variant for hardware without
+//! DRFrlx support.
+//!
+//! # Example
+//!
+//! ```
+//! use ggs_graph::synth::{GraphPreset, SynthConfig};
+//! use ggs_model::{decision, profile::GraphProfile, params::MetricParams, taxonomy};
+//!
+//! let graph = SynthConfig::preset(GraphPreset::Raj).scale(0.05).generate();
+//! let params = MetricParams::default().scaled_caches(0.05);
+//! let profile = GraphProfile::measure(&graph, &params);
+//!
+//! // SSSP elides work at sources: the model recommends push.
+//! let algo = taxonomy::AlgoProfile::STATIC_SSSP_LIKE;
+//! let cfg = decision::predict_full(&algo, &profile);
+//! assert_eq!(cfg.propagation, taxonomy::Propagation::Push);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod classes;
+pub mod decision;
+pub mod metrics;
+pub mod params;
+pub mod profile;
+pub mod taxonomy;
+
+pub use classes::Level;
+pub use decision::{predict_full, predict_partial, SystemConfig};
+pub use params::MetricParams;
+pub use profile::GraphProfile;
+pub use taxonomy::{AlgoBias, AlgoProfile, Propagation, Traversal};

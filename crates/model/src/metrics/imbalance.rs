@@ -1,0 +1,174 @@
+//! Imbalance metric (Equation 7): k-means clustering of per-warp max
+//! degrees.
+
+use ggs_graph::Csr;
+
+use crate::params::MetricParams;
+
+/// Two-cluster one-dimensional k-means.
+///
+/// Centroids are initialized at the minimum and maximum of `values` and
+/// iterated to convergence (deterministic — no random restarts are
+/// needed in one dimension). Returns `(low_centroid, high_centroid)`.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn kmeans2(values: &[f64]) -> (f64, f64) {
+    assert!(!values.is_empty(), "k-means needs at least one value");
+    let mut lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if lo == hi {
+        return (lo, hi);
+    }
+    for _ in 0..64 {
+        let mid = (lo + hi) / 2.0;
+        let (mut s_lo, mut n_lo, mut s_hi, mut n_hi) = (0.0, 0u32, 0.0, 0u32);
+        for &v in values {
+            if v <= mid {
+                s_lo += v;
+                n_lo += 1;
+            } else {
+                s_hi += v;
+                n_hi += 1;
+            }
+        }
+        let new_lo = if n_lo > 0 { s_lo / n_lo as f64 } else { lo };
+        let new_hi = if n_hi > 0 { s_hi / n_hi as f64 } else { hi };
+        if (new_lo - lo).abs() < 1e-9 && (new_hi - hi).abs() < 1e-9 {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+    }
+    (lo, hi)
+}
+
+/// Computes the Imbalance metric (Equation 7): the fraction of thread
+/// blocks classified imbalanced.
+///
+/// For each thread block, the maximum out-degree processed by each of
+/// its warps is collected; the block is *marked* when the two k-means
+/// centroids of those per-warp maxima differ by more than
+/// `params.kmeans_gap` (§III-A3).
+///
+/// # Example
+///
+/// ```
+/// use ggs_graph::Csr;
+/// use ggs_model::{metrics::imbalance, MetricParams};
+///
+/// // A uniform ring has no imbalance.
+/// let edges: Vec<(u32, u32)> = (0..512u32)
+///     .flat_map(|i| [(i, (i + 1) % 512), ((i + 1) % 512, i)])
+///     .collect();
+/// let g = Csr::from_edges(512, &edges);
+/// assert_eq!(imbalance(&g, &MetricParams::default()), 0.0);
+/// ```
+pub fn imbalance(graph: &Csr, params: &MetricParams) -> f64 {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let tb = params.tb_size;
+    let warp = params.warp_size;
+    let num_blocks = n.div_ceil(tb);
+    let mut marked = 0u64;
+    let mut warp_maxes: Vec<f64> = Vec::with_capacity((tb / warp) as usize);
+    for b in 0..num_blocks {
+        warp_maxes.clear();
+        let lo = b * tb;
+        let hi = ((b + 1) * tb).min(n);
+        let mut v = lo;
+        while v < hi {
+            let w_hi = (v + warp).min(hi);
+            let max_deg = (v..w_hi).map(|x| graph.out_degree(x)).max().unwrap_or(0);
+            warp_maxes.push(max_deg as f64);
+            v = w_hi;
+        }
+        let (c_lo, c_hi) = kmeans2(&warp_maxes);
+        if c_hi - c_lo > params.kmeans_gap {
+            marked += 1;
+        }
+    }
+    marked as f64 / num_blocks as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MetricParams {
+        MetricParams::default()
+    }
+
+    #[test]
+    fn kmeans_separates_two_groups() {
+        let (lo, hi) = kmeans2(&[1.0, 2.0, 1.5, 100.0, 101.0]);
+        assert!((lo - 1.5).abs() < 0.1);
+        assert!((hi - 100.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn kmeans_uniform_values_have_zero_gap() {
+        let (lo, hi) = kmeans2(&[5.0; 8]);
+        assert_eq!(lo, hi);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn kmeans_rejects_empty() {
+        let _ = kmeans2(&[]);
+    }
+
+    #[test]
+    fn hub_in_every_block_gives_full_imbalance() {
+        // 2 blocks of 256; one vertex per block with degree 64, rest 1.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for b in 0..2u32 {
+            let hub = b * 256;
+            for i in 1..=64u32 {
+                edges.push((hub, (hub + i) % 512));
+            }
+            for v in (b * 256)..(b * 256 + 256) {
+                edges.push((v, (v + 1) % 512));
+            }
+        }
+        let g = Csr::from_edges(512, &edges);
+        assert_eq!(imbalance(&g, &params()), 1.0);
+    }
+
+    #[test]
+    fn hub_in_half_the_blocks_gives_half() {
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for v in 0..512u32 {
+            edges.push((v, (v + 1) % 512));
+        }
+        // Hub only in block 0.
+        for i in 1..=64u32 {
+            edges.push((0, i));
+        }
+        let g = Csr::from_edges(512, &edges);
+        assert_eq!(imbalance(&g, &params()), 0.5);
+    }
+
+    #[test]
+    fn small_degree_variation_is_not_imbalance() {
+        // Degrees alternate 1 and 4: gap well under the threshold of 10.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for v in 0..256u32 {
+            let d = if v % 2 == 0 { 1 } else { 4 };
+            for i in 1..=d {
+                edges.push((v, (v + i) % 256));
+            }
+        }
+        let g = Csr::from_edges(256, &edges);
+        assert_eq!(imbalance(&g, &params()), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_is_balanced() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(imbalance(&g, &params()), 0.0);
+    }
+}

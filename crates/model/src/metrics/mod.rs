@@ -1,0 +1,9 @@
+//! The three graph-structure metrics of the paper's taxonomy (§III-A).
+
+mod imbalance;
+mod reuse;
+mod volume;
+
+pub use imbalance::{imbalance, kmeans2};
+pub use reuse::{reuse, ReuseStats};
+pub use volume::volume_kb;

@@ -1,0 +1,132 @@
+//! Reuse metric (Equations 2–6): intra-thread-block locality.
+
+use ggs_graph::Csr;
+
+use crate::params::MetricParams;
+
+/// The locality quantities of Figure 3: average numbers of local and
+/// remote neighbors (ANL/ANR) and the combined Reuse value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReuseStats {
+    /// Average number of neighbors in the *same* thread block
+    /// (Equation 4).
+    pub anl: f64,
+    /// Average number of neighbors in a *different* thread block
+    /// (Equation 5).
+    pub anr: f64,
+    /// The Reuse metric in `[0, 1]` (Equation 6): 0 = all-remote
+    /// connectivity, 1 = all-local.
+    pub reuse: f64,
+}
+
+/// Computes ANL, ANR, and Reuse for `graph` with the thread-block size
+/// from `params`.
+///
+/// Vertices `v1`, `v2` share a thread block when
+/// `v1 / tb_size == v2 / tb_size` (Equations 2–3); self-edges contribute
+/// to neither count. An empty or edgeless graph yields a neutral reuse
+/// of 0.5.
+///
+/// # Example
+///
+/// ```
+/// use ggs_graph::Csr;
+/// use ggs_model::{metrics::reuse, MetricParams};
+///
+/// // Both edges stay inside thread block 0: fully local.
+/// let g = Csr::from_edges(4, &[(0, 1), (1, 0)]);
+/// let r = reuse(&g, &MetricParams::default());
+/// assert!((r.reuse - 1.0).abs() < 1e-12);
+/// ```
+pub fn reuse(graph: &Csr, params: &MetricParams) -> ReuseStats {
+    let n = graph.num_vertices();
+    if n == 0 || graph.num_edges() == 0 {
+        return ReuseStats {
+            anl: 0.0,
+            anr: 0.0,
+            reuse: 0.5,
+        };
+    }
+    let tb = params.tb_size;
+    let mut local = 0u64;
+    let mut remote = 0u64;
+    for v in 0..n {
+        let block = v / tb;
+        for &t in graph.neighbors(v) {
+            if t == v {
+                continue;
+            }
+            if t / tb == block {
+                local += 1;
+            } else {
+                remote += 1;
+            }
+        }
+    }
+    let anl = local as f64 / n as f64;
+    let anr = remote as f64 / n as f64;
+    let avg_deg = graph.num_edges() as f64 / n as f64;
+    let reuse = 0.5 * (1.0 + (anl - anr) / avg_deg);
+    ReuseStats { anl, anr, reuse }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> MetricParams {
+        MetricParams::default()
+    }
+
+    #[test]
+    fn fully_remote_graph_has_zero_reuse() {
+        // Edges cross thread-block boundary 0..256 | 256..512.
+        let edges: Vec<(u32, u32)> = (0..256).map(|i| (i, i + 256)).collect();
+        let mut sym = edges.clone();
+        sym.extend(edges.iter().map(|&(a, b)| (b, a)));
+        let g = Csr::from_edges(512, &sym);
+        let r = reuse(&g, &params());
+        assert_eq!(r.anl, 0.0);
+        assert!((r.reuse - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anl_plus_anr_equals_avg_degree() {
+        let edges: Vec<(u32, u32)> = (0..300u32)
+            .flat_map(|i| [(i, (i + 1) % 300), ((i + 1) % 300, i)])
+            .collect();
+        let g = Csr::from_edges(300, &edges);
+        let r = reuse(&g, &params());
+        let avg = g.num_edges() as f64 / 300.0;
+        assert!((r.anl + r.anr - avg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_graph_is_intermediate() {
+        // Ring within block plus one remote edge per vertex.
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for i in 0..256u32 {
+            edges.push((i, (i + 1) % 256));
+            edges.push(((i + 1) % 256, i));
+            edges.push((i, 256 + i));
+            edges.push((256 + i, i));
+        }
+        let g = Csr::from_edges(512, &edges);
+        let r = reuse(&g, &params());
+        assert!(r.reuse > 0.2 && r.reuse < 0.8, "reuse = {}", r.reuse);
+    }
+
+    #[test]
+    fn empty_graph_is_neutral() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(reuse(&g, &params()).reuse, 0.5);
+    }
+
+    #[test]
+    fn reuse_is_bounded() {
+        let edges: Vec<(u32, u32)> = (1..100).map(|i| (0, i)).collect();
+        let g = Csr::from_edges(100, &edges);
+        let r = reuse(&g, &params());
+        assert!((0.0..=1.0).contains(&r.reuse));
+    }
+}

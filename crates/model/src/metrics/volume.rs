@@ -1,0 +1,61 @@
+//! Volume metric (Equation 1): per-core working-set proxy.
+
+use ggs_graph::Csr;
+
+use crate::params::MetricParams;
+
+/// Computes the Volume metric in kilobytes:
+/// `(|V| + |E|) × bytes_per_element / 1024 / |SM|` (Equation 1, scaled to
+/// KB as in Table II).
+///
+/// # Example
+///
+/// ```
+/// use ggs_graph::Csr;
+/// use ggs_model::{metrics::volume_kb, MetricParams};
+///
+/// let g = Csr::from_edges(3, &[(0, 1), (1, 2)]);
+/// let v = volume_kb(&g, &MetricParams::default());
+/// assert!((v - 5.0 * 4.0 / 1024.0 / 15.0).abs() < 1e-12);
+/// ```
+pub fn volume_kb(graph: &Csr, params: &MetricParams) -> f64 {
+    let elements = graph.num_vertices() as f64 + graph.num_edges() as f64;
+    elements * params.bytes_per_element / 1024.0 / params.num_sms as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::Level;
+
+    #[test]
+    fn table2_amz_volume() {
+        // AMZ: (410236 + 6713648) * 4 / 1024 / 15 = 1855.2 KB (Table II
+        // prints 1855.178).
+        let p = MetricParams::default();
+        let elements: f64 = 410_236.0 + 6_713_648.0;
+        let v = elements * 4.0 / 1024.0 / 15.0;
+        assert!((v - 1855.17).abs() < 0.1);
+        assert_eq!(
+            Level::classify(v, p.volume_low_kb(), p.volume_high_kb()),
+            Level::High
+        );
+    }
+
+    #[test]
+    fn table2_raj_volume_is_low() {
+        let p = MetricParams::default();
+        let v: f64 = (20_640.0 + 163_178.0) * 4.0 / 1024.0 / 15.0;
+        assert!((v - 47.87).abs() < 0.05);
+        assert_eq!(
+            Level::classify(v, p.volume_low_kb(), p.volume_high_kb()),
+            Level::Low
+        );
+    }
+
+    #[test]
+    fn empty_graph_has_zero_volume() {
+        let g = Csr::from_edges(0, &[]);
+        assert_eq!(volume_kb(&g, &MetricParams::default()), 0.0);
+    }
+}

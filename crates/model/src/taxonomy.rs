@@ -1,0 +1,165 @@
+//! Algorithmic properties (§III-B) and the update-propagation
+//! vocabulary.
+
+use std::fmt;
+
+/// Update propagation strategy — the software dimension of the design
+/// space (§II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Propagation {
+    /// Target-centric: each vertex pulls updates from its in-neighbors
+    /// with plain loads and a single local update (no atomics).
+    Pull,
+    /// Source-centric: each vertex pushes updates to its out-neighbors
+    /// with fine-grained atomics.
+    Push,
+    /// Dynamic traversal using racy push *and* pull updates in the same
+    /// kernel (e.g. Connected Components); the direction is determined
+    /// at run time.
+    PushPull,
+}
+
+impl Propagation {
+    /// All three strategies.
+    pub const ALL: [Propagation; 3] =
+        [Propagation::Pull, Propagation::Push, Propagation::PushPull];
+
+    /// The letter used in the paper's configuration names: `T`arget
+    /// (pull), `S`ource (push), or `D`ynamic (push+pull).
+    pub fn letter(self) -> char {
+        match self {
+            Propagation::Pull => 'T',
+            Propagation::Push => 'S',
+            Propagation::PushPull => 'D',
+        }
+    }
+
+    /// `true` if this strategy issues fine-grained atomics.
+    pub fn uses_atomics(self) -> bool {
+        !matches!(self, Propagation::Pull)
+    }
+}
+
+impl fmt::Display for Propagation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Propagation::Pull => "pull",
+            Propagation::Push => "push",
+            Propagation::PushPull => "push+pull",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Algorithmic traversal (§III-B1): where updates propagate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Traversal {
+    /// Source and target of every update are neighbors in the input
+    /// graph; push/pull variants exist.
+    Static,
+    /// Update endpoints are data-dependent (e.g. transitive closure);
+    /// the implementation is inherently push+pull.
+    Dynamic,
+}
+
+/// Which side of an edge an algorithmic property favors (§III-B2,
+/// §III-B3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoBias {
+    /// Push elides/hoists more work.
+    Source,
+    /// Pull elides/hoists more work.
+    Target,
+    /// Push and pull elide/hoist equal work.
+    Symmetric,
+}
+
+/// The algorithmic-property triple of one application (one row of the
+/// paper's Table III).
+///
+/// `control`/`information` are `None` for dynamic-traversal algorithms
+/// (the paper's "−" entries): with racy push and pull updates in the
+/// same loop there is no asymmetry to exploit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgoProfile {
+    /// Traversal kind.
+    pub traversal: Traversal,
+    /// Algorithmic control: which predicate elides more work.
+    pub control: Option<AlgoBias>,
+    /// Algorithmic information: which side hoists more loads.
+    pub information: Option<AlgoBias>,
+}
+
+impl AlgoProfile {
+    /// A static-traversal profile.
+    pub const fn new_static(control: AlgoBias, information: AlgoBias) -> Self {
+        Self {
+            traversal: Traversal::Static,
+            control: Some(control),
+            information: Some(information),
+        }
+    }
+
+    /// A dynamic-traversal profile (control/information not applicable).
+    pub const fn new_dynamic() -> Self {
+        Self {
+            traversal: Traversal::Dynamic,
+            control: None,
+            information: None,
+        }
+    }
+
+    /// PageRank-like profile: symmetric control, source information.
+    pub const STATIC_PR_LIKE: Self =
+        Self::new_static(AlgoBias::Symmetric, AlgoBias::Source);
+
+    /// SSSP-like profile: source control, source information.
+    pub const STATIC_SSSP_LIKE: Self = Self::new_static(AlgoBias::Source, AlgoBias::Source);
+
+    /// `true` when either property favors the source side, which is
+    /// sufficient for the model to recommend push (§IV-A1).
+    pub fn favors_source(&self) -> bool {
+        self.control == Some(AlgoBias::Source) || self.information == Some(AlgoBias::Source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters() {
+        assert_eq!(Propagation::Pull.letter(), 'T');
+        assert_eq!(Propagation::Push.letter(), 'S');
+        assert_eq!(Propagation::PushPull.letter(), 'D');
+    }
+
+    #[test]
+    fn atomics_usage() {
+        assert!(!Propagation::Pull.uses_atomics());
+        assert!(Propagation::Push.uses_atomics());
+        assert!(Propagation::PushPull.uses_atomics());
+    }
+
+    #[test]
+    fn favors_source() {
+        assert!(AlgoProfile::STATIC_SSSP_LIKE.favors_source());
+        assert!(AlgoProfile::STATIC_PR_LIKE.favors_source());
+        let mis = AlgoProfile::new_static(AlgoBias::Symmetric, AlgoBias::Symmetric);
+        assert!(!mis.favors_source());
+        assert!(!AlgoProfile::new_dynamic().favors_source());
+    }
+
+    #[test]
+    fn dynamic_profile_has_no_biases() {
+        let cc = AlgoProfile::new_dynamic();
+        assert_eq!(cc.traversal, Traversal::Dynamic);
+        assert_eq!(cc.control, None);
+        assert_eq!(cc.information, None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Propagation::PushPull.to_string(), "push+pull");
+    }
+}

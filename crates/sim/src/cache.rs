@@ -1,0 +1,284 @@
+//! Set-associative cache tag model with LRU replacement.
+//!
+//! Tracks only tags and line states (contents are irrelevant to timing).
+//! Used for both the per-SM L1s and the shared banked L2.
+
+/// State of one cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineState {
+    /// Present and readable; will be discarded by self-invalidation
+    /// (GPU coherence acquires, or non-owned DeNovo lines).
+    Valid,
+    /// Present and *owned* (DeNovo registration): survives
+    /// self-invalidation, services local atomics, and must be handed
+    /// over when another core requests ownership.
+    Owned,
+}
+
+/// Result of inserting a line into a full set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line number (address >> line shift) of the victim.
+    pub line: u64,
+    /// State the victim was in.
+    pub state: LineState,
+}
+
+/// A set-associative tag array with LRU replacement.
+///
+/// Lines are identified by *line number* (byte address divided by the
+/// line size); the caller performs that division so the same type serves
+/// caches with different line sizes.
+///
+/// # Example
+///
+/// ```
+/// use ggs_sim::cache::{Cache, LineState};
+///
+/// let mut c = Cache::new(2, 2); // 2 sets, 2 ways
+/// assert!(c.lookup(0).is_none());
+/// c.insert(0, LineState::Valid);
+/// assert_eq!(c.lookup(0), Some(LineState::Valid));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: u64,
+    ways: usize,
+    tags: Vec<u64>,
+    states: Vec<Option<LineState>>,
+    stamps: Vec<u64>,
+    clock: u64,
+}
+
+impl Cache {
+    /// Creates a cache with `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or `ways` is zero.
+    pub fn new(sets: u64, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(ways > 0, "way count must be positive");
+        let n = (sets as usize) * ways;
+        Self {
+            sets,
+            ways,
+            tags: vec![0; n],
+            states: vec![None; n],
+            stamps: vec![0; n],
+            clock: 0,
+        }
+    }
+
+    /// Creates a cache sized from capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly into a power-of-two
+    /// set count of at least 1.
+    pub fn with_geometry(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
+        let lines = capacity_bytes / line_bytes;
+        let sets = (lines / ways as u64).max(1).next_power_of_two();
+        Self::new(sets, ways)
+    }
+
+    fn set_range(&self, line: u64) -> std::ops::Range<usize> {
+        let set = (line & (self.sets - 1)) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up a line, refreshing its LRU position on hit.
+    pub fn lookup(&mut self, line: u64) -> Option<LineState> {
+        self.clock += 1;
+        let range = self.set_range(line);
+        for i in range {
+            if self.states[i].is_some() && self.tags[i] == line {
+                self.stamps[i] = self.clock;
+                return self.states[i];
+            }
+        }
+        None
+    }
+
+    /// Looks up a line without disturbing LRU state.
+    pub fn peek(&self, line: u64) -> Option<LineState> {
+        let range = self.set_range(line);
+        for i in range {
+            if self.states[i].is_some() && self.tags[i] == line {
+                return self.states[i];
+            }
+        }
+        None
+    }
+
+    /// Inserts (or updates) a line, returning the victim if a valid line
+    /// had to be evicted.
+    pub fn insert(&mut self, line: u64, state: LineState) -> Option<Eviction> {
+        self.clock += 1;
+        let range = self.set_range(line);
+        let mut victim = range.start;
+        let mut victim_stamp = u64::MAX;
+        for i in range {
+            if self.states[i].is_some() && self.tags[i] == line {
+                self.states[i] = Some(state);
+                self.stamps[i] = self.clock;
+                return None;
+            }
+            if self.states[i].is_none() {
+                if victim_stamp != 0 {
+                    victim = i;
+                    victim_stamp = 0;
+                }
+            } else if self.stamps[i] < victim_stamp {
+                victim = i;
+                victim_stamp = self.stamps[i];
+            }
+        }
+        let evicted = self.states[victim].map(|s| Eviction {
+            line: self.tags[victim],
+            state: s,
+        });
+        self.tags[victim] = line;
+        self.states[victim] = Some(state);
+        self.stamps[victim] = self.clock;
+        evicted
+    }
+
+    /// Changes the state of a resident line; no-op if absent.
+    pub fn set_state(&mut self, line: u64, state: LineState) {
+        let range = self.set_range(line);
+        for i in range {
+            if self.states[i].is_some() && self.tags[i] == line {
+                self.states[i] = Some(state);
+                return;
+            }
+        }
+    }
+
+    /// Removes a specific line if present; returns its prior state.
+    pub fn invalidate(&mut self, line: u64) -> Option<LineState> {
+        let range = self.set_range(line);
+        for i in range {
+            if self.states[i].is_some() && self.tags[i] == line {
+                return self.states[i].take();
+            }
+        }
+        None
+    }
+
+    /// Flash self-invalidation: drops every [`LineState::Valid`] line,
+    /// keeping [`LineState::Owned`] lines (the DeNovo exemption; GPU
+    /// coherence has no owned lines, so this drops everything). Returns
+    /// the number of lines invalidated.
+    pub fn invalidate_unowned(&mut self) -> u64 {
+        let mut n = 0;
+        for s in &mut self.states {
+            if *s == Some(LineState::Valid) {
+                *s = None;
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Number of resident lines (any state).
+    pub fn occupancy(&self) -> usize {
+        self.states.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Total capacity in lines.
+    pub fn capacity_lines(&self) -> usize {
+        self.states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = Cache::new(4, 2);
+        assert_eq!(c.lookup(12), None);
+        c.insert(12, LineState::Valid);
+        assert_eq!(c.lookup(12), Some(LineState::Valid));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = Cache::new(1, 2);
+        c.insert(0, LineState::Valid);
+        c.insert(1, LineState::Valid);
+        let _ = c.lookup(0); // refresh 0; 1 is now LRU
+        let ev = c.insert(2, LineState::Valid).expect("eviction");
+        assert_eq!(ev.line, 1);
+        assert_eq!(c.lookup(0), Some(LineState::Valid));
+        assert_eq!(c.lookup(1), None);
+    }
+
+    #[test]
+    fn insert_prefers_empty_way() {
+        let mut c = Cache::new(1, 2);
+        c.insert(0, LineState::Valid);
+        assert!(c.insert(1, LineState::Valid).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_state_without_eviction() {
+        let mut c = Cache::new(1, 1);
+        c.insert(3, LineState::Valid);
+        assert!(c.insert(3, LineState::Owned).is_none());
+        assert_eq!(c.peek(3), Some(LineState::Owned));
+    }
+
+    #[test]
+    fn flash_invalidation_spares_owned() {
+        let mut c = Cache::new(2, 2);
+        c.insert(0, LineState::Valid);
+        c.insert(1, LineState::Owned);
+        c.insert(2, LineState::Valid);
+        assert_eq!(c.invalidate_unowned(), 2);
+        assert_eq!(c.peek(0), None);
+        assert_eq!(c.peek(1), Some(LineState::Owned));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn targeted_invalidation() {
+        let mut c = Cache::new(2, 1);
+        c.insert(5, LineState::Owned);
+        assert_eq!(c.invalidate(5), Some(LineState::Owned));
+        assert_eq!(c.invalidate(5), None);
+    }
+
+    #[test]
+    fn set_state_changes_resident_line() {
+        let mut c = Cache::new(2, 1);
+        c.insert(4, LineState::Valid);
+        c.set_state(4, LineState::Owned);
+        assert_eq!(c.peek(4), Some(LineState::Owned));
+        c.set_state(99, LineState::Owned); // absent: no-op
+        assert_eq!(c.peek(99), None);
+    }
+
+    #[test]
+    fn geometry_helper() {
+        let c = Cache::with_geometry(32 * 1024, 8, 64);
+        assert_eq!(c.capacity_lines(), 64 * 8);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = Cache::new(2, 1);
+        c.insert(0, LineState::Valid); // set 0
+        c.insert(1, LineState::Valid); // set 1
+        assert_eq!(c.peek(0), Some(LineState::Valid));
+        assert_eq!(c.peek(1), Some(LineState::Valid));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = Cache::new(3, 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Hardware configuration vocabulary: coherence protocols and memory
+//! consistency models (the two hardware dimensions of the paper's design
+//! space, Table I).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Cache coherence protocol (§II-B of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CoherenceKind {
+    /// Conventional software-driven GPU coherence: write-through L1s,
+    /// flash self-invalidation of the L1 at synchronization reads, store
+    /// buffer flush at synchronization writes, and all atomics executed
+    /// at the shared L2.
+    Gpu,
+    /// DeNovo coherence: stores and atomics obtain *ownership*
+    /// (registration) at the L1; owned lines are exempt from
+    /// self-invalidation and flushes, and atomics to owned lines execute
+    /// locally at the L1.
+    DeNovo,
+}
+
+impl CoherenceKind {
+    /// Both protocols, in the paper's presentation order.
+    pub const ALL: [CoherenceKind; 2] = [CoherenceKind::Gpu, CoherenceKind::DeNovo];
+
+    /// The single-letter code used in the paper's configuration names
+    /// (`G` or `D`, the middle letter of e.g. `SGR`).
+    pub fn letter(self) -> char {
+        match self {
+            CoherenceKind::Gpu => 'G',
+            CoherenceKind::DeNovo => 'D',
+        }
+    }
+}
+
+impl fmt::Display for CoherenceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceKind::Gpu => f.write_str("GPU"),
+            CoherenceKind::DeNovo => f.write_str("DeNovo"),
+        }
+    }
+}
+
+/// Memory consistency model from the data-race-free family (§II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConsistencyModel {
+    /// DRF0: every atomic is a paired acquire + release — it orders all
+    /// data accesses around it (blocking), invalidates the L1, and
+    /// flushes the store buffer.
+    Drf0,
+    /// DRF1: *unpaired* atomics may be overlapped with data accesses and
+    /// skip the invalidate/flush, but execute in program order with
+    /// respect to other atomics (at most one outstanding atomic per
+    /// warp).
+    Drf1,
+    /// DRFrlx: relaxed atomics may additionally be overlapped with each
+    /// other, exposing intra-thread memory-level parallelism (bounded
+    /// only by MSHR capacity).
+    DrfRlx,
+}
+
+impl ConsistencyModel {
+    /// All three models, weakest-ordering last.
+    pub const ALL: [ConsistencyModel; 3] = [
+        ConsistencyModel::Drf0,
+        ConsistencyModel::Drf1,
+        ConsistencyModel::DrfRlx,
+    ];
+
+    /// The single-character code used in the paper's configuration names
+    /// (`0`, `1`, or `R`, the final letter of e.g. `SGR`).
+    pub fn letter(self) -> char {
+        match self {
+            ConsistencyModel::Drf0 => '0',
+            ConsistencyModel::Drf1 => '1',
+            ConsistencyModel::DrfRlx => 'R',
+        }
+    }
+
+    /// `true` if atomics must also act as acquire/release fences (DRF0).
+    pub fn atomics_are_paired(self) -> bool {
+        matches!(self, ConsistencyModel::Drf0)
+    }
+
+    /// `true` if atomics may overlap each other (DRFrlx).
+    pub fn atomics_overlap(self) -> bool {
+        matches!(self, ConsistencyModel::DrfRlx)
+    }
+}
+
+impl fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConsistencyModel::Drf0 => f.write_str("DRF0"),
+            ConsistencyModel::Drf1 => f.write_str("DRF1"),
+            ConsistencyModel::DrfRlx => f.write_str("DRFrlx"),
+        }
+    }
+}
+
+/// A hardware configuration point: one coherence protocol plus one
+/// consistency model (the hardware half of the paper's 12-point design
+/// space).
+///
+/// # Example
+///
+/// ```
+/// use ggs_sim::config::{CoherenceKind, ConsistencyModel, HwConfig};
+///
+/// let hw = HwConfig::new(CoherenceKind::DeNovo, ConsistencyModel::Drf1);
+/// assert_eq!(hw.code(), "D1");
+/// assert_eq!("D1".parse::<HwConfig>().unwrap(), hw);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct HwConfig {
+    /// Coherence protocol.
+    pub coherence: CoherenceKind,
+    /// Consistency model.
+    pub consistency: ConsistencyModel,
+}
+
+impl HwConfig {
+    /// Creates a configuration point.
+    pub fn new(coherence: CoherenceKind, consistency: ConsistencyModel) -> Self {
+        Self {
+            coherence,
+            consistency,
+        }
+    }
+
+    /// All six hardware points (2 coherence × 3 consistency).
+    pub fn all() -> impl Iterator<Item = HwConfig> {
+        CoherenceKind::ALL.into_iter().flat_map(|c| {
+            ConsistencyModel::ALL
+                .into_iter()
+                .map(move |m| HwConfig::new(c, m))
+        })
+    }
+
+    /// Two-character code, e.g. `"GR"` for GPU coherence + DRFrlx.
+    pub fn code(self) -> String {
+        format!("{}{}", self.coherence.letter(), self.consistency.letter())
+    }
+}
+
+impl fmt::Display for HwConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.coherence, self.consistency)
+    }
+}
+
+/// Error parsing a hardware configuration code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseHwConfigError(String);
+
+impl fmt::Display for ParseHwConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid hardware config {:?} (expected <G|D><0|1|R>, e.g. \"GR\")",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseHwConfigError {}
+
+impl FromStr for HwConfig {
+    type Err = ParseHwConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseHwConfigError(s.to_owned());
+        let mut chars = s.chars();
+        let (Some(c), Some(m), None) = (chars.next(), chars.next(), chars.next()) else {
+            return Err(err());
+        };
+        let coherence = match c.to_ascii_uppercase() {
+            'G' => CoherenceKind::Gpu,
+            'D' => CoherenceKind::DeNovo,
+            _ => return Err(err()),
+        };
+        let consistency = match m.to_ascii_uppercase() {
+            '0' => ConsistencyModel::Drf0,
+            '1' => ConsistencyModel::Drf1,
+            'R' => ConsistencyModel::DrfRlx,
+            _ => return Err(err()),
+        };
+        Ok(HwConfig::new(coherence, consistency))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_hardware_points() {
+        assert_eq!(HwConfig::all().count(), 6);
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for hw in HwConfig::all() {
+            let parsed: HwConfig = hw.code().parse().unwrap();
+            assert_eq!(parsed, hw);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("XR".parse::<HwConfig>().is_err());
+        assert!("G".parse::<HwConfig>().is_err());
+        assert!("GRR".parse::<HwConfig>().is_err());
+        assert!("G2".parse::<HwConfig>().is_err());
+    }
+
+    #[test]
+    fn consistency_predicates() {
+        assert!(ConsistencyModel::Drf0.atomics_are_paired());
+        assert!(!ConsistencyModel::Drf1.atomics_are_paired());
+        assert!(ConsistencyModel::DrfRlx.atomics_overlap());
+        assert!(!ConsistencyModel::Drf1.atomics_overlap());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            HwConfig::new(CoherenceKind::Gpu, ConsistencyModel::DrfRlx).to_string(),
+            "GPU+DRFrlx"
+        );
+    }
+}

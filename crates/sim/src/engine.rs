@@ -1,0 +1,439 @@
+//! The whole-GPU simulation engine: block dispatch, interleaved SM
+//! execution, kernel sequencing, and statistics aggregation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::config::HwConfig;
+use crate::mem::MemorySystem;
+use crate::params::SystemParams;
+use crate::sm::{Sm, Step};
+use crate::stats::{ExecStats, StallClass};
+use crate::trace::KernelTrace;
+
+/// How far one SM may run ahead of the globally-earliest SM before
+/// yielding (keeps shared-state updates near global time order while
+/// amortizing scheduling overhead).
+const QUANTUM_CYCLES: u64 = 256;
+
+/// A multi-kernel simulation of one workload on one hardware
+/// configuration.
+///
+/// Cache contents, DeNovo ownership, and statistics persist across
+/// [`Simulation::run_kernel`] calls, as they do on the simulated machine;
+/// call [`Simulation::finish`] to retrieve the final [`ExecStats`].
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct Simulation {
+    params: SystemParams,
+    hw: HwConfig,
+    mem: MemorySystem,
+    stats: ExecStats,
+    clock: u64,
+}
+
+impl Simulation {
+    /// Creates a simulation of `params` hardware under configuration
+    /// `hw`.
+    pub fn new(params: SystemParams, hw: HwConfig) -> Self {
+        let mem = MemorySystem::new(&params, hw);
+        Self {
+            params,
+            hw,
+            mem,
+            stats: ExecStats::default(),
+            clock: 0,
+        }
+    }
+
+    /// The hardware configuration under simulation.
+    pub fn hw(&self) -> HwConfig {
+        self.hw
+    }
+
+    /// Registers a named address region for per-data-structure
+    /// attribution (GSI-style; see [`crate::stats::RegionStats`]).
+    pub fn register_region(&mut self, name: impl Into<String>, base: u64, bytes: u64) {
+        self.mem.register_region(name, base, bytes);
+    }
+
+    /// Per-region attribution collected so far, as `(name, stats)`
+    /// pairs in base-address order.
+    pub fn region_stats(&self) -> Vec<(String, crate::stats::RegionStats)> {
+        self.mem.region_stats()
+    }
+
+    /// Reconfigures the hardware point between kernels (flexible
+    /// coherence/consistency hardware, as the paper's Spandex-based
+    /// outlook envisions). Takes effect from the next
+    /// [`Simulation::run_kernel`] call; switching coherence protocols
+    /// relinquishes DeNovo ownership state.
+    pub fn reconfigure(&mut self, hw: HwConfig) {
+        self.hw = hw;
+        self.mem.reconfigure(hw);
+    }
+
+    /// The system parameters under simulation.
+    pub fn params(&self) -> &SystemParams {
+        &self.params
+    }
+
+    /// Executes one kernel launch to completion.
+    ///
+    /// Empty kernels (no threads) are ignored entirely.
+    pub fn run_kernel(&mut self, kernel: &KernelTrace) {
+        if kernel.num_threads() == 0 {
+            return;
+        }
+        self.stats.kernels += 1;
+
+        // Kernel launch overhead: all SMs idle.
+        let launch = self.params.kernel_launch_cycles;
+        self.clock += launch;
+        self.stats
+            .breakdown
+            .record(StallClass::Idle, launch * self.params.num_sms as u64);
+
+        // Launch acquire: self-invalidate every L1 (owned DeNovo lines
+        // survive inside `MemorySystem`).
+        self.mem.begin_kernel();
+
+        let start = self.clock;
+        let num_blocks = kernel.num_blocks();
+        let tb = kernel.tb_size() as u64;
+        let threads: Vec<&[std::vec::Vec<crate::trace::MicroOp>]> = {
+            // Pre-slice blocks to hand to SMs.
+            let all = (0..num_blocks)
+                .map(|b| {
+                    let lo = (b * tb) as usize;
+                    let hi = ((b + 1) * tb).min(kernel.num_threads()) as usize;
+                    kernel.threads_slice(lo, hi)
+                })
+                .collect::<Vec<_>>();
+            all
+        };
+
+        let mut sms: Vec<Sm<'_>> = (0..self.params.num_sms)
+            .map(|id| {
+                Sm::new(
+                    id,
+                    start,
+                    self.hw.consistency,
+                    self.params.warp_size,
+                    self.params.line_bytes,
+                    self.params.max_blocks_per_sm,
+                    self.params.scheduler,
+                )
+            })
+            .collect();
+
+        let mut next_block = 0usize;
+        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+
+        // Initial block distribution, round-robin over SMs.
+        'fill: loop {
+            let mut any = false;
+            for sm in sms.iter_mut() {
+                if next_block >= threads.len() {
+                    break 'fill;
+                }
+                if sm.has_capacity() {
+                    sm.assign_block(threads[next_block]);
+                    next_block += 1;
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        for sm in &sms {
+            heap.push(Reverse((sm.now, sm_id(sm))));
+        }
+
+        let mut finish_times = vec![0u64; sms.len()];
+        let mut done = vec![false; sms.len()];
+        while let Some(Reverse((t, id))) = heap.pop() {
+            let idx = id as usize;
+            if done[idx] {
+                continue;
+            }
+            let sm = &mut sms[idx];
+            if sm.now != t {
+                // Stale entry; re-queue at the true time.
+                heap.push(Reverse((sm.now, id)));
+                continue;
+            }
+            let horizon = t + QUANTUM_CYCLES;
+            loop {
+                // Feed new blocks whenever capacity frees up.
+                while sm.has_capacity() && next_block < threads.len() {
+                    sm.assign_block(threads[next_block]);
+                    next_block += 1;
+                }
+                match sm.step(&mut self.mem) {
+                    Step::Issued | Step::Waited => {
+                        if sm.now > horizon {
+                            heap.push(Reverse((sm.now, id)));
+                            break;
+                        }
+                    }
+                    Step::Drained => {
+                        if next_block < threads.len() {
+                            continue; // more blocks to fetch
+                        }
+                        finish_times[idx] = sm.finish_time(&self.mem);
+                        done[idx] = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let kernel_end = finish_times
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(start)
+            .max(self.mem.global_drain())
+            .max(start);
+
+        // Aggregate per-SM breakdowns plus end-of-kernel idle time.
+        for (i, sm) in sms.iter().enumerate() {
+            self.stats.breakdown += sm.stats;
+            let fin = finish_times[i].max(sm.now);
+            // Cycles between an SM's own completion and the kernel end
+            // are idle; cycles between `now` and its own outstanding
+            // completions are sync drain.
+            if finish_times[i] > sm.now {
+                self.stats
+                    .breakdown
+                    .record(StallClass::Sync, finish_times[i] - sm.now);
+            }
+            self.stats.breakdown.record(StallClass::Idle, kernel_end - fin);
+        }
+
+        self.clock = kernel_end;
+        self.stats.total_cycles = self.clock;
+        self.stats.mem = self.mem.counters;
+    }
+
+    /// Read-only view of the statistics accumulated so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// Consumes the simulation and returns the final statistics.
+    pub fn finish(self) -> ExecStats {
+        self.stats
+    }
+}
+
+fn sm_id(sm: &Sm<'_>) -> u32 {
+    // Sm ids are assigned 0..num_sms in order; recover from stats-free
+    // accessor to avoid widening Sm's public API.
+    sm.id()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CoherenceKind, ConsistencyModel};
+    use crate::trace::MicroOp;
+
+    fn hw(c: CoherenceKind, m: ConsistencyModel) -> HwConfig {
+        HwConfig::new(c, m)
+    }
+
+    fn compute_kernel(threads: usize, ops: usize) -> KernelTrace {
+        KernelTrace::new(
+            vec![vec![MicroOp::compute(2); ops]; threads],
+            256,
+        )
+    }
+
+    #[test]
+    fn empty_kernel_is_free() {
+        let mut sim = Simulation::new(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+        );
+        sim.run_kernel(&KernelTrace::new(Vec::new(), 256));
+        assert_eq!(sim.finish().total_cycles(), 0);
+    }
+
+    #[test]
+    fn single_block_runs_on_one_sm() {
+        let mut sim = Simulation::new(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+        );
+        sim.run_kernel(&compute_kernel(256, 4));
+        let stats = sim.finish();
+        assert!(stats.total_cycles() > 0);
+        assert!(stats.breakdown.get(StallClass::Busy) > 0);
+        // 14 of 15 SMs were idle the whole kernel.
+        assert!(stats.breakdown.get(StallClass::Idle) > 0);
+    }
+
+    #[test]
+    fn more_blocks_take_longer() {
+        let run = |blocks: usize| {
+            let mut sim = Simulation::new(
+                SystemParams::default(),
+                hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+            );
+            sim.run_kernel(&compute_kernel(256 * blocks, 16));
+            sim.finish().total_cycles()
+        };
+        // Compare past the fixed kernel-launch overhead.
+        let launch = SystemParams::default().kernel_launch_cycles;
+        let t15 = run(15) - launch;
+        let t150 = run(150) - launch;
+        assert!(t150 > t15 * 5, "t15={t15} t150={t150}");
+    }
+
+    #[test]
+    fn blocks_spread_over_sms() {
+        // 15 blocks of heavy compute should take barely longer than 1.
+        let run = |blocks: usize| {
+            let mut sim = Simulation::new(
+                SystemParams::default(),
+                hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+            );
+            sim.run_kernel(&compute_kernel(256 * blocks, 64));
+            sim.finish().total_cycles()
+        };
+        let t1 = run(1);
+        let t15 = run(15);
+        assert!(
+            t15 < t1 * 2,
+            "parallel blocks should overlap: t1={t1} t15={t15}"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_across_kernels() {
+        let mut sim = Simulation::new(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+        );
+        sim.run_kernel(&compute_kernel(256, 4));
+        let t1 = sim.stats().total_cycles();
+        sim.run_kernel(&compute_kernel(256, 4));
+        let t2 = sim.stats().total_cycles();
+        assert!(t2 > t1);
+        assert_eq!(sim.stats().kernels, 2);
+    }
+
+    #[test]
+    fn many_blocks_refill_in_waves() {
+        // 64 blocks over 15 SMs with capacity 8: every block must run.
+        let kernel = compute_kernel(256 * 64, 2);
+        let mut sim = Simulation::new(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+        );
+        sim.run_kernel(&kernel);
+        let stats = sim.finish();
+        // Busy cycles equal the total number of issued warp instructions:
+        // 64 blocks x 8 warps x 2 slots.
+        assert_eq!(stats.breakdown.get(StallClass::Busy), 64 * 8 * 2);
+    }
+
+    #[test]
+    fn reconfigure_between_kernels_changes_behavior() {
+        let atomic_kernel = KernelTrace::new(
+            (0..256u64).map(|t| vec![MicroOp::atomic(t * 4)]).collect(),
+            256,
+        );
+        let mut sim = Simulation::new(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf1),
+        );
+        sim.run_kernel(&atomic_kernel);
+        let gpu_atomics_first = sim.stats().mem.l2_atomics;
+        assert!(gpu_atomics_first > 0);
+        sim.reconfigure(hw(CoherenceKind::DeNovo, ConsistencyModel::Drf1));
+        sim.run_kernel(&atomic_kernel);
+        let stats = sim.finish();
+        assert!(stats.mem.l1_atomics > 0, "DeNovo kernel executed L1 atomics");
+        assert_eq!(
+            stats.mem.l2_atomics, gpu_atomics_first,
+            "no further L2 atomics after switching to DeNovo"
+        );
+    }
+
+    #[test]
+    fn denovo_retains_ownership_across_kernels() {
+        let store_kernel = KernelTrace::new(
+            (0..256u64).map(|t| vec![MicroOp::store(t * 4)]).collect(),
+            256,
+        );
+        let atomic_kernel = KernelTrace::new(
+            (0..256u64).map(|t| vec![MicroOp::atomic(t * 4)]).collect(),
+            256,
+        );
+        let run = |c: CoherenceKind| {
+            let mut sim =
+                Simulation::new(SystemParams::default(), hw(c, ConsistencyModel::Drf1));
+            sim.run_kernel(&store_kernel);
+            sim.run_kernel(&atomic_kernel);
+            sim.finish()
+        };
+        let dn = run(CoherenceKind::DeNovo);
+        let gp = run(CoherenceKind::Gpu);
+        assert!(dn.mem.l1_atomics > 0, "DeNovo should hit owned lines");
+        assert_eq!(gp.mem.l1_atomics, 0, "GPU coherence never does L1 atomics");
+    }
+}
+
+#[cfg(test)]
+mod scheduler_tests {
+    use super::*;
+    use crate::config::{CoherenceKind, ConsistencyModel};
+    use crate::params::SchedulerPolicy;
+    use crate::trace::MicroOp;
+
+    fn run_with(policy: SchedulerPolicy) -> crate::stats::ExecStats {
+        // Store-heavy DeNovo kernel on a tiny L1: stores are
+        // fire-and-forget, so a warp stays ready cycle after cycle — GTO
+        // streams one warp's sequential stores (the owned line stays
+        // resident), while round robin interleaves all warps and thrashes
+        // ownership out of the small L1.
+        let threads: Vec<Vec<MicroOp>> = (0..512u64)
+            .map(|t| (0..16).map(|k| MicroOp::store((t * 16 + k) * 4)).collect())
+            .collect();
+        let kernel = KernelTrace::new(threads, 256);
+        let params = SystemParams {
+            scheduler: policy,
+            l1_bytes: 4096,
+            l1_assoc: 4,
+            ..SystemParams::default()
+        };
+        let mut sim = Simulation::new(
+            params,
+            HwConfig::new(CoherenceKind::DeNovo, ConsistencyModel::Drf1),
+        );
+        sim.run_kernel(&kernel);
+        sim.finish()
+    }
+
+    #[test]
+    fn gto_preserves_store_locality_better_than_round_robin() {
+        let gto = run_with(SchedulerPolicy::GreedyThenOldest);
+        let rr = run_with(SchedulerPolicy::RoundRobin);
+        // Same work is issued either way; only the interleaving differs.
+        assert_eq!(
+            gto.breakdown.get(crate::stats::StallClass::Busy),
+            rr.breakdown.get(crate::stats::StallClass::Busy)
+        );
+        assert!(
+            gto.mem.registrations < rr.mem.registrations,
+            "GTO ({}) should re-register less than RR ({})",
+            gto.mem.registrations,
+            rr.mem.registrations
+        );
+    }
+}

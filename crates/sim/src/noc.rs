@@ -1,0 +1,162 @@
+//! 4×4 mesh network-on-chip model (the paper simulates a Garnet 4×4
+//! mesh, §V-C).
+//!
+//! Nodes 0–14 host the GPU SMs, node 15 the CPU core; each node also
+//! hosts one L2 bank (16-bank NUCA). Memory controllers sit at the four
+//! corners. Latency is modeled as a base cost plus a per-hop cost over
+//! the Manhattan distance, which lands every access inside the paper's
+//! Table IV ranges (L2 29–61, remote L1 35–83, memory 197–261 cycles).
+
+use crate::params::SystemParams;
+
+/// The 4×4 mesh topology and its latency model.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    side: u32,
+    l2_base: u64,
+    l2_hop: u64,
+    mem_base: u64,
+    mem_hop: u64,
+    remote_base: u64,
+    remote_hop: u64,
+}
+
+impl Mesh {
+    /// Builds the mesh from system parameters.
+    pub fn new(params: &SystemParams) -> Self {
+        Self {
+            side: 4,
+            l2_base: params.l2_base_cycles,
+            l2_hop: params.l2_hop_cycles,
+            mem_base: params.mem_base_cycles,
+            mem_hop: params.mem_hop_cycles,
+            remote_base: params.remote_l1_base_cycles,
+            remote_hop: params.remote_l1_hop_cycles,
+        }
+    }
+
+    /// Number of mesh nodes.
+    pub fn nodes(&self) -> u32 {
+        self.side * self.side
+    }
+
+    /// Manhattan hop distance between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a node id is out of range.
+    pub fn hops(&self, a: u32, b: u32) -> u64 {
+        debug_assert!(a < self.nodes() && b < self.nodes(), "node out of range");
+        let (ax, ay) = (a % self.side, a / self.side);
+        let (bx, by) = (b % self.side, b / self.side);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// Mesh node hosting L2 bank `bank`.
+    pub fn bank_node(&self, bank: u32) -> u32 {
+        bank % self.nodes()
+    }
+
+    /// Mesh node hosting SM `sm` (SMs occupy nodes 0..15; the CPU takes
+    /// node 15).
+    pub fn sm_node(&self, sm: u32) -> u32 {
+        sm % self.nodes()
+    }
+
+    /// Nearest memory-controller node (corners: 0, 3, 12, 15) to `node`.
+    pub fn nearest_mc(&self, node: u32) -> u32 {
+        let corners = [0, self.side - 1, self.nodes() - self.side, self.nodes() - 1];
+        corners
+            .into_iter()
+            .min_by_key(|&c| self.hops(node, c))
+            .expect("corners non-empty")
+    }
+
+    /// Round-trip latency for SM `sm` to reach L2 bank `bank` and hit.
+    pub fn l2_latency(&self, sm: u32, bank: u32) -> u64 {
+        self.l2_base + self.l2_hop * self.hops(self.sm_node(sm), self.bank_node(bank))
+    }
+
+    /// Additional latency when the L2 misses and bank `bank` must fetch
+    /// the line from its nearest memory controller. The *total* memory
+    /// latency seen by the SM is `l2_latency + mem_penalty`, which spans
+    /// the paper's 197–261 cycle range.
+    pub fn mem_penalty(&self, bank: u32) -> u64 {
+        let bank_node = self.bank_node(bank);
+        self.mem_base - self.l2_base + self.mem_hop * self.hops(bank_node, self.nearest_mc(bank_node))
+    }
+
+    /// Round-trip latency for transferring ownership of a line from SM
+    /// `owner`'s L1 to SM `requester`'s L1 (DeNovo remote L1 hit).
+    pub fn remote_l1_latency(&self, requester: u32, owner: u32) -> u64 {
+        self.remote_base + self.remote_hop * self.hops(self.sm_node(requester), self.sm_node(owner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Mesh {
+        Mesh::new(&SystemParams::default())
+    }
+
+    #[test]
+    fn hop_distances() {
+        let m = mesh();
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 3), 3);
+        assert_eq!(m.hops(0, 15), 6);
+        assert_eq!(m.hops(5, 10), 2);
+    }
+
+    #[test]
+    fn l2_latency_within_table_iv_range() {
+        let m = mesh();
+        for sm in 0..15 {
+            for bank in 0..16 {
+                let l = m.l2_latency(sm, bank);
+                assert!((29..=61).contains(&l), "sm={sm} bank={bank} lat={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn remote_l1_latency_within_range() {
+        let m = mesh();
+        for a in 0..15 {
+            for b in 0..15 {
+                let l = m.remote_l1_latency(a, b);
+                assert!((35..=83).contains(&l), "lat={l}");
+            }
+        }
+    }
+
+    #[test]
+    fn memory_latency_within_range() {
+        let m = mesh();
+        for sm in 0..15 {
+            for bank in 0..16 {
+                let total = m.l2_latency(sm, bank) + m.mem_penalty(bank);
+                assert!((197..=261).contains(&total), "total={total}");
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_mc_is_a_corner() {
+        let m = mesh();
+        for n in 0..16 {
+            assert!([0, 3, 12, 15].contains(&m.nearest_mc(n)));
+        }
+        assert_eq!(m.nearest_mc(0), 0);
+        assert_eq!(m.nearest_mc(7), 3);
+    }
+
+    #[test]
+    fn latency_grows_with_distance() {
+        let m = mesh();
+        assert!(m.l2_latency(0, 15) > m.l2_latency(0, 0));
+        assert!(m.remote_l1_latency(0, 14) > m.remote_l1_latency(0, 1));
+    }
+}

@@ -1,0 +1,211 @@
+//! The micro-op trace format kernels are expressed in.
+//!
+//! Applications compile each GPU kernel into one micro-op stream per
+//! thread. The simulator executes threads in 32-lane warps: at *slot*
+//! `k`, a warp executes op `k` of every lane that still has ops left
+//! (shorter lanes simply become inactive — this models loop-trip-count
+//! divergence, the dominant divergence in vertex-centric graph kernels).
+
+/// One micro-operation of a GPU thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroOp {
+    /// Non-atomic load of one 32-bit word. Loads are *blocking*: graph
+    /// kernels consume a load's value immediately (pointer chasing), so
+    /// the warp waits for completion before its next slot.
+    Load {
+        /// Byte address.
+        addr: u64,
+    },
+    /// Non-atomic store of one 32-bit word. Stores retire through the
+    /// store buffer (GPU coherence) or ownership registration (DeNovo)
+    /// and do not block the warp unless back-pressure applies.
+    Store {
+        /// Byte address.
+        addr: u64,
+    },
+    /// Atomic read-modify-write on one 32-bit word. Ordering and overlap
+    /// are governed by the configured consistency model, except that
+    /// *value-returning* atomics always block the warp (their result
+    /// feeds control flow, as in Connected Components).
+    Atomic {
+        /// Byte address.
+        addr: u64,
+        /// `true` if the program consumes the returned value.
+        returns_value: bool,
+    },
+    /// `cycles` of arithmetic occupying the warp's compute pipeline.
+    Compute {
+        /// Pipeline occupancy in cycles.
+        cycles: u16,
+    },
+}
+
+impl MicroOp {
+    /// Convenience constructor for a blocking load.
+    pub fn load(addr: u64) -> Self {
+        MicroOp::Load { addr }
+    }
+
+    /// Convenience constructor for a store.
+    pub fn store(addr: u64) -> Self {
+        MicroOp::Store { addr }
+    }
+
+    /// Convenience constructor for a non-value-returning atomic
+    /// (e.g. `atomicAdd` used as a reduction).
+    pub fn atomic(addr: u64) -> Self {
+        MicroOp::Atomic {
+            addr,
+            returns_value: false,
+        }
+    }
+
+    /// Convenience constructor for a value-returning atomic
+    /// (e.g. `atomicCAS` whose result drives control flow).
+    pub fn atomic_returning(addr: u64) -> Self {
+        MicroOp::Atomic {
+            addr,
+            returns_value: true,
+        }
+    }
+
+    /// Convenience constructor for a compute burst.
+    pub fn compute(cycles: u16) -> Self {
+        MicroOp::Compute { cycles }
+    }
+
+    /// The byte address touched, if this is a memory operation.
+    pub fn address(&self) -> Option<u64> {
+        match *self {
+            MicroOp::Load { addr } | MicroOp::Store { addr } | MicroOp::Atomic { addr, .. } => {
+                Some(addr)
+            }
+            MicroOp::Compute { .. } => None,
+        }
+    }
+}
+
+/// The per-thread micro-op streams of one kernel launch.
+///
+/// Thread `i` belongs to thread block `i / tb_size`; blocks are
+/// dispatched to SMs in order as resources free up.
+///
+/// # Example
+///
+/// ```
+/// use ggs_sim::trace::{KernelTrace, MicroOp};
+///
+/// let threads = vec![vec![MicroOp::load(0)], vec![MicroOp::compute(4)]];
+/// let k = KernelTrace::new(threads, 256);
+/// assert_eq!(k.num_threads(), 2);
+/// assert_eq!(k.num_blocks(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTrace {
+    threads: Vec<Vec<MicroOp>>,
+    tb_size: u32,
+}
+
+impl KernelTrace {
+    /// Creates a kernel trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tb_size` is zero.
+    pub fn new(threads: Vec<Vec<MicroOp>>, tb_size: u32) -> Self {
+        assert!(tb_size > 0, "tb_size must be positive");
+        Self { threads, tb_size }
+    }
+
+    /// Number of threads (may be less than `num_blocks * tb_size` in the
+    /// final block).
+    pub fn num_threads(&self) -> u64 {
+        self.threads.len() as u64
+    }
+
+    /// Thread block size this kernel was generated for.
+    pub fn tb_size(&self) -> u32 {
+        self.tb_size
+    }
+
+    /// Number of thread blocks.
+    pub fn num_blocks(&self) -> u64 {
+        (self.threads.len() as u64).div_ceil(self.tb_size as u64)
+    }
+
+    /// The micro-op stream of one thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn thread(&self, thread: u64) -> &[MicroOp] {
+        &self.threads[thread as usize]
+    }
+
+    /// A contiguous slice of thread streams (used by the engine to hand
+    /// a thread block's threads to an SM).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn threads_slice(&self, lo: usize, hi: usize) -> &[Vec<MicroOp>] {
+        &self.threads[lo..hi]
+    }
+
+    /// Total number of micro-ops across all threads.
+    pub fn total_ops(&self) -> u64 {
+        self.threads.iter().map(|t| t.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_count_rounds_up() {
+        let k = KernelTrace::new(vec![Vec::new(); 257], 256);
+        assert_eq!(k.num_blocks(), 2);
+    }
+
+    #[test]
+    fn addresses() {
+        assert_eq!(MicroOp::load(64).address(), Some(64));
+        assert_eq!(MicroOp::store(4).address(), Some(4));
+        assert_eq!(MicroOp::atomic(8).address(), Some(8));
+        assert_eq!(MicroOp::compute(2).address(), None);
+    }
+
+    #[test]
+    fn returning_flag() {
+        assert!(matches!(
+            MicroOp::atomic_returning(0),
+            MicroOp::Atomic {
+                returns_value: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            MicroOp::atomic(0),
+            MicroOp::Atomic {
+                returns_value: false,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn total_ops_sums_threads() {
+        let k = KernelTrace::new(
+            vec![vec![MicroOp::compute(1); 3], vec![MicroOp::compute(1); 2]],
+            128,
+        );
+        assert_eq!(k.total_ops(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "tb_size")]
+    fn zero_tb_size_rejected() {
+        let _ = KernelTrace::new(Vec::new(), 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Predict the best system configuration for every application on a
+//! given input — the software-designer workflow of §IV: decide push vs.
+//! pull and the consistency model before writing the kernel, and tell
+//! flexible hardware (e.g. Spandex) which coherence to configure.
+//!
+//! ```text
+//! cargo run --release --example predict_config -- RAJ
+//! cargo run --release --example predict_config -- path/to/graph.mtx
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+
+use ggs_apps::AppKind;
+use ggs_graph::synth::{GraphPreset, SynthConfig};
+use ggs_graph::{mtx, Csr};
+use ggs_model::{predict_full, predict_partial, GraphProfile, MetricParams};
+
+fn load(arg: &str) -> (String, Csr, MetricParams) {
+    if let Ok(preset) = arg.parse::<GraphPreset>() {
+        // Scaled-down synthetic stand-in with matching cache scaling.
+        let scale = 0.125;
+        let graph = SynthConfig::preset(preset).scale(scale).generate();
+        let params = MetricParams::default().scaled_caches(scale);
+        (format!("{preset} (synthetic, scale {scale})"), graph, params)
+    } else {
+        let file = File::open(arg).unwrap_or_else(|e| {
+            eprintln!("cannot open {arg}: {e}");
+            std::process::exit(2);
+        });
+        let graph = mtx::read_mtx(BufReader::new(file)).unwrap_or_else(|e| {
+            eprintln!("cannot parse {arg}: {e}");
+            std::process::exit(2);
+        });
+        (arg.to_owned(), graph, MetricParams::default())
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "RAJ".to_owned());
+    let (name, graph, params) = load(&arg);
+    let profile = GraphProfile::measure(&graph, &params);
+
+    println!("input: {name}");
+    println!(
+        "  |V| = {}, |E| = {}, degrees {}",
+        profile.vertices, profile.edges, profile.degrees
+    );
+    println!(
+        "  volume {:.1} KB ({}), ANL {:.2}, ANR {:.2}, reuse {:.3} ({}), imbalance {:.3} ({})",
+        profile.volume_kb,
+        profile.volume.letter(),
+        profile.anl,
+        profile.anr,
+        profile.reuse,
+        profile.reuse_class.letter(),
+        profile.imbalance,
+        profile.imbalance_class.letter(),
+    );
+    println!();
+    println!("{:6} {:>10} {:>22}", "app", "full model", "without DRFrlx (§IV-B)");
+    for app in AppKind::ALL {
+        let algo = app.algo_profile();
+        println!(
+            "{:6} {:>10} {:>22}",
+            app.mnemonic(),
+            predict_full(&algo, &profile).code(),
+            predict_partial(&algo, &profile).code(),
+        );
+    }
+}

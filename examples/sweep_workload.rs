@@ -1,0 +1,71 @@
+//! Sweep one workload across the full design space and compare against
+//! the model's prediction — one group of the paper's Figure 5, but over
+//! all 12 configurations instead of the 5 shown.
+//!
+//! ```text
+//! cargo run --release --example sweep_workload -- SSSP RAJ 0.125
+//! ```
+
+use ggs_apps::AppKind;
+use ggs_core::experiment::ExperimentSpec;
+use ggs_core::sweep::{baseline_config, WorkloadSweep};
+use ggs_graph::synth::{GraphPreset, SynthConfig};
+use ggs_model::{predict_full, GraphProfile, SystemConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let app: AppKind = args
+        .next()
+        .unwrap_or_else(|| "SSSP".into())
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let preset: GraphPreset = args
+        .next()
+        .unwrap_or_else(|| "RAJ".into())
+        .parse()
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+    let scale: f64 = args
+        .next()
+        .map(|s| s.parse().expect("scale must be a number"))
+        .unwrap_or(0.125);
+
+    let graph = SynthConfig::preset(preset).scale(scale).generate();
+    let spec = ExperimentSpec::at_scale(scale);
+    let profile = GraphProfile::measure(&graph, &spec.metric_params());
+    let predicted = predict_full(&app.algo_profile(), &profile);
+
+    eprintln!(
+        "sweeping {app} on {preset} (scale {scale}, classes {})…",
+        profile.class_code()
+    );
+    let configs = SystemConfig::all_for(app.algo_profile().traversal);
+    let sweep = WorkloadSweep::run(app, preset.mnemonic(), &graph, &configs, &spec);
+
+    let baseline = baseline_config(app);
+    println!("{:>6} {:>12} {:>10}  ", "config", "cycles", "vs base");
+    for (config, norm) in sweep.normalized_to(baseline) {
+        let cycles = sweep
+            .result_for(config)
+            .expect("swept")
+            .stats
+            .total_cycles();
+        let mark = match config {
+            c if c == sweep.best().config && c == predicted => "<= BEST, predicted",
+            c if c == sweep.best().config => "<= BEST",
+            c if c == predicted => "<= predicted",
+            _ => "",
+        };
+        println!("{:>6} {cycles:>12} {norm:>9.3}  {mark}", config.code());
+    }
+    println!(
+        "\nmodel prediction {} runs within {:.1}% of the empirical best",
+        predicted.code(),
+        sweep.slowdown_vs_best(predicted) * 100.0
+    );
+}

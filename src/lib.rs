@@ -1,0 +1,6 @@
+//! Umbrella crate re-exporting the GGS workspace.
+pub use ggs_apps as apps;
+pub use ggs_core as core;
+pub use ggs_graph as graph;
+pub use ggs_model as model;
+pub use ggs_sim as sim;

@@ -1,0 +1,114 @@
+//! Qualitative claims from the paper's evaluation (§VI), checked at a
+//! reduced scale. These are the *shape* claims the reproduction must
+//! preserve; the full-magnitude comparison lives in EXPERIMENTS.md and
+//! the `repro` harness.
+
+use ggs_apps::AppKind;
+use ggs_core::experiment::{run_workload, ExperimentSpec};
+use ggs_graph::synth::{GraphPreset, SynthConfig};
+use ggs_model::SystemConfig;
+
+const SCALE: f64 = 0.05;
+
+fn cycles(app: AppKind, preset: GraphPreset, code: &str) -> u64 {
+    let graph = SynthConfig::preset(preset).scale(SCALE).generate();
+    let spec = ExperimentSpec::at_scale(SCALE);
+    let cfg: SystemConfig = code.parse().expect("valid config");
+    run_workload(app, &graph, cfg, &spec).total_cycles()
+}
+
+/// §IV-A4 / Figure 5: Connected Components (dynamic traversal, racy
+/// value-returning accesses) strongly prefers DeNovo — DD1 is far ahead
+/// of the DG1 baseline.
+#[test]
+fn cc_strongly_prefers_denovo() {
+    for preset in [GraphPreset::Dct, GraphPreset::Raj] {
+        let dg1 = cycles(AppKind::Cc, preset, "DG1");
+        let dd1 = cycles(AppKind::Cc, preset, "DD1");
+        assert!(
+            (dd1 as f64) < 0.7 * dg1 as f64,
+            "{preset}: DD1 {dd1} should be well under DG1 {dg1}"
+        );
+    }
+}
+
+/// §IV-A4: relaxation cannot help CC — its racy accesses return values
+/// that drive control flow, so DGR ≈ DG1.
+#[test]
+fn cc_gains_nothing_from_relaxation() {
+    let dg1 = cycles(AppKind::Cc, GraphPreset::Dct, "DG1") as f64;
+    let dgr = cycles(AppKind::Cc, GraphPreset::Dct, "DGR") as f64;
+    assert!((dgr - dg1).abs() / dg1 < 0.02, "DGR {dgr} vs DG1 {dg1}");
+}
+
+/// §VI: DRFrlx's MLP pays off most on imbalanced inputs — on EML
+/// (imbalance 1.0), push under DRFrlx is much faster than under DRF1.
+#[test]
+fn drfrlx_hides_imbalance_on_eml() {
+    for app in [AppKind::Pr, AppKind::Sssp] {
+        let sg1 = cycles(app, GraphPreset::Eml, "SG1");
+        let sgr = cycles(app, GraphPreset::Eml, "SGR");
+        assert!(
+            (sgr as f64) < 0.8 * sg1 as f64,
+            "{app}: SGR {sgr} should be well under SG1 {sg1}"
+        );
+    }
+}
+
+/// §VI: DRF0 push is uniformly poor (every atomic pays a full
+/// invalidate + flush + blocking round trip) — the reason Figure 5
+/// omits it.
+#[test]
+fn drf0_push_is_uniformly_poor() {
+    for preset in [GraphPreset::Dct, GraphPreset::Ols] {
+        let sg0 = cycles(AppKind::Pr, preset, "SG0");
+        let sg1 = cycles(AppKind::Pr, preset, "SG1");
+        assert!(sg0 > sg1, "{preset}: SG0 {sg0} must exceed SG1 {sg1}");
+    }
+}
+
+/// §VI (Figure 5 caption): pull uses no fine-grained atomics, so its
+/// execution time is exactly insensitive to the consistency model.
+#[test]
+fn pull_is_insensitive_to_consistency()
+{
+    let tg0 = cycles(AppKind::Mis, GraphPreset::Dct, "TG0");
+    let tg1 = cycles(AppKind::Mis, GraphPreset::Dct, "TG1");
+    let tgr = cycles(AppKind::Mis, GraphPreset::Dct, "TGR");
+    assert_eq!(tg0, tg1);
+    assert_eq!(tg0, tgr);
+}
+
+/// Table V / §VI: SSSP (source control and information) always prefers
+/// push — the frontier predicate elides entire inner loops.
+#[test]
+fn sssp_prefers_push_on_every_input() {
+    for preset in GraphPreset::ALL {
+        let tg0 = cycles(AppKind::Sssp, preset, "TG0");
+        let sgr = cycles(AppKind::Sssp, preset, "SGR");
+        assert!(
+            sgr < tg0,
+            "{preset}: push SGR {sgr} should beat pull TG0 {tg0}"
+        );
+    }
+}
+
+/// §VI interdependence: on RAJ (high reuse + high imbalance), DeNovo
+/// beats GPU coherence for push under DRFrlx (atomics hit owned L1
+/// lines), while on EML (no locality, hub contention) GPU coherence
+/// wins (ownership would ping-pong).
+#[test]
+fn coherence_choice_depends_on_input() {
+    let raj_sgr = cycles(AppKind::Pr, GraphPreset::Raj, "SGR");
+    let raj_sdr = cycles(AppKind::Pr, GraphPreset::Raj, "SDR");
+    assert!(
+        raj_sdr < raj_sgr,
+        "RAJ: SDR {raj_sdr} should beat SGR {raj_sgr}"
+    );
+    let eml_sgr = cycles(AppKind::Pr, GraphPreset::Eml, "SGR");
+    let eml_sdr = cycles(AppKind::Pr, GraphPreset::Eml, "SDR");
+    assert!(
+        eml_sgr < eml_sdr,
+        "EML: SGR {eml_sgr} should beat SDR {eml_sdr}"
+    );
+}
