@@ -146,7 +146,10 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                     ops.push(MicroOp::load(level_arr.addr(t as u64)));
                     if level[t as usize] == l + 1 {
                         ops.push(MicroOp::atomic(sigma_arr.addr(t as u64)));
-                        ops.push(MicroOp::store(level_arr.addr(t as u64)));
+                        // Benign first-writer-wins race on the level
+                        // word: must be a *marked* (relaxed) atomic to
+                        // stay DRF, exactly like BFS push.
+                        ops.push(MicroOp::atomic(level_arr.addr(t as u64)));
                     }
                 }
             }),
@@ -168,13 +171,30 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                     }
                 }
                 if found && level[t as usize] == l + 1 {
+                    // sigma[t] is safe to write in place: this kernel
+                    // only reads sigma of level-l vertices, and t is at
+                    // level l+1 — disjoint addresses.
                     ops.push(MicroOp::store(sigma_arr.addr(t as u64)));
-                    ops.push(MicroOp::store(level_arr.addr(t as u64)));
                 }
             }),
             Propagation::PushPull => unreachable!(),
         };
         run(&kernel);
+
+        // Pull writes the level word in a separate settle kernel: the
+        // gather kernel above reads `level` remotely, so updating it in
+        // place would be an (unmarked) read/write race. The settle pass
+        // is a dense local update — each thread touches only its own
+        // word — which keeps pull atomic-free and race-free (Table I).
+        if prop == Propagation::Pull {
+            let settle = vertex_kernel(n, tb_size, |v, ops| {
+                ops.push(MicroOp::load(level_arr.addr(v as u64)));
+                if level[v as usize] == l + 1 {
+                    ops.push(MicroOp::store(level_arr.addr(v as u64)));
+                }
+            });
+            run(&settle);
+        }
     }
 
     // Backward phase: identical local accumulation for both variants.

@@ -123,13 +123,24 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                         break;
                     }
                 }
-                if level[t as usize] == l + 1 {
-                    ops.push(MicroOp::store(level_arr.addr(t as u64)));
-                }
             }),
             Propagation::PushPull => unreachable!(),
         };
         run(&kernel);
+
+        // Pull settles discovered vertices in a second, purely local
+        // kernel: the gather kernel reads `level` remotely, so storing
+        // it there would be an unmarked read/write race (see
+        // docs/checking.md). One thread per vertex, own word only.
+        if prop == Propagation::Pull {
+            let settle = vertex_kernel(n, tb_size, |v, ops| {
+                ops.push(MicroOp::load(level_arr.addr(v as u64)));
+                if level[v as usize] == l + 1 {
+                    ops.push(MicroOp::store(level_arr.addr(v as u64)));
+                }
+            });
+            run(&settle);
+        }
     }
 }
 
@@ -174,7 +185,11 @@ mod tests {
     #[test]
     fn reference_matches_unit_weight_sssp() {
         let g = GraphBuilder::new(64)
-            .edges((0..64u32).map(|i| (i, (i * 7 + 1) % 64)).filter(|&(a, b)| a != b))
+            .edges(
+                (0..64u32)
+                    .map(|i| (i, (i * 7 + 1) % 64))
+                    .filter(|&(a, b)| a != b),
+            )
             .symmetric(true)
             .build();
         let bfs = reference(&g);

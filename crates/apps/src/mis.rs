@@ -247,7 +247,10 @@ mod tests {
                 }
                 Status::Out => {
                     assert!(
-                        graph.neighbors(v).iter().any(|&t| status[t as usize] == Status::In),
+                        graph
+                            .neighbors(v)
+                            .iter()
+                            .any(|&t| status[t as usize] == Status::In),
                         "Out vertex {v} has no In neighbor"
                     );
                 }

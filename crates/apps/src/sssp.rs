@@ -228,8 +228,7 @@ mod tests {
         let d = reference(&g);
         assert_eq!(d[0], 0);
         for v in 1..6u32 {
-            let w = g.edge_weights(v - 1).unwrap()
-                [g.neighbors(v - 1).binary_search(&v).unwrap()];
+            let w = g.edge_weights(v - 1).unwrap()[g.neighbors(v - 1).binary_search(&v).unwrap()];
             assert_eq!(d[v as usize], d[(v - 1) as usize] + w);
         }
     }

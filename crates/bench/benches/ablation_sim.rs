@@ -3,8 +3,8 @@
 //! reuse vs. ping-pong, acquire invalidation) with a synthetic kernel,
 //! so the cost attribution behind Figure 5 can be inspected directly.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 use ggs_sim::config::{CoherenceKind, ConsistencyModel, HwConfig};
 use ggs_sim::engine::Simulation;
@@ -69,18 +69,14 @@ fn bench_consistency_ladder(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
     for model in ConsistencyModel::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(model),
-            &model,
-            |b, &model| {
-                b.iter(|| {
-                    let hw = HwConfig::new(CoherenceKind::Gpu, model);
-                    let mut sim = Simulation::new(params(), hw);
-                    sim.run_kernel(&kernel);
-                    sim.finish().total_cycles()
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(model), &model, |b, &model| {
+            b.iter(|| {
+                let hw = HwConfig::new(CoherenceKind::Gpu, model);
+                let mut sim = Simulation::new(params(), hw);
+                sim.run_kernel(&kernel);
+                sim.finish().total_cycles()
+            })
+        });
     }
     group.finish();
 }
@@ -102,7 +98,11 @@ fn bench_ownership(c: &mut Criterion) {
     );
     let shared = KernelTrace::new(
         (0..4096u64)
-            .map(|t| (0..8).map(|k| MicroOp::atomic(((t + k) % 64) * 4)).collect())
+            .map(|t| {
+                (0..8)
+                    .map(|k| MicroOp::atomic(((t + k) % 64) * 4))
+                    .collect()
+            })
             .collect(),
         256,
     );
@@ -136,7 +136,10 @@ fn bench_scheduler(c: &mut Criterion) {
     group.sample_size(20);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(2));
-    for policy in [SchedulerPolicy::GreedyThenOldest, SchedulerPolicy::RoundRobin] {
+    for policy in [
+        SchedulerPolicy::GreedyThenOldest,
+        SchedulerPolicy::RoundRobin,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{policy:?}")),
             &policy,

@@ -6,8 +6,8 @@
 //! this bench tracks the simulation cost of each bar family so
 //! regressions in the simulator's hot paths show up immediately.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 use ggs_apps::AppKind;
 use ggs_core::experiment::{run_workload, ExperimentSpec};
@@ -27,8 +27,8 @@ fn bench_workloads(c: &mut Criterion) {
     for app in AppKind::ALL {
         let mut group = c.benchmark_group(format!("fig5/{app}-DCT"));
         group.sample_size(10);
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(2));
+        group.warm_up_time(Duration::from_millis(500));
+        group.measurement_time(Duration::from_secs(2));
         for config in figure5_configs(app) {
             group.bench_with_input(
                 BenchmarkId::from_parameter(config.code()),
@@ -44,7 +44,9 @@ fn bench_imbalanced_input(c: &mut Criterion) {
     // EML is the imbalance showcase (Figure 5's biggest DRF1-vs-DRFrlx
     // gaps); track the push pair explicitly.
     let spec = ExperimentSpec::at_scale(SCALE);
-    let graph = SynthConfig::preset(GraphPreset::Eml).scale(SCALE).generate();
+    let graph = SynthConfig::preset(GraphPreset::Eml)
+        .scale(SCALE)
+        .generate();
     let mut group = c.benchmark_group("fig5/PR-EML");
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));

@@ -4,8 +4,8 @@
 //! The `repro fig6` binary prints the figure's rows from the full study;
 //! this bench tracks the cost of producing one row.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
 
 use ggs_apps::AppKind;
 use ggs_core::experiment::ExperimentSpec;
@@ -15,7 +15,9 @@ use ggs_graph::synth::{GraphPreset, SynthConfig};
 fn bench_sweep_row(c: &mut Criterion) {
     let scale = 0.02;
     let spec = ExperimentSpec::at_scale(scale);
-    let graph = SynthConfig::preset(GraphPreset::Raj).scale(scale).generate();
+    let graph = SynthConfig::preset(GraphPreset::Raj)
+        .scale(scale)
+        .generate();
     let configs = figure5_configs(AppKind::Mis);
 
     let mut group = c.benchmark_group("fig6");

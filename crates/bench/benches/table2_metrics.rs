@@ -4,8 +4,8 @@
 //! The `repro table2` binary prints the actual table; this bench tracks
 //! the cost of regenerating it.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
 
 use ggs_graph::synth::{GraphPreset, SynthConfig};
 use ggs_model::{GraphProfile, MetricParams};
@@ -38,11 +38,9 @@ fn bench_metrics(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(2));
     for preset in GraphPreset::ALL {
         let graph = SynthConfig::preset(preset).scale(SCALE).generate();
-        group.bench_with_input(
-            BenchmarkId::from_parameter(preset),
-            &graph,
-            |b, graph| b.iter(|| GraphProfile::measure(graph, &params)),
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(preset), &graph, |b, graph| {
+            b.iter(|| GraphProfile::measure(graph, &params))
+        });
     }
     group.finish();
 }

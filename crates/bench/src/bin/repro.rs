@@ -5,14 +5,22 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--scale S] [--threads N] [--json PATH] [--svg PATH]
-//!       [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|all]
+//! repro [--scale S] [--threads N] [--json PATH] [--svg PATH] [--all]
+//!       [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|check|all]
 //! ```
 //!
 //! Default scale is 0.125 (inputs and cache capacities scaled together,
 //! preserving every Table II class — see DESIGN.md). The expensive
 //! simulation study (fig5/fig6/summary/table5-empirical) is run once and
 //! shared between sections.
+//!
+//! The `check` section is the CI gate (see `docs/checking.md`): it runs
+//! the `ggs-check` static DRF/Table I certification over every
+//! application × direction × consistency model, then the dynamic
+//! coherence-protocol invariant checker over the coherence × consistency
+//! hardware grid, and exits nonzero if anything is violated. `--all`
+//! additionally certifies the extended application set (BFS). It is not
+//! part of the `all` section (which reproduces the paper's artifacts).
 
 use std::collections::BTreeMap;
 
@@ -29,6 +37,7 @@ fn main() {
     let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut json_path: Option<String> = None;
     let mut svg_path: Option<String> = None;
+    let mut check_extended = false;
     let mut sections: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -53,10 +62,17 @@ fn main() {
             "--svg" => {
                 svg_path = Some(args.next().unwrap_or_else(|| die("--svg needs a path")));
             }
+            "--all" => {
+                check_extended = true;
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale S] [--threads N] [--json PATH] [--svg PATH] \
-                     [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|all]..."
+                    "usage: repro [--scale S] [--threads N] [--json PATH] [--svg PATH] [--all] \
+                     [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|check|all]..."
+                );
+                println!(
+                    "  check    certify Table I contracts (static DRF) and protocol \
+                     invariants (dynamic); --all includes the extended app set"
                 );
                 return;
             }
@@ -66,9 +82,9 @@ fn main() {
     if sections.is_empty() {
         sections.push("all".to_owned());
     }
-    const KNOWN: [&str; 13] = [
-        "table1", "table2", "table3", "table4", "table5", "fig5", "fig6", "partial",
-        "flexible", "traffic", "gsi", "summary", "all",
+    const KNOWN: [&str; 14] = [
+        "table1", "table2", "table3", "table4", "table5", "fig5", "fig6", "partial", "flexible",
+        "traffic", "gsi", "summary", "check", "all",
     ];
     for s in &sections {
         if !KNOWN.contains(&s.as_str()) {
@@ -78,13 +94,17 @@ fn main() {
             ));
         }
     }
-    let want = |name: &str| -> bool {
-        sections.iter().any(|s| s == name || s == "all")
-    };
+    let want = |name: &str| -> bool { sections.iter().any(|s| s == name || s == "all") };
     let needs_study = ["fig5", "fig6", "summary", "partial", "flexible"]
         .iter()
         .any(|s| want(s))
         || svg_path.is_some();
+
+    // `check` is a gate, not a paper artifact: it runs only when named
+    // explicitly, never as part of `all`.
+    if sections.iter().any(|s| s == "check") {
+        check(scale, check_extended);
+    }
 
     if want("traffic") {
         traffic(scale);
@@ -110,15 +130,15 @@ fn main() {
     }
 
     if needs_study || json_path.is_some() {
-        eprintln!(
-            "[repro] running the 36-workload study at scale {scale} on {threads} threads…"
-        );
+        eprintln!("[repro] running the 36-workload study at scale {scale} on {threads} threads…");
         let start = std::time::Instant::now();
         let study = Study::run(scale, ConfigSet::Figure5, threads);
-        eprintln!("[repro] study finished in {:.1}s", start.elapsed().as_secs_f64());
+        eprintln!(
+            "[repro] study finished in {:.1}s",
+            start.elapsed().as_secs_f64()
+        );
         if let Some(path) = &json_path {
-            let json = serde_json::to_string_pretty(&study).expect("study serializes");
-            std::fs::write(path, json).expect("write json results");
+            std::fs::write(path, study.to_json_pretty()).expect("write json results");
             eprintln!("[repro] wrote {path}");
         }
         if want("fig5") {
@@ -149,19 +169,115 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+/// The `ggs-check` certification sweep (the CI gate; `docs/checking.md`):
+///
+/// 1. **Static** — every application × supported direction is traced on
+///    the most irregular input family (EML) and run through the DRF race
+///    detector and Table I contract checker, once per consistency model
+///    (the race verdict is model-independent; the synchronization
+///    counts are not).
+/// 2. **Dynamic** — every workload is simulated with the
+///    coherence-protocol invariant checker enabled, across the full
+///    coherence × consistency hardware grid.
+///
+/// Exits with status 1 if any race, contract violation, or protocol
+/// invariant violation is found.
+fn check(scale: f64, extended: bool) {
+    use ggs_check::certify::{certify_matrix, run_protocol_checked};
+    use ggs_sim::config::{ConsistencyModel, HwConfig};
+
+    let mut dirty = false;
+    let graph = SynthConfig::preset(GraphPreset::Eml)
+        .scale(scale)
+        .generate();
+
+    println!("== Check: static DRF + Table I contract certification (EML, scale {scale}) ==");
+    for model in ConsistencyModel::ALL {
+        for report in certify_matrix(&graph, model, extended) {
+            println!("{}", report.summary_line());
+            if !report.is_clean() {
+                dirty = true;
+                for v in &report.violations {
+                    println!("    {v}");
+                }
+            }
+        }
+    }
+
+    println!();
+    println!("== Check: dynamic protocol invariants (coherence x consistency grid) ==");
+    let params = SystemParams::default().scaled_caches(scale);
+    let apps = AppKind::ALL
+        .into_iter()
+        .chain(extended.then_some(AppKind::EXTENDED).into_iter().flatten());
+    for app in apps {
+        for &prop in app.supported_propagations() {
+            let mut line = format!("{:4} {:9}:", app.mnemonic(), prop.to_string());
+            for hw in HwConfig::all() {
+                let violations = run_protocol_checked(app, &graph, prop, hw, &params);
+                if violations.is_empty() {
+                    line.push_str(&format!(" {}=ok", hw.code()));
+                } else {
+                    dirty = true;
+                    line.push_str(&format!(" {}=FAIL({})", hw.code(), violations.len()));
+                    for v in violations.iter().take(5) {
+                        eprintln!("    {v}");
+                    }
+                }
+            }
+            println!("{line}");
+        }
+    }
+
+    if dirty {
+        eprintln!("repro: check FAILED — violations listed above");
+        std::process::exit(1);
+    }
+    println!();
+    println!("check: all contracts certified, all protocol invariants hold");
+}
+
 /// Table I: the design space (static text; the code itself is the
 /// artifact).
 fn table1() {
     println!("== Table I: implementation design space ==");
     let mut t = TextTable::new(["Dimension", "Option", "Salient features"]);
-    t.row(["Push vs. Pull", "Pull (T)", "target outer loop; dense local updates; sparse remote reads; no atomics"]);
-    t.row(["", "Push (S)", "source outer loop; dense local reads; sparse remote atomics"]);
-    t.row(["", "Push+Pull (D)", "dynamic source/target; racy remote reads and updates"]);
-    t.row(["Coherence", "GPU (G)", "write-through + self-invalidate at sync; atomics at L2"]);
-    t.row(["", "DeNovo (D)", "ownership at L1; atomics at L1; good with update reuse"]);
-    t.row(["Consistency", "DRF0 (0)", "every atomic paired acquire/release; simplest to program"]);
+    t.row([
+        "Push vs. Pull",
+        "Pull (T)",
+        "target outer loop; dense local updates; sparse remote reads; no atomics",
+    ]);
+    t.row([
+        "",
+        "Push (S)",
+        "source outer loop; dense local reads; sparse remote atomics",
+    ]);
+    t.row([
+        "",
+        "Push+Pull (D)",
+        "dynamic source/target; racy remote reads and updates",
+    ]);
+    t.row([
+        "Coherence",
+        "GPU (G)",
+        "write-through + self-invalidate at sync; atomics at L2",
+    ]);
+    t.row([
+        "",
+        "DeNovo (D)",
+        "ownership at L1; atomics at L1; good with update reuse",
+    ]);
+    t.row([
+        "Consistency",
+        "DRF0 (0)",
+        "every atomic paired acquire/release; simplest to program",
+    ]);
     t.row(["", "DRF1 (1)", "unpaired atomics overlap data accesses"]);
-    t.row(["", "DRFrlx (R)", "relaxed atomics overlap each other; MLP hides imbalance"]);
+    t.row([
+        "",
+        "DRFrlx (R)",
+        "relaxed atomics overlap each other; MLP hides imbalance",
+    ]);
     println!("{}", t.render());
 }
 
@@ -170,8 +286,18 @@ fn table2(scale: f64) {
     println!("== Table II: graph inputs at scale {scale} (classes must match the paper) ==");
     let params = ggs_model::MetricParams::default().scaled_caches(scale);
     let mut t = TextTable::new([
-        "Graph", "Vertices", "Edges", "MaxDeg", "AvgDeg", "StdDev", "Volume(KB)", "ANL",
-        "ANR", "Reuse", "Imbalance", "Classes",
+        "Graph",
+        "Vertices",
+        "Edges",
+        "MaxDeg",
+        "AvgDeg",
+        "StdDev",
+        "Volume(KB)",
+        "ANL",
+        "ANR",
+        "Reuse",
+        "Imbalance",
+        "Classes",
     ]);
     for p in GraphPreset::ALL {
         let g = SynthConfig::preset(p).scale(scale).generate();
@@ -225,9 +351,18 @@ fn table4(scale: f64) {
     let p = SystemParams::default().scaled_caches(scale);
     let mut t = TextTable::new(["Parameter", "Value"]);
     t.row(["GPU CUs (SMs)", &p.num_sms.to_string()]);
-    t.row(["L1 size (8-way)", &format!("{} KB per SM", p.l1_bytes / 1024)]);
-    t.row(["L2 size (16 banks, NUCA)", &format!("{} KB shared", p.l2_bytes / 1024)]);
-    t.row(["Store buffer", &format!("{} entries", p.store_buffer_entries)]);
+    t.row([
+        "L1 size (8-way)",
+        &format!("{} KB per SM", p.l1_bytes / 1024),
+    ]);
+    t.row([
+        "L2 size (16 banks, NUCA)",
+        &format!("{} KB shared", p.l2_bytes / 1024),
+    ]);
+    t.row([
+        "Store buffer",
+        &format!("{} entries", p.store_buffer_entries),
+    ]);
     t.row(["L1 MSHRs", &format!("{} entries", p.mshr_entries)]);
     t.row(["L1 hit latency", "1 cycle"]);
     t.row(["Remote L1 latency", "35-83 cycles"]);
@@ -339,7 +474,12 @@ fn fig5_svg(study: &Study) -> String {
 fn fig6(study: &Study) {
     println!("== Figure 6: SGR (DGR for CC) vs BEST vs PRED ==");
     let mut t = TextTable::new([
-        "Workload", "Default", "BEST", "PRED", "reduction(BEST vs default)", "PRED within",
+        "Workload",
+        "Default",
+        "BEST",
+        "PRED",
+        "reduction(BEST vs default)",
+        "PRED within",
     ]);
     for (r, reduction) in study.figure6_rows() {
         t.row([
@@ -365,15 +505,19 @@ fn traffic(scale: f64) {
     println!("== NoC traffic per configuration (PR on OLS and EML) ==");
     let spec = ExperimentSpec::at_scale(scale);
     let mut t = TextTable::new([
-        "Workload", "Config", "line transfers", "control msgs", "~KB moved",
+        "Workload",
+        "Config",
+        "line transfers",
+        "control msgs",
+        "~KB moved",
     ]);
     for preset in [GraphPreset::Ols, GraphPreset::Eml] {
         let graph = SynthConfig::preset(preset).scale(scale).generate();
         for code in ["TG0", "SGR", "SDR"] {
             let cfg = code.parse().expect("valid config");
             let stats = run_workload(AppKind::Pr, &graph, cfg, &spec);
-            let kb = (stats.mem.noc_line_transfers * 64 + stats.mem.noc_control_messages * 8)
-                / 1024;
+            let kb =
+                (stats.mem.noc_line_transfers * 64 + stats.mem.noc_control_messages * 8) / 1024;
             t.row([
                 format!("PR-{preset}"),
                 code.to_owned(),
@@ -402,7 +546,10 @@ fn gsi(scale: f64) {
         let graph = SynthConfig::preset(preset).scale(scale).generate();
         let cfg = code.parse().expect("valid config");
         let (stats, regions) = run_workload_profiled(app, &graph, cfg, &spec);
-        println!("{app}-{preset} under {code}: {} cycles", stats.total_cycles());
+        println!(
+            "{app}-{preset} under {code}: {} cycles",
+            stats.total_cycles()
+        );
         let mut t = TextTable::new(["array", "loads", "stores", "atomics", "L1 hit%", "avg lat"]);
         for (name, s) in &regions {
             if s.accesses() == 0 {
@@ -435,7 +582,12 @@ fn gsi(scale: f64) {
 fn partial(study: &Study) {
     println!("== Partial design space (no DRFrlx hardware, §IV-B) ==");
     let mut t = TextTable::new([
-        "Workload", "BEST(full)", "BEST(no-rlx)", "PRED(partial)", "flip?", "pred ok?",
+        "Workload",
+        "BEST(full)",
+        "BEST(no-rlx)",
+        "PRED(partial)",
+        "flip?",
+        "pred ok?",
     ]);
     let mut flips = 0;
     let mut flips_predicted = 0;

@@ -1,0 +1,381 @@
+//! Whole-application certification: the static analyzer of [`crate::drf`]
+//! applied to every kernel of a workload, plus the per-direction Table I
+//! contract checks and the dynamic protocol-checked simulation run.
+//!
+//! Directions promise (Table I of the paper):
+//!
+//! * **Pull** — dense local updates, sparse remote *reads*, no atomics:
+//!   every written address is touched by exactly one thread and no
+//!   kernel issues an atomic.
+//! * **Push** — dense local reads, sparse remote *atomics*: shared
+//!   addresses are only ever updated through atomics (plain writes stay
+//!   thread-private).
+//! * **Push+Pull** (CC) — racy-but-benign reads with marked updates:
+//!   only the DRF rule itself is enforced (no plain-plain races).
+
+use std::borrow::Cow;
+use std::fmt;
+
+use ggs_apps::{AppKind, Workload};
+use ggs_graph::Csr;
+use ggs_model::Propagation;
+use ggs_sim::check::ProtocolViolation;
+use ggs_sim::config::{ConsistencyModel, HwConfig};
+use ggs_sim::params::SystemParams;
+use ggs_sim::Simulation;
+
+use crate::drf::{analyze_kernel, AccessClass, KernelAnalysis, Violation, ViolationKind};
+
+/// Thread-block size used for certification traces (the same default
+/// the simulation study uses).
+pub const TB_SIZE: u32 = 256;
+
+/// The certification result for one application in one direction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppReport {
+    /// Application.
+    pub app: AppKind,
+    /// Propagation direction analyzed.
+    pub prop: Propagation,
+    /// Consistency model the synchronization counts were computed
+    /// under.
+    pub consistency: ConsistencyModel,
+    /// Kernels in the launch sequence.
+    pub kernels: usize,
+    /// Distinct addresses analyzed, summed over kernels.
+    pub addresses: usize,
+    /// Address counts per [`AccessClass`] (summed over kernels),
+    /// indexed by [`AccessClass::index`].
+    pub class_counts: [usize; 5],
+    /// Total atomic ops across kernels.
+    pub atomic_ops: u64,
+    /// Atomics acting as fences under `consistency` (see
+    /// [`crate::drf::KernelAnalysis::fence_atomics`]).
+    pub fence_atomics: u64,
+    /// Atomics blocking their warp under `consistency`.
+    pub blocking_atomics: u64,
+    /// Total plain stores across kernels.
+    pub plain_writes: u64,
+    /// Every race and contract violation found.
+    pub violations: Vec<Violation>,
+}
+
+impl AppReport {
+    /// `true` if the workload honors both the DRF rule and its
+    /// direction's contract.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// One-line summary for tables and logs.
+    pub fn summary_line(&self) -> String {
+        let classes: Vec<String> = AccessClass::ALL
+            .iter()
+            .filter(|c| self.class_counts[c.index()] > 0)
+            .map(|c| format!("{} {}", c.label(), self.class_counts[c.index()]))
+            .collect();
+        format!(
+            "{:4} {:9} {:6}: {:3} kernels, {:6} addrs [{}], {} atomics ({} fence, {} blocking) — {}",
+            self.app.mnemonic(),
+            self.prop.to_string(),
+            self.consistency.to_string(),
+            self.kernels,
+            self.addresses,
+            classes.join(", "),
+            self.atomic_ops,
+            self.fence_atomics,
+            self.blocking_atomics,
+            if self.is_clean() {
+                "CLEAN".to_owned()
+            } else {
+                format!("{} VIOLATIONS", self.violations.len())
+            }
+        )
+    }
+}
+
+impl fmt::Display for AppReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary_line())
+    }
+}
+
+/// Applies the per-direction contract to one kernel's analysis,
+/// attributing addresses to `regions` (`(name, base, bytes)` entries
+/// from the workload's memory map).
+pub fn check_kernel_contract(
+    analysis: &KernelAnalysis,
+    prop: Propagation,
+    kernel: usize,
+    regions: &[(String, u64, u64)],
+) -> Vec<Violation> {
+    let region_of = |addr: u64| -> Option<String> {
+        regions
+            .iter()
+            .find(|(_, base, bytes)| addr >= *base && addr < base + bytes)
+            .map(|(name, _, _)| name.clone())
+    };
+    let mut out = Vec::new();
+    for race in &analysis.races {
+        out.push(Violation {
+            kernel,
+            addr: race.addr,
+            region: region_of(race.addr),
+            kind: ViolationKind::Race,
+            detail: format!(
+                "threads {:?}: {} plain writes, {} plain reads",
+                race.threads, race.plain_writes, race.plain_reads
+            ),
+        });
+    }
+    match prop {
+        Propagation::Push => {
+            for (addr, threads) in &analysis.shared_plain_writes {
+                out.push(Violation {
+                    kernel,
+                    addr: *addr,
+                    region: region_of(*addr),
+                    kind: ViolationKind::PushPlainSharedWrite,
+                    detail: format!("plain write among threads {threads:?}"),
+                });
+            }
+        }
+        Propagation::Pull => {
+            for (addr, threads) in &analysis.shared_plain_writes {
+                out.push(Violation {
+                    kernel,
+                    addr: *addr,
+                    region: region_of(*addr),
+                    kind: ViolationKind::PullRemoteWrite,
+                    detail: format!("written address shared by threads {threads:?}"),
+                });
+            }
+            if analysis.atomic_ops > 0 {
+                let addr = analysis.atomic_addr_sample.unwrap_or(0);
+                out.push(Violation {
+                    kernel,
+                    addr,
+                    region: region_of(addr),
+                    kind: ViolationKind::PullAtomic,
+                    detail: format!("{} atomics in a pull kernel", analysis.atomic_ops),
+                });
+            }
+        }
+        // CC's dynamic direction admits benign monotonic reads and
+        // marked updates: only the DRF rule applies.
+        Propagation::PushPull => {}
+    }
+    out
+}
+
+/// Adds edge weights when `app` needs them and `graph` has none (same
+/// policy as the simulation harness).
+fn with_weights(app: AppKind, graph: &Csr) -> Cow<'_, Csr> {
+    if app.needs_weights() && !graph.is_weighted() {
+        Cow::Owned(graph.clone().with_hashed_weights(64))
+    } else {
+        Cow::Borrowed(graph)
+    }
+}
+
+/// Statically certifies one application in one direction on `graph`:
+/// analyzes every kernel trace and checks the direction's contract.
+pub fn certify_workload(
+    app: AppKind,
+    graph: &Csr,
+    prop: Propagation,
+    consistency: ConsistencyModel,
+) -> AppReport {
+    let graph = with_weights(app, graph);
+    let workload = Workload::new(app, &graph);
+    let regions = workload.memory_map();
+    let mut report = AppReport {
+        app,
+        prop,
+        consistency,
+        kernels: 0,
+        addresses: 0,
+        class_counts: [0; 5],
+        atomic_ops: 0,
+        fence_atomics: 0,
+        blocking_atomics: 0,
+        plain_writes: 0,
+        violations: Vec::new(),
+    };
+    workload.generate(prop, TB_SIZE, &mut |kernel| {
+        let analysis = analyze_kernel(kernel, consistency);
+        report.violations.extend(check_kernel_contract(
+            &analysis,
+            prop,
+            report.kernels,
+            &regions,
+        ));
+        report.addresses += analysis.addresses;
+        for (total, n) in report.class_counts.iter_mut().zip(analysis.class_counts) {
+            *total += n;
+        }
+        report.atomic_ops += analysis.atomic_ops;
+        report.fence_atomics += analysis.fence_atomics;
+        report.blocking_atomics += analysis.blocking_atomics;
+        report.plain_writes += analysis.plain_writes;
+        report.kernels += 1;
+    });
+    report
+}
+
+/// Certifies the full application × direction matrix on `graph`:
+/// the paper's six applications plus (optionally) the extension apps,
+/// each in every supported direction.
+pub fn certify_matrix(
+    graph: &Csr,
+    consistency: ConsistencyModel,
+    include_extended: bool,
+) -> Vec<AppReport> {
+    let apps: Vec<AppKind> = AppKind::ALL
+        .into_iter()
+        .chain(
+            include_extended
+                .then_some(AppKind::EXTENDED)
+                .into_iter()
+                .flatten(),
+        )
+        .collect();
+    let mut reports = Vec::new();
+    for app in apps {
+        for &prop in app.supported_propagations() {
+            reports.push(certify_workload(app, graph, prop, consistency));
+        }
+    }
+    reports
+}
+
+/// Runs one workload through the simulator with the dynamic protocol
+/// checker enabled, auditing the final cache/ownership state, and
+/// returns every invariant violation observed (empty = protocol held).
+pub fn run_protocol_checked(
+    app: AppKind,
+    graph: &Csr,
+    prop: Propagation,
+    hw: HwConfig,
+    params: &SystemParams,
+) -> Vec<ProtocolViolation> {
+    let graph = with_weights(app, graph);
+    let workload = Workload::new(app, &graph);
+    let mut sim = Simulation::new(params.clone(), hw);
+    sim.enable_protocol_checker();
+    for (name, base, bytes) in workload.memory_map() {
+        sim.register_region(name, base, bytes);
+    }
+    workload.generate(prop, TB_SIZE, &mut |kernel| sim.run_kernel(kernel));
+    sim.audit_protocol();
+    sim.take_protocol_violations()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggs_graph::GraphBuilder;
+    use ggs_sim::trace::MicroOp;
+    use ggs_sim::KernelTrace;
+
+    fn ring(n: u32) -> Csr {
+        GraphBuilder::new(n)
+            .edges((0..n).map(|i| (i, (i + 1) % n)))
+            .symmetric(true)
+            .build()
+    }
+
+    #[test]
+    fn every_workload_is_clean_on_a_ring() {
+        let g = ring(64);
+        for report in certify_matrix(&g, ConsistencyModel::Drf1, true) {
+            assert!(
+                report.is_clean(),
+                "{}\n{:#?}",
+                report.summary_line(),
+                report.violations
+            );
+            assert!(report.kernels > 0, "{}", report.summary_line());
+        }
+    }
+
+    #[test]
+    fn pull_reports_no_atomics_and_push_reports_some() {
+        let g = ring(64);
+        for app in AppKind::ALL {
+            for &prop in app.supported_propagations() {
+                let r = certify_workload(app, &g, prop, ConsistencyModel::Drf0);
+                if prop == Propagation::Pull {
+                    assert_eq!(r.atomic_ops, 0, "{}", r.summary_line());
+                }
+            }
+        }
+        let push_pr = certify_workload(AppKind::Pr, &g, Propagation::Push, ConsistencyModel::Drf0);
+        assert!(push_pr.atomic_ops > 0);
+        // Under DRF0 every atomic fences; the counts must agree.
+        assert_eq!(push_pr.fence_atomics, push_pr.atomic_ops);
+    }
+
+    #[test]
+    fn contract_rejects_plain_shared_write_in_push() {
+        let kernel = KernelTrace::new(
+            vec![vec![MicroOp::store(64)], vec![MicroOp::atomic(64)]],
+            256,
+        );
+        let analysis = analyze_kernel(&kernel, ConsistencyModel::Drf1);
+        let v = check_kernel_contract(&analysis, Propagation::Push, 0, &[]);
+        assert!(
+            v.iter()
+                .any(|x| x.kind == ViolationKind::PushPlainSharedWrite),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn contract_rejects_atomics_and_remote_writes_in_pull() {
+        let kernel = KernelTrace::new(
+            vec![
+                vec![MicroOp::atomic(0), MicroOp::store(64)],
+                vec![MicroOp::atomic(0), MicroOp::load(64)],
+            ],
+            256,
+        );
+        let analysis = analyze_kernel(&kernel, ConsistencyModel::Drf1);
+        let v = check_kernel_contract(&analysis, Propagation::Pull, 3, &[("lv".into(), 0, 128)]);
+        assert!(
+            v.iter().any(|x| x.kind == ViolationKind::PullAtomic),
+            "{v:?}"
+        );
+        // store(64) vs load(64) from different threads is also a race.
+        assert!(v.iter().any(|x| x.kind == ViolationKind::Race), "{v:?}");
+        assert!(v.iter().all(|x| x.kernel == 3));
+        assert!(v.iter().all(|x| x.region.as_deref() == Some("lv")), "{v:?}");
+    }
+
+    #[test]
+    fn pushpull_applies_only_the_drf_rule() {
+        let kernel = KernelTrace::new(
+            vec![
+                vec![MicroOp::store(0), MicroOp::atomic(64)],
+                vec![MicroOp::atomic(64), MicroOp::load(0)],
+            ],
+            256,
+        );
+        let analysis = analyze_kernel(&kernel, ConsistencyModel::DrfRlx);
+        let v = check_kernel_contract(&analysis, Propagation::PushPull, 0, &[]);
+        // store(0)/load(0) race is reported; the atomics are fine.
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, ViolationKind::Race);
+    }
+
+    #[test]
+    fn protocol_run_is_clean_for_a_real_workload() {
+        let g = ring(64);
+        let params = SystemParams::default();
+        for hw in HwConfig::all() {
+            let violations =
+                run_protocol_checked(AppKind::Cc, &g, Propagation::PushPull, hw, &params);
+            assert_eq!(violations, Vec::new(), "under {hw}");
+        }
+    }
+}

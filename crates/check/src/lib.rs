@@ -1,0 +1,41 @@
+//! `ggs-check` — the checking layer of the GGS reproduction.
+//!
+//! The paper's central premise is a *contract*: each propagation
+//! direction promises a synchronization discipline (Table I), and each
+//! coherence/consistency point exploits that promise. Pull kernels
+//! perform dense local updates and sparse remote *reads* — no atomics,
+//! no remote writes. Push kernels perform dense local reads and update
+//! remote state *only through atomics*. CC's push+pull direction admits
+//! racy (benign, monotonic) reads and marked updates. The simulator
+//! silently assumes all of this; nothing in the timing model would
+//! complain if an application trace broke its direction's discipline or
+//! if a protocol implementation leaked a stale line. This crate makes
+//! both assumptions checkable:
+//!
+//! * [`drf`] — a **static analyzer** over [`ggs_sim::trace::KernelTrace`]:
+//!   builds the per-address access map across threads of each kernel
+//!   (kernel boundaries are global barriers, so kernels are analyzed
+//!   independently), classifies every address
+//!   ([`drf::AccessClass`]), reports data races, and checks the Table I
+//!   per-direction contracts.
+//! * [`certify`] — runs the analyzer over whole applications
+//!   ([`certify::certify_workload`]) and the full application × direction
+//!   matrix ([`certify::certify_matrix`]), attributing violations to
+//!   named arrays via each workload's memory map.
+//! * the **dynamic protocol checker** lives in [`ggs_sim::check`]
+//!   (enabled here via the sim's `check` feature);
+//!   [`certify::run_protocol_checked`] drives a workload through the
+//!   simulator with that observer on and returns any invariant
+//!   violations.
+//!
+//! The `repro check` subcommand of the bench crate wires both passes
+//! into CI; see `docs/checking.md` for the contracts in prose.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod certify;
+pub mod drf;
+
+pub use certify::{certify_matrix, certify_workload, run_protocol_checked, AppReport};
+pub use drf::{analyze_kernel, AccessClass, KernelAnalysis, Race, Violation, ViolationKind};

@@ -67,9 +67,8 @@ pub fn kernel_classes(
     }
     lines.sort_unstable();
     lines.dedup();
-    let volume_kb = (lines.len() as u64 * line_bytes as u64) as f64
-        / 1024.0
-        / params.num_sms as f64;
+    let volume_kb =
+        (lines.len() as u64 * line_bytes as u64) as f64 / 1024.0 / params.num_sms as f64;
     let volume = Level::classify(volume_kb, params.volume_low_kb(), params.volume_high_kb());
 
     // Dynamic imbalance: Equation 7 over per-warp op counts.
@@ -85,10 +84,7 @@ pub fn kernel_classes(
         let mut v = lo;
         while v < hi {
             let w_hi = (v + warp).min(hi);
-            let m = (v..w_hi)
-                .map(|t| kernel.thread(t).len())
-                .max()
-                .unwrap_or(0);
+            let m = (v..w_hi).map(|t| kernel.thread(t).len()).max().unwrap_or(0);
             maxes.push(m as f64);
             v = w_hi;
         }
@@ -140,11 +136,8 @@ pub fn run_adaptive(app: AppKind, graph: &Csr, spec: &ExperimentSpec) -> Adaptiv
         &mut |kernel| {
             let hw = if adapt {
                 let (volume, imbalance) = kernel_classes(kernel, &params, line_bytes);
-                let dynamic_profile = GraphProfile::from_classes(
-                    volume,
-                    static_profile.reuse_class,
-                    imbalance,
-                );
+                let dynamic_profile =
+                    GraphProfile::from_classes(volume, static_profile.reuse_class, imbalance);
                 push_hardware(&dynamic_profile)
             } else {
                 static_config.hw()
@@ -228,8 +221,7 @@ mod tests {
             spec.params.tb_size,
             &mut |kernel| {
                 let (vol, imb) = kernel_classes(kernel, &params, spec.params.line_bytes);
-                let profile =
-                    GraphProfile::from_classes(vol, static_profile.reuse_class, imb);
+                let profile = GraphProfile::from_classes(vol, static_profile.reuse_class, imb);
                 expected.push(push_hardware(&profile));
             },
         );
@@ -242,7 +234,9 @@ mod tests {
         // keeps DRF1 even on a high-reuse graph (Figure 4's else arm).
         let params = MetricParams::default();
         let k = KernelTrace::new(
-            (0..512u64).map(|t| vec![MicroOp::atomic((t % 64) * 4)]).collect(),
+            (0..512u64)
+                .map(|t| vec![MicroOp::atomic((t % 64) * 4)])
+                .collect(),
             256,
         );
         let (vol, imb) = kernel_classes(&k, &params, 64);

@@ -148,7 +148,11 @@ mod tests {
     fn graph() -> Csr {
         GraphBuilder::new(1024)
             .edges((0..1023).map(|i| (i, i + 1)))
-            .edges((0..1024).map(|i| (i, (i * 37) % 1024)).filter(|&(a, b)| a != b))
+            .edges(
+                (0..1024)
+                    .map(|i| (i, (i * 37) % 1024))
+                    .filter(|&(a, b)| a != b),
+            )
             .symmetric(true)
             .build()
     }
@@ -160,10 +164,7 @@ mod tests {
         for app in AppKind::ALL {
             for cfg in ggs_model::SystemConfig::all_for(app.algo_profile().traversal) {
                 let stats = run_workload(app, &g, cfg, &spec);
-                assert!(
-                    stats.total_cycles() > 0,
-                    "{app}/{cfg} produced no cycles"
-                );
+                assert!(stats.total_cycles() > 0, "{app}/{cfg} produced no cycles");
             }
         }
     }
@@ -189,12 +190,8 @@ mod tests {
     fn profiled_run_attributes_every_graph_walk() {
         let g = graph();
         let spec = ExperimentSpec::at_scale(0.05);
-        let (stats, regions) = run_workload_profiled(
-            AppKind::Pr,
-            &g,
-            "SGR".parse().unwrap(),
-            &spec,
-        );
+        let (stats, regions) =
+            run_workload_profiled(AppKind::Pr, &g, "SGR".parse().unwrap(), &spec);
         assert!(stats.total_cycles() > 0);
         let by_name = |n: &str| {
             regions

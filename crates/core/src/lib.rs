@@ -42,6 +42,7 @@
 
 pub mod adaptive;
 pub mod experiment;
+pub mod json;
 pub mod study;
 pub mod sweep;
 

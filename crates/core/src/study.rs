@@ -1,7 +1,7 @@
 //! The full 36-workload study behind the paper's Figures 5–6 and the
 //! Table V model-accuracy evaluation.
 
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 use ggs_apps::AppKind;
 use ggs_graph::synth::{GraphPreset, SynthConfig};
@@ -9,6 +9,7 @@ use ggs_model::{predict_full, predict_partial, GraphProfile, SystemConfig};
 use ggs_sim::StallClass;
 
 use crate::experiment::ExperimentSpec;
+use crate::json::{self, Value};
 use crate::sweep::{baseline_config, figure5_configs, WorkloadSweep};
 
 /// Which configuration set a study sweeps per workload.
@@ -22,7 +23,7 @@ pub enum ConfigSet {
 }
 
 /// Serializable per-configuration result row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ResultRow {
     /// Configuration code (`SGR`, `TG0`, …).
     pub config: String,
@@ -34,7 +35,7 @@ pub struct ResultRow {
 }
 
 /// Serializable report for one workload (one Figure 5 group).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadReport {
     /// Application mnemonic.
     pub app: String,
@@ -77,9 +78,7 @@ impl WorkloadReport {
     /// best (0.0 when the model picked the best).
     pub fn prediction_slowdown(&self) -> f64 {
         let best = self.cycles_of(&self.best).expect("best swept") as f64;
-        let pred = self
-            .cycles_of(&self.predicted)
-            .expect("prediction swept") as f64;
+        let pred = self.cycles_of(&self.predicted).expect("prediction swept") as f64;
         pred / best - 1.0
     }
 
@@ -97,14 +96,16 @@ impl WorkloadReport {
     /// configuration (Figure 6's headline metric); 0 when the default
     /// is already best.
     pub fn best_reduction_vs_default(&self) -> f64 {
-        let def = self.cycles_of(self.default_config()).expect("default swept") as f64;
+        let def = self
+            .cycles_of(self.default_config())
+            .expect("default swept") as f64;
         let best = self.cycles_of(&self.best).expect("best swept") as f64;
         (1.0 - best / def).max(0.0)
     }
 }
 
 /// The complete study: every preset × application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Study {
     /// Scale the inputs were generated at.
     pub scale: f64,
@@ -145,11 +146,11 @@ impl Study {
             .collect();
 
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = parking_lot::Mutex::new(vec![None; jobs.len()]);
+        let results = std::sync::Mutex::new(vec![None; jobs.len()]);
 
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..threads.min(jobs.len()).max(1) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
@@ -157,14 +158,14 @@ impl Study {
                     let (gi, app) = jobs[i];
                     let (preset, graph, profile) = &graphs[gi];
                     let report = run_one(app, *preset, graph, profile, configs, &spec);
-                    results.lock()[i] = Some(report);
+                    results.lock().expect("no worker panicked")[i] = Some(report);
                 });
             }
-        })
-        .expect("study workers do not panic");
+        });
 
         let reports = results
             .into_inner()
+            .expect("no worker panicked")
             .into_iter()
             .map(|r| r.expect("every job completed"))
             .collect();
@@ -181,7 +182,10 @@ impl Study {
     /// Number of workloads where the full model picked exactly the
     /// empirical best (the paper reports 28 of 36).
     pub fn exact_predictions(&self) -> usize {
-        self.reports.iter().filter(|r| r.predicted == r.best).count()
+        self.reports
+            .iter()
+            .filter(|r| r.predicted == r.best)
+            .count()
     }
 
     /// Largest prediction slowdown across all workloads (the paper
@@ -202,6 +206,122 @@ impl Study {
             .filter(|r| r.best != r.default_config())
             .map(|r| (r, r.best_reduction_vs_default()))
             .collect()
+    }
+
+    /// Serializes the study as single-line JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().to_string_compact()
+    }
+
+    /// Serializes the study as indented JSON.
+    pub fn to_json_pretty(&self) -> String {
+        self.to_value().to_string_pretty()
+    }
+
+    fn to_value(&self) -> Value {
+        let reports = self
+            .reports
+            .iter()
+            .map(|r| {
+                let rows = r
+                    .rows
+                    .iter()
+                    .map(|row| {
+                        let fractions = row.fractions.iter().map(|&f| Value::Number(f)).collect();
+                        Value::Object(BTreeMap::from([
+                            ("config".to_owned(), Value::String(row.config.clone())),
+                            (
+                                "total_cycles".to_owned(),
+                                Value::Number(row.total_cycles as f64),
+                            ),
+                            ("fractions".to_owned(), Value::Array(fractions)),
+                        ]))
+                    })
+                    .collect();
+                Value::Object(BTreeMap::from([
+                    ("app".to_owned(), Value::String(r.app.clone())),
+                    ("graph".to_owned(), Value::String(r.graph.clone())),
+                    ("classes".to_owned(), Value::String(r.classes.clone())),
+                    ("predicted".to_owned(), Value::String(r.predicted.clone())),
+                    (
+                        "predicted_partial".to_owned(),
+                        Value::String(r.predicted_partial.clone()),
+                    ),
+                    ("best".to_owned(), Value::String(r.best.clone())),
+                    ("baseline".to_owned(), Value::String(r.baseline.clone())),
+                    ("rows".to_owned(), Value::Array(rows)),
+                ]))
+            })
+            .collect();
+        Value::Object(BTreeMap::from([
+            ("scale".to_owned(), Value::Number(self.scale)),
+            ("reports".to_owned(), Value::Array(reports)),
+        ]))
+    }
+
+    /// Parses a study serialized by [`Study::to_json`] /
+    /// [`Study::to_json_pretty`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed JSON or a missing/ill-typed
+    /// field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        fn str_field(v: &Value, key: &str) -> Result<String, String> {
+            v.get(key)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string field {key:?}"))
+        }
+        let root = json::parse(text)?;
+        let scale = root
+            .get("scale")
+            .and_then(Value::as_f64)
+            .ok_or("missing number field \"scale\"")?;
+        let mut reports = Vec::new();
+        for r in root
+            .get("reports")
+            .and_then(Value::as_array)
+            .ok_or("missing array field \"reports\"")?
+        {
+            let mut rows = Vec::new();
+            for row in r
+                .get("rows")
+                .and_then(Value::as_array)
+                .ok_or("missing array field \"rows\"")?
+            {
+                let fracs = row
+                    .get("fractions")
+                    .and_then(Value::as_array)
+                    .ok_or("missing array field \"fractions\"")?;
+                let mut fractions = [0.0f64; 5];
+                if fracs.len() != fractions.len() {
+                    return Err(format!("expected 5 fractions, got {}", fracs.len()));
+                }
+                for (slot, frac) in fractions.iter_mut().zip(fracs) {
+                    *slot = frac.as_f64().ok_or("non-numeric fraction")?;
+                }
+                rows.push(ResultRow {
+                    config: str_field(row, "config")?,
+                    total_cycles: row
+                        .get("total_cycles")
+                        .and_then(Value::as_u64)
+                        .ok_or("missing integer field \"total_cycles\"")?,
+                    fractions,
+                });
+            }
+            reports.push(WorkloadReport {
+                app: str_field(r, "app")?,
+                graph: str_field(r, "graph")?,
+                classes: str_field(r, "classes")?,
+                predicted: str_field(r, "predicted")?,
+                predicted_partial: str_field(r, "predicted_partial")?,
+                best: str_field(r, "best")?,
+                baseline: str_field(r, "baseline")?,
+                rows,
+            });
+        }
+        Ok(Self { scale, reports })
     }
 }
 
@@ -261,22 +381,13 @@ mod tests {
             assert!(r.cycles_of(&r.best).unwrap() > 0);
             assert!(r.cycles_of(&r.baseline).is_some());
         }
-        let json = serde_json::to_string(&study).unwrap();
-        let back: Study = serde_json::from_str(&json).unwrap();
-        // Floats may lose an ULP through JSON; compare the discrete
-        // fields exactly and the fractions approximately.
-        assert_eq!(back.reports.len(), study.reports.len());
-        for (a, b) in study.reports.iter().zip(back.reports.iter()) {
-            assert_eq!(a.app, b.app);
-            assert_eq!(a.best, b.best);
-            assert_eq!(a.predicted, b.predicted);
-            for (ra, rb) in a.rows.iter().zip(b.rows.iter()) {
-                assert_eq!(ra.total_cycles, rb.total_cycles);
-                for i in 0..5 {
-                    assert!((ra.fractions[i] - rb.fractions[i]).abs() < 1e-12);
-                }
-            }
-        }
+        let json = study.to_json();
+        let back = Study::from_json(&json).unwrap();
+        // Shortest-roundtrip float formatting makes the whole cycle
+        // lossless, so the comparison can be exact.
+        assert_eq!(back, study);
+        let pretty = Study::from_json(&study.to_json_pretty()).unwrap();
+        assert_eq!(pretty, study);
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub fn figure5_configs(app: AppKind) -> Vec<SystemConfig> {
     };
     codes
         .iter()
-    .map(|c| c.parse().expect("static config table is valid"))
-    .collect()
+        .map(|c| c.parse().expect("static config table is valid"))
+        .collect()
 }
 
 /// The baseline every bar of a Figure 5 group is normalized to: `TG0`
@@ -240,9 +240,7 @@ mod more_tests {
     #[test]
     fn full_config_set_sweep_runs() {
         let spec = ExperimentSpec::at_scale(0.02);
-        let configs = ggs_model::SystemConfig::all_for(
-            ggs_model::taxonomy::Traversal::Static,
-        );
+        let configs = ggs_model::SystemConfig::all_for(ggs_model::taxonomy::Traversal::Static);
         let sweep = WorkloadSweep::run(AppKind::Mis, "chain", &graph(), &configs, &spec);
         assert_eq!(sweep.results.len(), 12);
         // Pull bars are hardware-insensitive on the consistency axis.

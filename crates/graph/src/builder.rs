@@ -124,7 +124,11 @@ mod tests {
 
     #[test]
     fn dedup_removes_duplicates() {
-        let g = GraphBuilder::new(2).edge(0, 1).edge(0, 1).edge(0, 1).build();
+        let g = GraphBuilder::new(2)
+            .edge(0, 1)
+            .edge(0, 1)
+            .edge(0, 1)
+            .build();
         assert_eq!(g.num_edges(), 1);
     }
 

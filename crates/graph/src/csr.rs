@@ -63,10 +63,7 @@ impl Csr {
             "row_ptr must be non-decreasing"
         );
         let n = (row_ptr.len() - 1) as u32;
-        assert!(
-            col_idx.iter().all(|&c| c < n),
-            "column index out of range"
-        );
+        assert!(col_idx.iter().all(|&c| c < n), "column index out of range");
         if let Some(w) = &weights {
             assert_eq!(w.len(), col_idx.len(), "one weight per edge required");
         }
@@ -89,7 +86,10 @@ impl Csr {
     pub fn from_edges(num_vertices: u32, edges: &[(VertexId, VertexId)]) -> Self {
         let mut counts = vec![0u32; num_vertices as usize + 1];
         for &(s, t) in edges {
-            assert!(s < num_vertices && t < num_vertices, "edge endpoint out of range");
+            assert!(
+                s < num_vertices && t < num_vertices,
+                "edge endpoint out of range"
+            );
             counts[s as usize + 1] += 1;
         }
         for i in 1..counts.len() {
@@ -148,9 +148,9 @@ impl Csr {
     ///
     /// Panics if `v >= num_vertices`.
     pub fn edge_weights(&self, v: VertexId) -> Option<&[u32]> {
-        self.weights.as_ref().map(|w| {
-            &w[self.row_ptr[v as usize] as usize..self.row_ptr[v as usize + 1] as usize]
-        })
+        self.weights
+            .as_ref()
+            .map(|w| &w[self.row_ptr[v as usize] as usize..self.row_ptr[v as usize + 1] as usize])
     }
 
     /// Index range of `v`'s out-edges within the CSR arrays.
@@ -207,8 +207,7 @@ impl Csr {
 
     /// Iterates over all directed edges as `(source, target)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        (0..self.num_vertices())
-            .flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
+        (0..self.num_vertices()).flat_map(move |v| self.neighbors(v).iter().map(move |&t| (v, t)))
     }
 
     /// Returns the transpose graph (all edges reversed).
@@ -227,7 +226,10 @@ impl Csr {
         }
         let row_ptr = counts.clone();
         let mut col_idx = vec![0u32; self.col_idx.len()];
-        let mut weights = self.weights.as_ref().map(|_| vec![0u32; self.col_idx.len()]);
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| vec![0u32; self.col_idx.len()]);
         let mut next = counts;
         for v in 0..n {
             let base = self.row_ptr[v as usize] as usize;
@@ -360,10 +362,7 @@ mod tests {
         let g = Csr::from_edges(3, &[(0, 1), (0, 2)]).with_hashed_weights(8);
         let t = g.transpose();
         assert!(t.is_weighted());
-        assert_eq!(
-            g.edge_weights(0).unwrap()[0],
-            t.edge_weights(1).unwrap()[0]
-        );
+        assert_eq!(g.edge_weights(0).unwrap()[0], t.edge_weights(1).unwrap()[0]);
     }
 
     #[test]

@@ -116,7 +116,9 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Csr, ParseMtxError> {
         return Err(malformed("size line must have three fields"));
     };
     if rows != cols {
-        return Err(malformed(format!("matrix must be square, got {rows}x{cols}")));
+        return Err(malformed(format!(
+            "matrix must be square, got {rows}x{cols}"
+        )));
     }
     if rows > u32::MAX as u64 {
         return Err(malformed("too many vertices for u32 ids"));
@@ -133,10 +135,16 @@ pub fn read_mtx<R: BufRead>(reader: R) -> Result<Csr, ParseMtxError> {
         }
         let mut it = trimmed.split_whitespace();
         let (Some(r), Some(c)) = (it.next(), it.next()) else {
-            return Err(malformed(format!("entry line needs two indices: {trimmed:?}")));
+            return Err(malformed(format!(
+                "entry line needs two indices: {trimmed:?}"
+            )));
         };
-        let r: u64 = r.parse().map_err(|e| malformed(format!("bad row index: {e}")))?;
-        let c: u64 = c.parse().map_err(|e| malformed(format!("bad col index: {e}")))?;
+        let r: u64 = r
+            .parse()
+            .map_err(|e| malformed(format!("bad row index: {e}")))?;
+        let c: u64 = c
+            .parse()
+            .map_err(|e| malformed(format!("bad col index: {e}")))?;
         if r == 0 || c == 0 || r > rows || c > cols {
             return Err(malformed(format!("index out of range: {r} {c}")));
         }
@@ -176,7 +184,8 @@ mod tests {
 
     #[test]
     fn parses_pattern_symmetric() {
-        let data = "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n4 4 3\n1 2\n2 3\n3 4\n";
+        let data =
+            "%%MatrixMarket matrix coordinate pattern symmetric\n% comment\n4 4 3\n1 2\n2 3\n3 4\n";
         let g = read_mtx(data.as_bytes()).unwrap();
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 6);
@@ -185,7 +194,8 @@ mod tests {
 
     #[test]
     fn parses_real_values_and_drops_self_loops() {
-        let data = "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 1 5.0\n1 2 1.5\n2 1 2.5\n";
+        let data =
+            "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 1 5.0\n1 2 1.5\n2 1 2.5\n";
         let g = read_mtx(data.as_bytes()).unwrap();
         assert!(!g.has_self_loops());
         assert_eq!(g.num_edges(), 2); // (0,1) and (1,0)

@@ -234,13 +234,7 @@ mod tests {
 
     #[test]
     fn custom_config_respects_parameters() {
-        let cfg = SynthConfig::custom(
-            "uniform",
-            4096,
-            6.0,
-            DegreeModel::constant(6, 0.0),
-            0.5,
-        );
+        let cfg = SynthConfig::custom("uniform", 4096, 6.0, DegreeModel::constant(6, 0.0), 0.5);
         let g = cfg.generate();
         assert_eq!(g.num_vertices(), 4096);
         assert_eq!(g.num_edges(), cfg.target_edges());

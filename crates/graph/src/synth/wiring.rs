@@ -142,10 +142,7 @@ mod tests {
     fn high_locality_keeps_edges_in_block() {
         let degrees = vec![6u32; 2048];
         let g = wire(2048, &degrees, 1.0, 256, 6 * 2048, &mut rng());
-        let local = g
-            .edges()
-            .filter(|&(s, t)| s / 256 == t / 256)
-            .count() as f64;
+        let local = g.edges().filter(|&(s, t)| s / 256 == t / 256).count() as f64;
         let frac = local / g.num_edges() as f64;
         assert!(frac > 0.9, "local fraction = {frac}");
     }
@@ -154,10 +151,7 @@ mod tests {
     fn zero_locality_keeps_edges_mostly_remote() {
         let degrees = vec![6u32; 4096];
         let g = wire(4096, &degrees, 0.0, 256, 6 * 4096, &mut rng());
-        let local = g
-            .edges()
-            .filter(|&(s, t)| s / 256 == t / 256)
-            .count() as f64;
+        let local = g.edges().filter(|&(s, t)| s / 256 == t / 256).count() as f64;
         let frac = local / g.num_edges() as f64;
         assert!(frac < 0.15, "local fraction = {frac}");
     }

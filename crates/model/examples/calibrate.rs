@@ -4,14 +4,27 @@ use ggs_model::{GraphProfile, MetricParams};
 fn main() {
     let scale = 0.125;
     let params = MetricParams::default().scaled_caches(scale);
-    println!("{:4} {:>8} {:>9} {:>7} {:>7} {:>8} {:>6} {:>6} {:>6} {:>5} {:>6} {:>3}",
-        "name","V","E","maxd","avgd","stdd","volKB","ANL","ANR","reuse","imb","cls");
+    println!(
+        "{:4} {:>8} {:>9} {:>7} {:>7} {:>8} {:>6} {:>6} {:>6} {:>5} {:>6} {:>3}",
+        "name", "V", "E", "maxd", "avgd", "stdd", "volKB", "ANL", "ANR", "reuse", "imb", "cls"
+    );
     for p in GraphPreset::ALL {
         let g = SynthConfig::preset(p).scale(scale).generate();
         let prof = GraphProfile::measure(&g, &params);
-        println!("{:4} {:>8} {:>9} {:>7} {:>7.2} {:>8.2} {:>6.1} {:>6.2} {:>6.2} {:>5.3} {:>6.3} {:>3}",
-            p.mnemonic(), prof.vertices, prof.edges, prof.degrees.max, prof.degrees.avg,
-            prof.degrees.std_dev, prof.volume_kb, prof.anl, prof.anr, prof.reuse,
-            prof.imbalance, prof.class_code());
+        println!(
+            "{:4} {:>8} {:>9} {:>7} {:>7.2} {:>8.2} {:>6.1} {:>6.2} {:>6.2} {:>5.3} {:>6.3} {:>3}",
+            p.mnemonic(),
+            prof.vertices,
+            prof.edges,
+            prof.degrees.max,
+            prof.degrees.avg,
+            prof.degrees.std_dev,
+            prof.volume_kb,
+            prof.anl,
+            prof.anr,
+            prof.reuse,
+            prof.imbalance,
+            prof.class_code()
+        );
     }
 }

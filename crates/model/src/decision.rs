@@ -111,7 +111,9 @@ impl FromStr for SystemConfig {
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let err = || ParseConfigError(s.to_owned());
         let chars: Vec<char> = s.chars().collect();
-        let [p, c, m] = chars[..] else { return Err(err()) };
+        let [p, c, m] = chars[..] else {
+            return Err(err());
+        };
         let propagation = match p.to_ascii_uppercase() {
             'T' => Propagation::Pull,
             'S' => Propagation::Push,
@@ -151,7 +153,11 @@ pub fn predict_full(algo: &AlgoProfile, graph: &GraphProfile) -> SystemConfig {
     if algo.favors_source() || input_wants_push {
         push_config(graph)
     } else {
-        SystemConfig::new(Propagation::Pull, CoherenceKind::Gpu, ConsistencyModel::Drf0)
+        SystemConfig::new(
+            Propagation::Pull,
+            CoherenceKind::Gpu,
+            ConsistencyModel::Drf0,
+        )
     }
 }
 
@@ -172,12 +178,11 @@ fn push_config(graph: &GraphProfile) -> SystemConfig {
     } else {
         CoherenceKind::DeNovo
     };
-    let consistency =
-        if graph.imbalance_class == Level::High || graph.volume.at_least_medium() {
-            ConsistencyModel::DrfRlx
-        } else {
-            ConsistencyModel::Drf1
-        };
+    let consistency = if graph.imbalance_class == Level::High || graph.volume.at_least_medium() {
+        ConsistencyModel::DrfRlx
+    } else {
+        ConsistencyModel::Drf1
+    };
     SystemConfig::new(Propagation::Push, coherence, consistency)
 }
 
@@ -203,8 +208,7 @@ pub fn predict_partial(algo: &AlgoProfile, graph: &GraphProfile) -> SystemConfig
     }
     let control_source = algo.control == Some(crate::taxonomy::AlgoBias::Source);
     let info_source = algo.information == Some(crate::taxonomy::AlgoBias::Source);
-    let base_gate = graph.reuse_class.at_most_medium()
-        || graph.imbalance_class.at_least_medium();
+    let base_gate = graph.reuse_class.at_most_medium() || graph.imbalance_class.at_least_medium();
     let choose_push = if control_source {
         true
     } else if info_source {
@@ -216,7 +220,11 @@ pub fn predict_partial(algo: &AlgoProfile, graph: &GraphProfile) -> SystemConfig
         let full = push_config(graph);
         SystemConfig::new(Propagation::Push, full.coherence, ConsistencyModel::Drf1)
     } else {
-        SystemConfig::new(Propagation::Pull, CoherenceKind::Gpu, ConsistencyModel::Drf0)
+        SystemConfig::new(
+            Propagation::Pull,
+            CoherenceKind::Gpu,
+            ConsistencyModel::Drf0,
+        )
     }
 }
 
@@ -379,8 +387,7 @@ mod exhaustive_tests {
                 for i in all_levels() {
                     let g = GraphProfile::from_classes(v, r, i);
                     let cfg = predict_full(&algo, &g);
-                    let expect_pull =
-                        r == Level::High && i == Level::Low && v != Level::High;
+                    let expect_pull = r == Level::High && i == Level::Low && v != Level::High;
                     assert_eq!(
                         cfg.propagation == Propagation::Pull,
                         expect_pull,

@@ -21,8 +21,7 @@ pub enum Propagation {
 
 impl Propagation {
     /// All three strategies.
-    pub const ALL: [Propagation; 3] =
-        [Propagation::Pull, Propagation::Push, Propagation::PushPull];
+    pub const ALL: [Propagation; 3] = [Propagation::Pull, Propagation::Push, Propagation::PushPull];
 
     /// The letter used in the paper's configuration names: `T`arget
     /// (pull), `S`ource (push), or `D`ynamic (push+pull).
@@ -110,8 +109,7 @@ impl AlgoProfile {
     }
 
     /// PageRank-like profile: symmetric control, source information.
-    pub const STATIC_PR_LIKE: Self =
-        Self::new_static(AlgoBias::Symmetric, AlgoBias::Source);
+    pub const STATIC_PR_LIKE: Self = Self::new_static(AlgoBias::Symmetric, AlgoBias::Source);
 
     /// SSSP-like profile: source control, source information.
     pub const STATIC_SSSP_LIKE: Self = Self::new_static(AlgoBias::Source, AlgoBias::Source);

@@ -83,8 +83,8 @@ fn heavy_tailed_presets_have_heavy_tails() {
 
 #[test]
 fn model_predictions_match_table5_on_synthetic_inputs() {
-    use ggs_model::taxonomy::{AlgoBias, AlgoProfile};
     use ggs_model::predict_full;
+    use ggs_model::taxonomy::{AlgoBias, AlgoProfile};
 
     let apps = [
         AlgoProfile::new_static(AlgoBias::Symmetric, AlgoBias::Source), // PR
@@ -105,11 +105,7 @@ fn model_predictions_match_table5_on_synthetic_inputs() {
     for (preset, row) in expected {
         let p = profile(preset);
         for (app, want) in apps.iter().zip(row.iter()) {
-            assert_eq!(
-                predict_full(app, &p).code(),
-                *want,
-                "{preset:?} {app:?}"
-            );
+            assert_eq!(predict_full(app, &p).code(), *want, "{preset:?} {app:?}");
         }
     }
 }

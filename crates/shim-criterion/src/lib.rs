@@ -1,0 +1,184 @@
+//! Vendored, dependency-free stand-in for the subset of the
+//! `criterion` API this workspace's benches use.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! replaces the registry dependency with this path crate of the same
+//! name. Benches compile and run against the same source: each
+//! `b.iter(..)` target is warmed up once and timed over a small fixed
+//! number of iterations, and the mean wall-clock time is printed.
+//! There is no statistical analysis, HTML report, or CLI filtering —
+//! this is a smoke-bench harness, not a measurement instrument.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Iterations measured per benchmark (after one warm-up call).
+const MEASURED_ITERS: u32 = 10;
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named set of benchmarks; the tuning setters are accepted for
+/// source compatibility and ignored.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    _parent: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; sampling is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; warm-up is one call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; measurement length is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b);
+        b.report(&format!("{}/{name}", self.name));
+        self
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.0));
+        self
+    }
+
+    /// Ends the group (no-op; provided for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the parameter's display form.
+    pub fn from_parameter(p: impl Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// An id combining a function name and a parameter.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        Self(format!("{}/{p}", name.into()))
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measures `f`: one warm-up call, then the mean of
+    /// [`MEASURED_ITERS`] timed calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..MEASURED_ITERS {
+            black_box(f());
+        }
+        self.mean = Some(start.elapsed() / MEASURED_ITERS);
+    }
+
+    fn report(&self, name: &str) {
+        match self.mean {
+            Some(mean) => println!("bench {name:<48} {mean:>12.2?}/iter"),
+            None => println!("bench {name:<48} (no measurement)"),
+        }
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function from a list of target
+/// functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from a list of group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_the_closure() {
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1 + MEASURED_ITERS);
+    }
+
+    #[test]
+    fn groups_accept_the_full_tuning_surface() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(1));
+        group.bench_with_input(BenchmarkId::from_parameter(42), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,235 @@
+//! Vendored, dependency-free stand-in for the subset of the `rand` 0.8
+//! API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! replaces the registry dependency with this path crate of the same
+//! name. It is **stream-compatible** with `rand 0.8` + `SmallRng` on
+//! 64-bit targets: `SmallRng` is xoshiro256++ seeded through the same
+//! SplitMix64 expansion, and `gen_range`/`gen_bool`/`shuffle` use the
+//! same sampling algorithms (widening-multiply rejection for integers,
+//! the 1..2 mantissa trick for floats, a fixed-point Bernoulli, and a
+//! Fisher–Yates walk that draws 32-bit indices for small slices).
+//! Seeded graph generation therefore reproduces the exact streams the
+//! original dependency produced, keeping every golden expectation in
+//! the test suite valid.
+
+/// A random number generator core: the two raw word sources.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `state`, expanding it to a full seed.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — the algorithm `rand 0.8` uses for `SmallRng` on
+    /// 64-bit platforms.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            // SplitMix64 expansion, as in rand 0.8's
+            // Xoshiro256PlusPlus::seed_from_u64.
+            let mut s = [0u64; 4];
+            for word in &mut s {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                *word = z ^ (z >> 31);
+            }
+            Self { s }
+        }
+    }
+}
+
+/// A half-open or full range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample; panics on an empty range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($ty:ty => $wide:ty, $word:ident);+ $(;)?) => {$(
+        impl SampleRange<$ty> for core::ops::Range<$ty> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Widening-multiply rejection (rand 0.8's
+                // UniformInt::sample_single).
+                let range = self.end.wrapping_sub(self.start);
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$word() as $ty;
+                    let wide = (v as $wide) * (range as $wide);
+                    let hi = (wide >> (<$ty>::BITS)) as $ty;
+                    let lo = wide as $ty;
+                    if lo <= zone {
+                        return self.start.wrapping_add(hi);
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+impl_int_sample_range! {
+    u32 => u64, next_u32;
+    u64 => u128, next_u64;
+    usize => u128, next_u64;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let scale = self.end - self.start;
+        loop {
+            // 52 mantissa bits into [1, 2), shifted to [0, 1) — rand
+            // 0.8's UniformFloat::sample_single.
+            let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+            let res = (value1_2 - 1.0) * scale + self.start;
+            if res < self.end {
+                return res;
+            }
+        }
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every core.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (fixed-point
+    /// comparison, as rand 0.8's `Bernoulli`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of range [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        let p_int = (p * (2.0 * (1u64 << 63) as f64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Extension trait providing in-place shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle, identical draw sequence to rand 0.8.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, gen_index(rng, i + 1));
+            }
+        }
+    }
+
+    /// Uniform index below `ubound`, using 32-bit draws when they
+    /// suffice (rand 0.8's `gen_index`).
+    fn gen_index<R: RngCore + ?Sized>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= (u32::MAX as usize) {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1 << 40)).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1 << 40)).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1 << 40)).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(0usize..5);
+            assert!(i < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..64).all(|_| rng.gen_bool(1.0)));
+        assert!(!(0..64).any(|_| rng.gen_bool(0.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(
+            v, sorted,
+            "a 100-element shuffle leaving order intact is vanishingly unlikely"
+        );
+    }
+}

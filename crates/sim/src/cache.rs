@@ -181,6 +181,17 @@ impl Cache {
         n
     }
 
+    /// Iterates over every resident line as `(line, state)` pairs. The
+    /// order is the tag array's internal order, not insertion or LRU
+    /// order. Used by the `check` feature's protocol auditor to scan L1
+    /// contents without disturbing LRU state.
+    pub fn resident_lines(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
+        self.tags
+            .iter()
+            .zip(&self.states)
+            .filter_map(|(&tag, s)| s.map(|state| (tag, state)))
+    }
+
     /// Number of resident lines (any state).
     pub fn occupancy(&self) -> usize {
         self.states.iter().filter(|s| s.is_some()).count()

@@ -88,6 +88,38 @@ impl ConsistencyModel {
     pub fn atomics_overlap(self) -> bool {
         matches!(self, ConsistencyModel::DrfRlx)
     }
+
+    /// `true` if an atomic acts as a full fence at issue — release
+    /// (store-buffer drain) plus acquire (L1 self-invalidation). This
+    /// is the DRF0 pairing; DRF1/DRFrlx atomics are unpaired and fence
+    /// nothing.
+    ///
+    /// Shared by the timing model ([`crate::sm`]) and the `ggs-check`
+    /// analyzer so both agree on which `MicroOp::Atomic` ops
+    /// synchronize.
+    pub fn atomic_is_fence(self) -> bool {
+        self.atomics_are_paired()
+    }
+
+    /// `true` if atomics issue in program order with respect to the
+    /// warp's previous atomic (DRF0 and DRF1; DRFrlx lets them
+    /// overlap).
+    pub fn atomics_program_ordered(self) -> bool {
+        !self.atomics_overlap()
+    }
+
+    /// `true` if an atomic instruction blocks its warp until the value
+    /// is back: always under DRF0 (paired), and under DRF1/DRFrlx only
+    /// when the op is value-returning (`MicroOp::atomic_returning`) —
+    /// a fire-and-forget `MicroOp::atomic` retires as soon as it is
+    /// admitted.
+    ///
+    /// This single predicate is what makes `atomic` vs
+    /// `atomic_returning` mean the same thing to the simulator's warp
+    /// scheduler and to the race checker's synchronization analysis.
+    pub fn atomic_blocks_warp(self, returns_value: bool) -> bool {
+        self.atomics_are_paired() || returns_value
+    }
 }
 
 impl fmt::Display for ConsistencyModel {

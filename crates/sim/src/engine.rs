@@ -211,7 +211,9 @@ impl Simulation {
                     .breakdown
                     .record(StallClass::Sync, finish_times[i] - sm.now);
             }
-            self.stats.breakdown.record(StallClass::Idle, kernel_end - fin);
+            self.stats
+                .breakdown
+                .record(StallClass::Idle, kernel_end - fin);
         }
 
         self.clock = kernel_end;
@@ -227,6 +229,41 @@ impl Simulation {
     /// Consumes the simulation and returns the final statistics.
     pub fn finish(self) -> ExecStats {
         self.stats
+    }
+}
+
+/// Protocol invariant checking (`check` feature): forwarding to
+/// [`MemorySystem`]'s checker so tools never need the memory system
+/// directly. See [`crate::check`].
+#[cfg(feature = "check")]
+impl Simulation {
+    /// Enables the protocol invariant checker for all subsequent
+    /// kernels.
+    pub fn enable_protocol_checker(&mut self) {
+        self.mem.enable_protocol_checker();
+    }
+
+    /// Drains the protocol violations recorded so far.
+    pub fn take_protocol_violations(&mut self) -> Vec<crate::check::ProtocolViolation> {
+        self.mem.take_protocol_violations()
+    }
+
+    /// Audits the full cache/ownership state at the current simulated
+    /// cycle (per-access checks only cover touched lines).
+    pub fn audit_protocol(&mut self) {
+        self.mem.audit(self.clock);
+    }
+
+    /// Fault injection for negative tests: see
+    /// [`MemorySystem::debug_force_owned`].
+    pub fn debug_force_owned(&mut self, sm: u32, line: u64) {
+        self.mem.debug_force_owned(sm, line);
+    }
+
+    /// Fault injection for negative tests: see
+    /// [`MemorySystem::debug_skip_next_invalidation`].
+    pub fn debug_skip_next_invalidation(&mut self) {
+        self.mem.debug_skip_next_invalidation();
     }
 }
 
@@ -247,10 +284,7 @@ mod tests {
     }
 
     fn compute_kernel(threads: usize, ops: usize) -> KernelTrace {
-        KernelTrace::new(
-            vec![vec![MicroOp::compute(2); ops]; threads],
-            256,
-        )
+        KernelTrace::new(vec![vec![MicroOp::compute(2); ops]; threads], 256)
     }
 
     #[test]
@@ -358,7 +392,10 @@ mod tests {
         sim.reconfigure(hw(CoherenceKind::DeNovo, ConsistencyModel::Drf1));
         sim.run_kernel(&atomic_kernel);
         let stats = sim.finish();
-        assert!(stats.mem.l1_atomics > 0, "DeNovo kernel executed L1 atomics");
+        assert!(
+            stats.mem.l1_atomics > 0,
+            "DeNovo kernel executed L1 atomics"
+        );
         assert_eq!(
             stats.mem.l2_atomics, gpu_atomics_first,
             "no further L2 atomics after switching to DeNovo"
@@ -376,8 +413,7 @@ mod tests {
             256,
         );
         let run = |c: CoherenceKind| {
-            let mut sim =
-                Simulation::new(SystemParams::default(), hw(c, ConsistencyModel::Drf1));
+            let mut sim = Simulation::new(SystemParams::default(), hw(c, ConsistencyModel::Drf1));
             sim.run_kernel(&store_kernel);
             sim.run_kernel(&atomic_kernel);
             sim.finish()

@@ -53,6 +53,8 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cache;
+#[cfg(feature = "check")]
+pub mod check;
 pub mod config;
 pub mod engine;
 pub mod layout;
@@ -63,6 +65,8 @@ pub mod sm;
 pub mod stats;
 pub mod trace;
 
+#[cfg(feature = "check")]
+pub use check::{InvariantKind, ProtocolViolation};
 pub use config::{CoherenceKind, ConsistencyModel, HwConfig};
 pub use engine::Simulation;
 pub use params::SystemParams;

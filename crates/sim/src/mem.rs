@@ -10,6 +10,8 @@
 use std::collections::{BinaryHeap, HashMap};
 
 use crate::cache::{Cache, LineState};
+#[cfg(feature = "check")]
+use crate::check::{InvariantKind, ProtocolChecker, ProtocolViolation};
 use crate::config::{CoherenceKind, HwConfig};
 use crate::noc::Mesh;
 use crate::params::SystemParams;
@@ -124,6 +126,11 @@ pub struct MemorySystem {
     /// attribution: `(base, end, name)`.
     regions: Vec<(u64, u64, String)>,
     region_stats: Vec<RegionStats>,
+
+    /// Protocol invariant observer (`check` feature): `None` until
+    /// [`MemorySystem::enable_protocol_checker`] turns it on.
+    #[cfg(feature = "check")]
+    checker: Option<ProtocolChecker>,
 }
 
 impl MemorySystem {
@@ -175,6 +182,8 @@ impl MemorySystem {
             counters: MemCounters::default(),
             regions: Vec::new(),
             region_stats: Vec::new(),
+            #[cfg(feature = "check")]
+            checker: None,
         }
     }
 
@@ -313,6 +322,8 @@ impl MemorySystem {
             self.counters.l1_hits += 1;
             let done = at + self.l1_hit;
             self.attribute(addr, AccessKind::Load, true, done - at);
+            #[cfg(feature = "check")]
+            self.check_line_invariants(line, at);
             return Access {
                 proceed_at: done,
                 complete_at: done,
@@ -344,6 +355,8 @@ impl MemorySystem {
         self.mshr[sm as usize].push(complete_at);
         self.l1_fill(sm, line, LineState::Valid, at);
         self.attribute(addr, AccessKind::Load, false, complete_at - at);
+        #[cfg(feature = "check")]
+        self.check_line_invariants(line, at);
         Access {
             proceed_at: complete_at,
             complete_at,
@@ -373,6 +386,8 @@ impl MemorySystem {
                 self.counters.noc_line_transfers += 1;
                 self.store_buf[sm as usize].push(complete_at);
                 self.attribute(addr, AccessKind::Store, false, complete_at - at);
+                #[cfg(feature = "check")]
+                self.check_line_invariants(line, at);
                 // Write-through updates a resident L1 copy in place (it
                 // stays Valid); no allocation on miss.
                 Access {
@@ -386,6 +401,8 @@ impl MemorySystem {
                     let done = at + self.l1_hit;
                     self.l1[sm as usize].lookup(line); // refresh LRU
                     self.attribute(addr, AccessKind::Store, true, done - at);
+                    #[cfg(feature = "check")]
+                    self.check_line_invariants(line, at);
                     return Access {
                         proceed_at: done,
                         complete_at: done,
@@ -393,6 +410,8 @@ impl MemorySystem {
                 }
                 let complete_at = self.register_ownership(sm, line, at);
                 self.attribute(addr, AccessKind::Store, false, complete_at - at);
+                #[cfg(feature = "check")]
+                self.check_line_invariants(line, at);
                 Access {
                     proceed_at: at + 1,
                     complete_at,
@@ -451,14 +470,16 @@ impl MemorySystem {
                 let bank = self.bank_of(line);
                 let net = self.mesh.l2_latency(sm, bank);
                 let chain = self.atomic_chain.get(&addr).copied().unwrap_or(0);
-                let svc_start = self
-                    .bank_service(bank, (at + net / 2).max(chain), self.l2_atomic_occupancy);
+                let svc_start =
+                    self.bank_service(bank, (at + net / 2).max(chain), self.l2_atomic_occupancy);
                 let extra = self.l2_data_latency(line, bank);
                 let done_at_bank = svc_start + self.atomic_rmw + extra;
                 self.atomic_chain.insert(addr, done_at_bank);
                 let complete_at = done_at_bank + net / 2;
                 self.counters.noc_control_messages += 2; // request + reply
                 self.attribute(addr, AccessKind::Atomic, false, complete_at - at);
+                #[cfg(feature = "check")]
+                self.check_line_invariants(line, at);
                 Access {
                     proceed_at: at + 1,
                     complete_at,
@@ -478,6 +499,8 @@ impl MemorySystem {
                 let complete_at = base.max(chain) + self.l1_atomic_occupancy;
                 self.atomic_chain.insert(addr, complete_at);
                 self.attribute(addr, AccessKind::Atomic, owned, complete_at - at);
+                #[cfg(feature = "check")]
+                self.check_line_invariants(line, at);
                 Access {
                     proceed_at: proceed,
                     complete_at,
@@ -506,8 +529,20 @@ impl MemorySystem {
     /// Acquire: flash self-invalidation of SM `sm`'s L1 (owned DeNovo
     /// lines survive).
     pub fn acquire(&mut self, sm: u32) {
-        let n = self.l1[sm as usize].invalidate_unowned();
-        self.counters.invalidations += n;
+        #[cfg(feature = "check")]
+        let skipped = self
+            .checker
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.skip_next_invalidation))
+            .unwrap_or(false);
+        #[cfg(not(feature = "check"))]
+        let skipped = false;
+        if !skipped {
+            let n = self.l1[sm as usize].invalidate_unowned();
+            self.counters.invalidations += n;
+        }
+        #[cfg(feature = "check")]
+        self.check_acquire_invariants(sm);
     }
 
     /// Release: returns the cycle by which all of SM `sm`'s outstanding
@@ -518,7 +553,11 @@ impl MemorySystem {
 
     /// Cycle by which every SM's writes have drained (kernel end).
     pub fn global_drain(&self) -> u64 {
-        self.store_buf.iter().map(|b| b.drain_time()).max().unwrap_or(0)
+        self.store_buf
+            .iter()
+            .map(|b| b.drain_time())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Marks a kernel boundary: clears the per-word atomic serialization
@@ -530,6 +569,158 @@ impl MemorySystem {
         self.owner_chain.clear();
         for sm in 0..self.l1.len() as u32 {
             self.acquire(sm);
+        }
+    }
+}
+
+/// Protocol invariant checking (see [`crate::check`]). The invariant
+/// logic lives here because it needs to peek at every L1 and the
+/// ownership registry; `ProtocolChecker` only accumulates violations.
+#[cfg(feature = "check")]
+impl MemorySystem {
+    /// Turns the protocol invariant checker on. Until this is called,
+    /// the compiled-in hooks cost one branch per access.
+    pub fn enable_protocol_checker(&mut self) {
+        self.checker = Some(ProtocolChecker::default());
+    }
+
+    /// Drains every violation recorded since the last call (empty if
+    /// the protocol behaved — or the checker was never enabled).
+    pub fn take_protocol_violations(&mut self) -> Vec<ProtocolViolation> {
+        self.checker
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.violations))
+            .unwrap_or_default()
+    }
+
+    /// Full-state audit at cycle `at`: re-checks every line resident in
+    /// any L1 or registered in the ownership registry. Use at kernel
+    /// boundaries; per-access checking already covers touched lines.
+    pub fn audit(&mut self, at: u64) {
+        if self.checker.is_none() {
+            return;
+        }
+        let mut lines: Vec<u64> = self.owner.keys().copied().collect();
+        for l1 in &self.l1 {
+            lines.extend(l1.resident_lines().map(|(line, _)| line));
+        }
+        lines.sort_unstable();
+        lines.dedup();
+        for line in lines {
+            self.check_line_invariants(line, at);
+        }
+    }
+
+    /// Fault injection for negative tests: plants `line` as `Owned` in
+    /// `sm`'s L1 *without* updating the ownership registry, so the next
+    /// check of that line reports a violation (ownership-registry
+    /// mismatch under DeNovo, owned-line-exists under GPU coherence,
+    /// and SWMR if another L1 legitimately owns it).
+    pub fn debug_force_owned(&mut self, sm: u32, line: u64) {
+        self.l1[sm as usize].insert(line, LineState::Owned);
+    }
+
+    /// Fault injection for negative tests: the next acquire skips its
+    /// self-invalidation, leaving stale `Valid` lines for the
+    /// post-acquire check to catch. No-op unless the checker is
+    /// enabled.
+    pub fn debug_skip_next_invalidation(&mut self) {
+        if let Some(c) = self.checker.as_mut() {
+            c.skip_next_invalidation = true;
+        }
+    }
+
+    /// Checks every per-line invariant for `line` after an access at
+    /// cycle `at`: SWMR, ownership-registry consistency (DeNovo), and
+    /// no-owned-lines (GPU coherence).
+    fn check_line_invariants(&mut self, line: u64, at: u64) {
+        if self.checker.is_none() {
+            return;
+        }
+        let owners: Vec<u32> = (0..self.l1.len() as u32)
+            .filter(|&s| self.l1[s as usize].peek(line) == Some(LineState::Owned))
+            .collect();
+        let mut found = Vec::new();
+        if owners.len() > 1 {
+            found.push(ProtocolViolation {
+                cycle: at,
+                sm: owners[0],
+                line,
+                kind: InvariantKind::Swmr,
+                detail: format!("line is Owned in {} L1s: SMs {owners:?}", owners.len()),
+            });
+        }
+        match self.hw.coherence {
+            CoherenceKind::Gpu => {
+                for &sm in &owners {
+                    found.push(ProtocolViolation {
+                        cycle: at,
+                        sm,
+                        line,
+                        kind: InvariantKind::GpuOwnedLine,
+                        detail: "L1 holds an Owned line under write-through GPU coherence"
+                            .to_owned(),
+                    });
+                }
+            }
+            CoherenceKind::DeNovo => {
+                let registered = self.owner.get(&line).copied();
+                if let Some(reg) = registered {
+                    if !owners.contains(&reg) {
+                        found.push(ProtocolViolation {
+                            cycle: at,
+                            sm: reg,
+                            line,
+                            kind: InvariantKind::OwnerMapMismatch,
+                            detail: format!(
+                                "registry says SM {reg} owns the line, but its L1 holds it {:?}",
+                                self.l1[reg as usize].peek(line)
+                            ),
+                        });
+                    }
+                }
+                for &sm in &owners {
+                    if registered != Some(sm) {
+                        found.push(ProtocolViolation {
+                            cycle: at,
+                            sm,
+                            line,
+                            kind: InvariantKind::OwnerMapMismatch,
+                            detail: format!(
+                                "L1 holds the line Owned, but the registry entry is {registered:?}"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let checker = self.checker.as_mut().expect("checked above");
+        checker.now = checker.now.max(at);
+        checker.violations.extend(found);
+    }
+
+    /// Checks the post-acquire invariant for `sm`: after
+    /// self-invalidation only `Owned` lines may remain resident, so a
+    /// surviving `Valid` line could serve stale data.
+    fn check_acquire_invariants(&mut self, sm: u32) {
+        if self.checker.is_none() {
+            return;
+        }
+        let stale: Vec<u64> = self.l1[sm as usize]
+            .resident_lines()
+            .filter(|&(_, state)| state == LineState::Valid)
+            .map(|(line, _)| line)
+            .collect();
+        let checker = self.checker.as_mut().expect("checked above");
+        let now = checker.now;
+        for line in stale {
+            checker.violations.push(ProtocolViolation {
+                cycle: now,
+                sm,
+                line,
+                kind: InvariantKind::StaleAfterAcquire,
+                detail: "Valid (unowned) line survived the acquire's self-invalidation".to_owned(),
+            });
         }
     }
 }
@@ -580,7 +771,10 @@ mod tests {
         m.acquire(0);
         assert_eq!(m.counters.invalidations, 1);
         let again = m.load(0, 0x1000, 10_000);
-        assert!(again.complete_at - 10_000 > 1, "must re-fetch after acquire");
+        assert!(
+            again.complete_at - 10_000 > 1,
+            "must re-fetch after acquire"
+        );
     }
 
     #[test]
@@ -615,9 +809,9 @@ mod tests {
         let mut m = mem(CoherenceKind::Gpu);
         let a = m.atomic(0, 0x0, 0);
         let b = m.atomic(0, 64, 0); // next line, different bank
-        // Both complete in roughly one round-trip (cold-miss penalties
-        // differ slightly per bank); far from the ~400 cycles serial
-        // execution would take.
+                                    // Both complete in roughly one round-trip (cold-miss penalties
+                                    // differ slightly per bank); far from the ~400 cycles serial
+                                    // execution would take.
         assert!(b.complete_at < a.complete_at + 50);
     }
 
@@ -628,7 +822,11 @@ mod tests {
         assert!(a.complete_at >= 29, "first atomic pays registration");
         assert_eq!(m.counters.registrations, 1);
         let b = m.atomic(0, 0x3000, a.complete_at + 10);
-        assert_eq!(b.complete_at, a.complete_at + 10 + 2, "owned atomic is local");
+        assert_eq!(
+            b.complete_at,
+            a.complete_at + 10 + 2,
+            "owned atomic is local"
+        );
     }
 
     #[test]
@@ -661,7 +859,11 @@ mod tests {
         let mut m = mem(CoherenceKind::DeNovo);
         let s1 = m.store(0, 0x5000, 0);
         let s2 = m.store(0, 0x5000, s1.complete_at + 1);
-        assert_eq!(s2.complete_at, s1.complete_at + 1 + 1, "owned store is local");
+        assert_eq!(
+            s2.complete_at,
+            s1.complete_at + 1 + 1,
+            "owned store is local"
+        );
         assert_eq!(m.counters.registrations, 1);
     }
 
@@ -729,10 +931,122 @@ mod tests {
         );
         m.store(0, 0x0, 0); // own line 0
         m.store(0, 0x40, 100); // evicts line 0
-        // Line 0 no longer owned: atomic from SM1 should not ping-pong.
+                               // Line 0 no longer owned: atomic from SM1 should not ping-pong.
         let before = m.counters.remote_transfers;
         m.atomic(1, 0x0, 200);
         assert_eq!(m.counters.remote_transfers, before);
+    }
+}
+
+#[cfg(all(test, feature = "check"))]
+mod check_tests {
+    use super::*;
+    use crate::check::InvariantKind;
+    use crate::config::ConsistencyModel;
+
+    fn mem(coh: CoherenceKind) -> MemorySystem {
+        let mut m = MemorySystem::new(
+            &SystemParams::default(),
+            HwConfig::new(coh, ConsistencyModel::Drf1),
+        );
+        m.enable_protocol_checker();
+        m
+    }
+
+    #[test]
+    fn clean_denovo_traffic_reports_nothing() {
+        let mut m = mem(CoherenceKind::DeNovo);
+        let a = m.atomic(0, 0x100, 0);
+        let b = m.atomic(1, 0x100, a.complete_at + 1); // ownership hand-off
+        m.store(0, 0x200, b.complete_at + 1);
+        m.load(2, 0x100, b.complete_at + 2);
+        m.acquire(0);
+        m.audit(b.complete_at + 10);
+        assert_eq!(m.take_protocol_violations(), Vec::new());
+    }
+
+    #[test]
+    fn clean_gpu_traffic_reports_nothing() {
+        let mut m = mem(CoherenceKind::Gpu);
+        m.load(0, 0x100, 0);
+        m.store(1, 0x100, 5);
+        m.atomic(2, 0x100, 10);
+        m.acquire(0);
+        m.audit(100);
+        assert_eq!(m.take_protocol_violations(), Vec::new());
+    }
+
+    #[test]
+    fn forced_ownership_breaks_registry_consistency() {
+        let mut m = mem(CoherenceKind::DeNovo);
+        m.debug_force_owned(1, 0x100 >> 6);
+        m.load(0, 0x100, 0);
+        let violations = m.take_protocol_violations();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.kind == InvariantKind::OwnerMapMismatch && v.sm == 1),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn double_ownership_breaks_swmr() {
+        let mut m = mem(CoherenceKind::DeNovo);
+        let a = m.store(0, 0x100, 0); // SM 0 legitimately owns the line
+        m.debug_force_owned(1, 0x100 >> 6);
+        m.audit(a.complete_at);
+        let violations = m.take_protocol_violations();
+        assert!(
+            violations.iter().any(|v| v.kind == InvariantKind::Swmr),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn owned_line_under_gpu_coherence_is_flagged() {
+        let mut m = mem(CoherenceKind::Gpu);
+        m.debug_force_owned(0, 0x40 >> 6);
+        m.audit(7);
+        let violations = m.take_protocol_violations();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.kind == InvariantKind::GpuOwnedLine && v.cycle == 7),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn skipped_invalidation_leaves_stale_lines() {
+        let mut m = mem(CoherenceKind::Gpu);
+        m.load(0, 0x1000, 0);
+        m.debug_skip_next_invalidation();
+        m.acquire(0);
+        let violations = m.take_protocol_violations();
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.kind == InvariantKind::StaleAfterAcquire
+                    && v.sm == 0
+                    && v.line == 0x1000 >> 6),
+            "{violations:?}"
+        );
+        // The *next* acquire is clean again (one-shot injection).
+        m.load(0, 0x1000, 100);
+        m.acquire(0);
+        assert_eq!(m.take_protocol_violations(), Vec::new());
+    }
+
+    #[test]
+    fn disabled_checker_records_nothing() {
+        let mut m = MemorySystem::new(
+            &SystemParams::default(),
+            HwConfig::new(CoherenceKind::Gpu, ConsistencyModel::Drf1),
+        );
+        m.debug_force_owned(0, 1);
+        m.audit(0);
+        assert_eq!(m.take_protocol_violations(), Vec::new());
     }
 }
 
@@ -768,10 +1082,16 @@ mod traffic_tests {
     fn denovo_owned_atomics_generate_no_traffic() {
         let mut m = mem(CoherenceKind::DeNovo);
         let a = m.atomic(0, 0x100, 0); // registration traffic
-        let after_reg = (m.counters.noc_line_transfers, m.counters.noc_control_messages);
+        let after_reg = (
+            m.counters.noc_line_transfers,
+            m.counters.noc_control_messages,
+        );
         m.atomic(0, 0x100, a.complete_at + 1); // owned: local, free
         assert_eq!(
-            (m.counters.noc_line_transfers, m.counters.noc_control_messages),
+            (
+                m.counters.noc_line_transfers,
+                m.counters.noc_control_messages
+            ),
             after_reg
         );
     }
@@ -800,7 +1120,10 @@ mod traffic_tests {
     fn reconfigure_within_same_coherence_keeps_ownership() {
         let mut m = mem(CoherenceKind::DeNovo);
         m.store(0, 0x300, 0);
-        m.reconfigure(HwConfig::new(CoherenceKind::DeNovo, ConsistencyModel::DrfRlx));
+        m.reconfigure(HwConfig::new(
+            CoherenceKind::DeNovo,
+            ConsistencyModel::DrfRlx,
+        ));
         let a = m.atomic(0, 0x300, 100);
         assert_eq!(a.complete_at, 102, "still an owned local atomic");
     }

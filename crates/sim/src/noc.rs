@@ -83,7 +83,8 @@ impl Mesh {
     /// the paper's 197–261 cycle range.
     pub fn mem_penalty(&self, bank: u32) -> u64 {
         let bank_node = self.bank_node(bank);
-        self.mem_base - self.l2_base + self.mem_hop * self.hops(bank_node, self.nearest_mc(bank_node))
+        self.mem_base - self.l2_base
+            + self.mem_hop * self.hops(bank_node, self.nearest_mc(bank_node))
     }
 
     /// Round-trip latency for transferring ownership of a line from SM

@@ -3,8 +3,8 @@
 //! scheduling with stall classification.
 
 use crate::config::ConsistencyModel;
-use crate::params::SchedulerPolicy;
 use crate::mem::MemorySystem;
+use crate::params::SchedulerPolicy;
 use crate::stats::{StallBreakdown, StallClass};
 use crate::trace::MicroOp;
 
@@ -238,7 +238,12 @@ impl<'k> Sm<'k> {
         };
 
         if comp_cycles > 0 {
-            raise(now + 1 + comp_cycles, StallClass::Comp, &mut ready, &mut blocked);
+            raise(
+                now + 1 + comp_cycles,
+                StallClass::Comp,
+                &mut ready,
+                &mut blocked,
+            );
         }
 
         if !load_lines.is_empty() {
@@ -304,21 +309,20 @@ impl<'k> Sm<'k> {
             }
         };
 
-        // Ordering constraints before issue.
-        let issue_from = match self.consistency {
-            ConsistencyModel::Drf0 => {
-                // Paired atomic: release (drain own writes) + acquire
-                // (self-invalidate) around it.
-                let drain = mem.release_drain(self.id);
-                mem.acquire(self.id);
-                now.max(drain)
-            }
-            ConsistencyModel::Drf1 => {
-                // Program order between atomics: wait for this warp's
-                // previous atomic.
-                now.max(self.warps[idx].last_atomic_done)
-            }
-            ConsistencyModel::DrfRlx => now,
+        // Ordering constraints before issue (shared predicates on
+        // ConsistencyModel keep this in lockstep with ggs-check).
+        let issue_from = if self.consistency.atomic_is_fence() {
+            // Paired atomic: release (drain own writes) + acquire
+            // (self-invalidate) around it.
+            let drain = mem.release_drain(self.id);
+            mem.acquire(self.id);
+            now.max(drain)
+        } else if self.consistency.atomics_program_ordered() {
+            // Program order between atomics: wait for this warp's
+            // previous atomic.
+            now.max(self.warps[idx].last_atomic_done)
+        } else {
+            now
         };
         if issue_from > now {
             raise(issue_from, StallClass::Sync, ready, blocked);
@@ -343,18 +347,13 @@ impl<'k> Sm<'k> {
         self.last_completion = self.last_completion.max(done);
         self.warps[idx].last_atomic_done = done;
 
-        match self.consistency {
-            // DRF0 atomics are paired: the warp waits for completion.
-            ConsistencyModel::Drf0 => raise(done, StallClass::Sync, ready, blocked),
-            // Unpaired atomics overlap with data accesses; the warp only
-            // waits for issue back-pressure — unless the value is used.
-            ConsistencyModel::Drf1 | ConsistencyModel::DrfRlx => {
-                if any_returns {
-                    raise(done, StallClass::Sync, ready, blocked);
-                } else {
-                    raise(proceed, StallClass::Sync, ready, blocked);
-                }
-            }
+        // Paired or value-returning atomics block the warp until the
+        // value is back; fire-and-forget unpaired atomics only wait for
+        // issue back-pressure.
+        if self.consistency.atomic_blocks_warp(any_returns) {
+            raise(done, StallClass::Sync, ready, blocked);
+        } else {
+            raise(proceed, StallClass::Sync, ready, blocked);
         }
     }
 
@@ -376,10 +375,7 @@ mod tests {
 
     fn setup(consistency: ConsistencyModel) -> (MemorySystem, Sm<'static>) {
         let params = SystemParams::default();
-        let mem = MemorySystem::new(
-            &params,
-            HwConfig::new(CoherenceKind::Gpu, consistency),
-        );
+        let mem = MemorySystem::new(&params, HwConfig::new(CoherenceKind::Gpu, consistency));
         let sm = Sm::new(
             0,
             0,
@@ -422,8 +418,7 @@ mod tests {
     #[test]
     fn coalesced_loads_are_one_transaction() {
         // All 32 lanes load consecutive words in one line.
-        let threads: Vec<Vec<MicroOp>> =
-            (0..32).map(|i| vec![MicroOp::load(i * 4)]).collect();
+        let threads: Vec<Vec<MicroOp>> = (0..32).map(|i| vec![MicroOp::load(i * 4)]).collect();
         let (mut mem, mut sm) = setup(ConsistencyModel::Drf1);
         let threads_static: &'static [Vec<MicroOp>] = Box::leak(threads.into_boxed_slice());
         sm.assign_block(threads_static);

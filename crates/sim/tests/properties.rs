@@ -24,8 +24,7 @@ fn kernels() -> impl Strategy<Value = KernelTrace> {
         (1u16..8).prop_map(MicroOp::compute),
     ];
     let thread = prop::collection::vec(op, 0..12);
-    prop::collection::vec(thread, 1..200)
-        .prop_map(|threads| KernelTrace::new(threads, 64))
+    prop::collection::vec(thread, 1..200).prop_map(|threads| KernelTrace::new(threads, 64))
 }
 
 proptest! {

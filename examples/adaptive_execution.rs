@@ -57,7 +57,6 @@ fn main() {
         schedule.push(' ');
     }
     println!("per-kernel hardware schedule: {schedule}");
-    let delta = 1.0
-        - adaptive.stats.total_cycles() as f64 / static_stats.total_cycles() as f64;
+    let delta = 1.0 - adaptive.stats.total_cycles() as f64 / static_stats.total_cycles() as f64;
     println!("adaptation delta vs static choice: {:+.1}%", delta * 100.0);
 }

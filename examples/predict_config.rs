@@ -22,7 +22,11 @@ fn load(arg: &str) -> (String, Csr, MetricParams) {
         let scale = 0.125;
         let graph = SynthConfig::preset(preset).scale(scale).generate();
         let params = MetricParams::default().scaled_caches(scale);
-        (format!("{preset} (synthetic, scale {scale})"), graph, params)
+        (
+            format!("{preset} (synthetic, scale {scale})"),
+            graph,
+            params,
+        )
     } else {
         let file = File::open(arg).unwrap_or_else(|e| {
             eprintln!("cannot open {arg}: {e}");
@@ -58,7 +62,10 @@ fn main() {
         profile.imbalance_class.letter(),
     );
     println!();
-    println!("{:6} {:>10} {:>22}", "app", "full model", "without DRFrlx (§IV-B)");
+    println!(
+        "{:6} {:>10} {:>22}",
+        "app", "full model", "without DRFrlx (§IV-B)"
+    );
     for app in AppKind::ALL {
         let algo = app.algo_profile();
         println!(

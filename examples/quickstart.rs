@@ -18,7 +18,11 @@ fn main() {
     let n = 4096u32;
     let graph = GraphBuilder::new(n)
         .edges((0..n).map(|i| (i, (i + 1) % n)))
-        .edges((0..n).map(|i| (i, (i * 131 + 7) % n)).filter(|&(a, b)| a != b))
+        .edges(
+            (0..n)
+                .map(|i| (i, (i * 131 + 7) % n))
+                .filter(|&(a, b)| a != b),
+        )
         .symmetric(true)
         .build();
     println!(

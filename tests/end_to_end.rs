@@ -67,7 +67,11 @@ fn custom_graphs_work_through_the_same_api() {
     // way.
     let graph = GraphBuilder::new(2048)
         .edges((0..2047).map(|i| (i, i + 1)))
-        .edges((0..2048).map(|i| (i, (i * 97) % 2048)).filter(|&(a, b)| a != b))
+        .edges(
+            (0..2048)
+                .map(|i| (i, (i * 97) % 2048))
+                .filter(|&(a, b)| a != b),
+        )
         .symmetric(true)
         .build();
     let spec = ExperimentSpec::at_scale(SCALE);

@@ -70,8 +70,7 @@ fn drf0_push_is_uniformly_poor() {
 /// §VI (Figure 5 caption): pull uses no fine-grained atomics, so its
 /// execution time is exactly insensitive to the consistency model.
 #[test]
-fn pull_is_insensitive_to_consistency()
-{
+fn pull_is_insensitive_to_consistency() {
     let tg0 = cycles(AppKind::Mis, GraphPreset::Dct, "TG0");
     let tg1 = cycles(AppKind::Mis, GraphPreset::Dct, "TG1");
     let tgr = cycles(AppKind::Mis, GraphPreset::Dct, "TGR");
