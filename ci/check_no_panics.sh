@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Panic hygiene gate for the library crates.
+#
+# Scans the non-test portion of every source file in ggs-graph, ggs-sim,
+# ggs-model, and ggs-core for panic sites (`.unwrap()`, `.expect(`,
+# `panic!(`, `unreachable!(`). Scanning stops at the first `#[cfg(test`
+# in each file, so unit tests may panic freely. Lines that are pure
+# `//` comments are ignored, as is anything matching a substring in
+# ci/panic-allowlist.txt (internal invariants with descriptive messages
+# and the documented panicking wrappers — see docs/api.md).
+#
+# Bare `assert!`/`assert_eq!` are deliberately allowed: they express
+# internal invariants, and converting them would hide bugs, not report
+# errors.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+allowlist=ci/panic-allowlist.txt
+
+fail=0
+for crate in graph sim model core; do
+    for file in $(find "crates/$crate/src" -name '*.rs' | sort); do
+        hits=$(awk '
+            /#\[cfg\(test/ { exit }
+            /^[[:space:]]*\/\// { next }
+            /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
+                printf "%s:%d: %s\n", FILENAME, FNR, $0
+            }
+        ' "$file")
+        [ -z "$hits" ] && continue
+        while IFS= read -r hit; do
+            allowed=0
+            while IFS= read -r pat; do
+                case "$pat" in ''|'#'*) continue ;; esac
+                case "$hit" in *"$pat"*) allowed=1; break ;; esac
+            done < "$allowlist"
+            if [ "$allowed" -eq 0 ]; then
+                echo "PANIC SITE: $hit"
+                fail=1
+            fi
+        done <<< "$hits"
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo
+    echo "Panic sites found outside ci/panic-allowlist.txt." >&2
+    echo "Convert them to GgsError (see docs/api.md) or, for genuine" >&2
+    echo "internal invariants, add the line's distinctive substring to" >&2
+    echo "the allowlist with a justification comment." >&2
+    exit 1
+fi
+echo "panic check: clean (crates: graph sim model core)"

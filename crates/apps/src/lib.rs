@@ -58,4 +58,4 @@ pub mod pr;
 mod registry;
 pub mod sssp;
 
-pub use registry::{AppKind, Workload};
+pub use registry::{AppKind, ParseAppError, Workload};

@@ -6,8 +6,22 @@
 //!
 //! ```text
 //! repro [--scale S] [--threads N] [--json PATH] [--svg PATH] [--all]
+//!       [--trace-out PATH] [--trace-stride N]
 //!       [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|check|all]
+//! repro trace <app> <graph> <config> [--scale S] [--trace-out PATH] [--trace-stride N]
 //! ```
+//!
+//! `repro trace` simulates one (application, graph, configuration)
+//! point with full instrumentation and writes the event stream to
+//! `--trace-out` (default `trace.json`): Chrome trace-event JSON
+//! loadable in Perfetto / `chrome://tracing`, or JSON-lines if the path
+//! ends in `.jsonl`. `<graph>` is a preset mnemonic (`OLS`, `EML`, …)
+//! or `rmat<N>` for a synthetic power-law graph with 2^N vertices
+//! (scaled by `--scale`). `--trace-stride` (default 1000 cycles)
+//! bounds the per-SM stall-sample and ownership-event rate. When
+//! `--trace-out` is given alongside study sections (`fig5`, `summary`,
+//! …), a per-phase wall-clock profile of the study itself is written
+//! instead (see docs/observability.md).
 //!
 //! Default scale is 0.125 (inputs and cache capacities scaled together,
 //! preserving every Table II class — see DESIGN.md). The expensive
@@ -37,6 +51,8 @@ fn main() {
     let mut threads = std::thread::available_parallelism().map_or(4, |n| n.get());
     let mut json_path: Option<String> = None;
     let mut svg_path: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_stride = 1000u64;
     let mut check_extended = false;
     let mut sections: Vec<String> = Vec::new();
 
@@ -62,22 +78,59 @@ fn main() {
             "--svg" => {
                 svg_path = Some(args.next().unwrap_or_else(|| die("--svg needs a path")));
             }
+            "--trace-out" => {
+                trace_out = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--trace-out needs a path")),
+                );
+            }
+            "--trace-stride" => {
+                trace_stride = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &u64| v > 0)
+                    .unwrap_or_else(|| die("--trace-stride needs a positive integer"));
+            }
             "--all" => {
                 check_extended = true;
             }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale S] [--threads N] [--json PATH] [--svg PATH] [--all] \
+                     [--trace-out PATH] [--trace-stride N] \
                      [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|check|all]..."
+                );
+                println!(
+                    "       repro trace <app> <graph> <config> [--scale S] [--trace-out PATH] \
+                     [--trace-stride N]"
                 );
                 println!(
                     "  check    certify Table I contracts (static DRF) and protocol \
                      invariants (dynamic); --all includes the extended app set"
                 );
+                println!(
+                    "  trace    simulate one workload with instrumentation; <graph> is a \
+                     preset mnemonic or rmat<N> (2^N vertices, scaled by --scale); the \
+                     trace is Chrome trace-event JSON (.jsonl for JSON lines)"
+                );
                 return;
             }
             s => sections.push(s.to_owned()),
         }
+    }
+    if sections.first().map(String::as_str) == Some("trace") {
+        let [_, app, graph, config] = sections.as_slice() else {
+            die("trace needs exactly three operands: repro trace <app> <graph> <config>");
+        };
+        trace_cmd(
+            app,
+            graph,
+            config,
+            scale,
+            trace_out.as_deref(),
+            trace_stride,
+        );
+        return;
     }
     if sections.is_empty() {
         sections.push("all".to_owned());
@@ -132,13 +185,19 @@ fn main() {
     if needs_study || json_path.is_some() {
         eprintln!("[repro] running the 36-workload study at scale {scale} on {threads} threads…");
         let start = std::time::Instant::now();
-        let study = Study::run(scale, ConfigSet::Figure5, threads);
+        let metrics = ggs_trace::MetricsRegistry::new();
+        let study = Study::run_with_metrics(scale, ConfigSet::Figure5, threads, &metrics);
         eprintln!(
             "[repro] study finished in {:.1}s",
             start.elapsed().as_secs_f64()
         );
+        if let Some(path) = &trace_out {
+            write_phase_profile(path, &metrics);
+        }
         if let Some(path) = &json_path {
-            std::fs::write(path, study.to_json_pretty()).expect("write json results");
+            if let Err(e) = std::fs::write(path, study.to_json_pretty()) {
+                die(&format!("cannot write {path}: {e}"));
+            }
             eprintln!("[repro] wrote {path}");
         }
         if want("fig5") {
@@ -146,7 +205,9 @@ fn main() {
         }
         if let Some(path) = &svg_path {
             let svg = fig5_svg(&study);
-            std::fs::write(path, svg).expect("write svg figure");
+            if let Err(e) = std::fs::write(path, svg) {
+                die(&format!("cannot write {path}: {e}"));
+            }
             eprintln!("[repro] wrote {path}");
         }
         if want("fig6") {
@@ -167,6 +228,107 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}");
     std::process::exit(2);
+}
+
+type BoxedSink = Box<dyn ggs_trace::TraceSink>;
+
+/// Opens `path` as a trace sink: JSON lines when the path ends in
+/// `.jsonl`, Chrome trace-event JSON otherwise.
+fn open_sink(path: &str) -> BoxedSink {
+    let file = match std::fs::File::create(path) {
+        Ok(f) => std::io::BufWriter::new(f),
+        Err(e) => die(&format!("cannot create {path}: {e}")),
+    };
+    if path.ends_with(".jsonl") {
+        Box::new(ggs_trace::JsonlSink::new(file))
+    } else {
+        Box::new(ggs_trace::ChromeTraceSink::new(file))
+    }
+}
+
+fn close_sink(path: &str, sink: BoxedSink) {
+    if let Err(e) = sink.finish() {
+        die(&format!("cannot write {path}: {e}"));
+    }
+    eprintln!("[repro] wrote {path}");
+}
+
+/// Writes the study's wall-clock phase spans as a Chrome trace.
+fn write_phase_profile(path: &str, metrics: &ggs_trace::MetricsRegistry) {
+    let sink = open_sink(path);
+    metrics.emit_phases(sink.as_ref());
+    close_sink(path, sink);
+}
+
+/// `repro trace <app> <graph> <config>`: one fully-instrumented
+/// simulation, streamed to a trace file.
+fn trace_cmd(
+    app: &str,
+    graph_name: &str,
+    config: &str,
+    scale: f64,
+    trace_out: Option<&str>,
+    stride: u64,
+) {
+    use ggs_core::experiment::{run_workload_traced, ExperimentSpec};
+    use ggs_trace::Tracer;
+
+    let app: AppKind = match app.parse() {
+        Ok(a) => a,
+        Err(e) => die(&format!("{e}")),
+    };
+    let config: ggs_model::SystemConfig = match config.parse() {
+        Ok(c) => c,
+        Err(e) => die(&format!("{e}")),
+    };
+    let graph = trace_graph(graph_name, scale);
+    let spec = match ExperimentSpec::builder().scale(scale).build() {
+        Ok(s) => s,
+        Err(e) => die(&format!("{e}")),
+    };
+    let path = trace_out.unwrap_or("trace.json");
+    eprintln!(
+        "[repro] tracing {app} on {graph_name} ({} vertices, {} edges) under {config}, \
+         stride {stride}…",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let sink = open_sink(path);
+    let tracer = Tracer::new(sink.as_ref(), stride);
+    let stats = match run_workload_traced(app, &graph, config, &spec, tracer) {
+        Ok(stats) => stats,
+        Err(e) => die(&format!("{e}")),
+    };
+    close_sink(path, sink);
+    println!(
+        "{app} on {graph_name} under {config}: {} cycles over {} kernels",
+        stats.total_cycles(),
+        stats.kernels
+    );
+}
+
+/// Resolves a `repro trace` graph operand: a preset mnemonic, or
+/// `rmat<N>` for a power-law graph with 2^N vertices (before `--scale`
+/// is applied) and average degree 16.
+fn trace_graph(name: &str, scale: f64) -> ggs_graph::Csr {
+    use ggs_graph::synth::DegreeModel;
+
+    if let Some(exp) = name
+        .strip_prefix("rmat")
+        .and_then(|s| s.parse::<u32>().ok())
+    {
+        if !(4..=28).contains(&exp) {
+            die("rmat exponent must be between 4 and 28");
+        }
+        let model = DegreeModel::log_normal(1.0).with_hubs(0.05, 256.0, 2048.0, 1.5);
+        return SynthConfig::custom(name, 1u32 << exp, 16.0, model, 0.5)
+            .scale(scale)
+            .generate();
+    }
+    match name.parse::<GraphPreset>() {
+        Ok(preset) => SynthConfig::preset(preset).scale(scale).generate(),
+        Err(e) => die(&format!("{e} (expected a preset mnemonic or rmat<N>)")),
+    }
 }
 
 /// The `ggs-check` certification sweep (the CI gate; `docs/checking.md`):

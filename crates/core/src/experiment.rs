@@ -4,6 +4,9 @@ use ggs_apps::{AppKind, Workload};
 use ggs_graph::Csr;
 use ggs_model::SystemConfig;
 use ggs_sim::{ExecStats, Simulation, SystemParams};
+use ggs_trace::Tracer;
+
+use crate::error::GgsError;
 
 /// Experiment-wide settings shared by every simulation of a study.
 #[derive(Debug, Clone, PartialEq)]
@@ -28,9 +31,17 @@ impl ExperimentSpec {
     ///
     /// # Panics
     ///
-    /// Panics if `scale` is not positive and finite.
+    /// Panics if `scale` is not positive and finite. Prefer
+    /// [`ExperimentSpec::try_at_scale`] or [`ExperimentSpec::builder`]
+    /// on paths that must not panic.
     pub fn at_scale(scale: f64) -> Self {
-        let mut params = SystemParams::default().scaled_caches(scale);
+        Self::try_at_scale(scale).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`ExperimentSpec::at_scale`]: rejects a
+    /// non-positive or non-finite `scale` instead of panicking.
+    pub fn try_at_scale(scale: f64) -> Result<Self, GgsError> {
+        let mut params = SystemParams::default().try_scaled_caches(scale)?;
         // Scale the fixed kernel-launch overhead with the input size so
         // the overhead-to-work ratio matches the full-scale system
         // (otherwise launches dominate small inputs and bias against
@@ -50,7 +61,27 @@ impl ExperimentSpec {
         // *classifier* keeps nominal scaling (see `metric_params`) so
         // every Table II volume class is preserved.
         params.l1_bytes = params.l1_bytes.max(8 * 1024);
-        Self { scale, params }
+        Ok(Self { scale, params })
+    }
+
+    /// A fluent builder over [`ExperimentSpec::try_at_scale`] that also
+    /// allows overriding the derived [`SystemParams`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ggs_core::experiment::ExperimentSpec;
+    ///
+    /// let spec = ExperimentSpec::builder().scale(0.05).build()?;
+    /// assert!(spec.params.l1_bytes >= 8 * 1024);
+    /// assert!(ExperimentSpec::builder().scale(-1.0).build().is_err());
+    /// # Ok::<(), ggs_core::error::GgsError>(())
+    /// ```
+    pub fn builder() -> ExperimentSpecBuilder {
+        ExperimentSpecBuilder {
+            scale: 1.0,
+            params: None,
+        }
     }
 
     /// Metric parameters for the *nominal* scaled machine (cache
@@ -59,6 +90,45 @@ impl ExperimentSpec {
     /// scale.
     pub fn metric_params(&self) -> ggs_model::MetricParams {
         ggs_model::MetricParams::default().scaled_caches(self.scale)
+    }
+}
+
+/// Fluent builder for [`ExperimentSpec`] (see
+/// [`ExperimentSpec::builder`]).
+#[derive(Debug, Clone)]
+pub struct ExperimentSpecBuilder {
+    scale: f64,
+    params: Option<SystemParams>,
+}
+
+impl ExperimentSpecBuilder {
+    /// Scale factor for synthetic inputs and cache capacities
+    /// (default 1.0).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Replaces the derived [`SystemParams`] wholesale. The params are
+    /// used as given — no cache scaling or launch-overhead adjustment
+    /// is applied on top.
+    pub fn params(mut self, params: SystemParams) -> Self {
+        self.params = Some(params);
+        self
+    }
+
+    /// Validates and builds the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GgsError::Params`] if `scale` is not positive and
+    /// finite.
+    pub fn build(self) -> Result<ExperimentSpec, GgsError> {
+        let mut spec = ExperimentSpec::try_at_scale(self.scale)?;
+        if let Some(params) = self.params {
+            spec.params = params;
+        }
+        Ok(spec)
     }
 }
 
@@ -76,18 +146,32 @@ impl ExperimentSpec {
 /// # Panics
 ///
 /// Panics if `config.propagation` is not supported by `app` (e.g. push
-/// for CC).
+/// for CC). Prefer [`run_workload_traced`] on paths that must not
+/// panic.
 pub fn run_workload(
     app: AppKind,
     graph: &Csr,
     config: SystemConfig,
     spec: &ExperimentSpec,
 ) -> ExecStats {
-    assert!(
-        app.supported_propagations().contains(&config.propagation),
-        "{app} does not support {} propagation",
-        config.propagation
-    );
+    run_workload_traced(app, graph, config, spec, Tracer::off()).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible, instrumented variant of [`run_workload`]: every simulator
+/// event (kernel boundaries, stall samples, cache/NoC counters,
+/// synchronization) is emitted through `tracer`, and an unsupported
+/// (application, propagation) pairing is reported as
+/// [`GgsError::Unsupported`] instead of panicking.
+///
+/// Pass [`Tracer::off`] to run without instrumentation at zero cost.
+pub fn run_workload_traced(
+    app: AppKind,
+    graph: &Csr,
+    config: SystemConfig,
+    spec: &ExperimentSpec,
+    tracer: Tracer<'_>,
+) -> Result<ExecStats, GgsError> {
+    check_supported(app, config)?;
     let weighted;
     let graph = if app.needs_weights() && !graph.is_weighted() {
         weighted = graph.clone().with_hashed_weights(64);
@@ -95,12 +179,23 @@ pub fn run_workload(
     } else {
         graph
     };
-    let mut sim = Simulation::new(spec.params.clone(), config.hw());
+    let mut sim = Simulation::with_tracer(spec.params.clone(), config.hw(), tracer);
     let tb = spec.params.tb_size;
     Workload::new(app, graph).generate(config.propagation, tb, &mut |kernel| {
         sim.run_kernel(kernel);
     });
-    sim.finish()
+    Ok(sim.finish())
+}
+
+fn check_supported(app: AppKind, config: SystemConfig) -> Result<(), GgsError> {
+    if app.supported_propagations().contains(&config.propagation) {
+        Ok(())
+    } else {
+        Err(GgsError::Unsupported {
+            app: app.to_string(),
+            propagation: config.propagation.to_string(),
+        })
+    }
 }
 
 /// Like [`run_workload`], additionally registering the application's
@@ -109,18 +204,28 @@ pub fn run_workload(
 ///
 /// # Panics
 ///
-/// Panics if `config.propagation` is not supported by `app`.
+/// Panics if `config.propagation` is not supported by `app`. Prefer
+/// [`run_workload_profiled_traced`] on paths that must not panic.
 pub fn run_workload_profiled(
     app: AppKind,
     graph: &Csr,
     config: SystemConfig,
     spec: &ExperimentSpec,
 ) -> (ExecStats, Vec<(String, ggs_sim::stats::RegionStats)>) {
-    assert!(
-        app.supported_propagations().contains(&config.propagation),
-        "{app} does not support {} propagation",
-        config.propagation
-    );
+    run_workload_profiled_traced(app, graph, config, spec, Tracer::off())
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible, instrumented variant of [`run_workload_profiled`] (see
+/// [`run_workload_traced`] for the tracing contract).
+pub fn run_workload_profiled_traced(
+    app: AppKind,
+    graph: &Csr,
+    config: SystemConfig,
+    spec: &ExperimentSpec,
+    tracer: Tracer<'_>,
+) -> Result<(ExecStats, Vec<(String, ggs_sim::stats::RegionStats)>), GgsError> {
+    check_supported(app, config)?;
     let weighted;
     let graph = if app.needs_weights() && !graph.is_weighted() {
         weighted = graph.clone().with_hashed_weights(64);
@@ -128,7 +233,7 @@ pub fn run_workload_profiled(
     } else {
         graph
     };
-    let mut sim = Simulation::new(spec.params.clone(), config.hw());
+    let mut sim = Simulation::with_tracer(spec.params.clone(), config.hw(), tracer);
     let workload = Workload::new(app, graph);
     for (name, base, bytes) in workload.memory_map() {
         sim.register_region(name, base, bytes);
@@ -137,7 +242,7 @@ pub fn run_workload_profiled(
         sim.run_kernel(kernel);
     });
     let regions = sim.region_stats();
-    (sim.finish(), regions)
+    Ok((sim.finish(), regions))
 }
 
 #[cfg(test)]
@@ -175,6 +280,45 @@ mod tests {
         let g = graph();
         let spec = ExperimentSpec::default();
         let _ = run_workload(AppKind::Cc, &g, "SGR".parse().unwrap(), &spec);
+    }
+
+    #[test]
+    fn traced_run_reports_unsupported_propagation_as_error() {
+        let g = graph();
+        let spec = ExperimentSpec::default();
+        let err = run_workload_traced(
+            AppKind::Cc,
+            &g,
+            "SGR".parse().unwrap(),
+            &spec,
+            ggs_trace::Tracer::off(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GgsError::Unsupported { .. }));
+        assert!(err.to_string().contains("does not support"));
+    }
+
+    #[test]
+    fn spec_builder_validates_scale() {
+        let spec = ExperimentSpec::builder().scale(0.05).build().unwrap();
+        assert_eq!(spec.scale, 0.05);
+        assert_eq!(spec, ExperimentSpec::at_scale(0.05));
+        assert!(ExperimentSpec::builder().scale(0.0).build().is_err());
+        assert!(ExperimentSpec::builder().scale(f64::NAN).build().is_err());
+        assert!(ExperimentSpec::try_at_scale(-2.0).is_err());
+    }
+
+    #[test]
+    fn spec_builder_accepts_explicit_params() {
+        let params = ggs_sim::SystemParams::builder()
+            .tb_size(128)
+            .build()
+            .unwrap();
+        let spec = ExperimentSpec::builder()
+            .params(params.clone())
+            .build()
+            .unwrap();
+        assert_eq!(spec.params, params);
     }
 
     #[test]

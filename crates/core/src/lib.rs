@@ -41,11 +41,14 @@
 #![warn(missing_debug_implementations)]
 
 pub mod adaptive;
+pub mod error;
 pub mod experiment;
 pub mod json;
 pub mod study;
 pub mod sweep;
 
-pub use experiment::{run_workload, ExperimentSpec};
+pub use error::GgsError;
+pub use experiment::{run_workload, run_workload_traced, ExperimentSpec, ExperimentSpecBuilder};
+pub use ggs_trace::{MetricsRegistry, Tracer};
 pub use study::{Study, WorkloadReport};
 pub use sweep::WorkloadSweep;

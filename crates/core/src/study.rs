@@ -7,7 +7,9 @@ use ggs_apps::AppKind;
 use ggs_graph::synth::{GraphPreset, SynthConfig};
 use ggs_model::{predict_full, predict_partial, GraphProfile, SystemConfig};
 use ggs_sim::StallClass;
+use ggs_trace::MetricsRegistry;
 
+use crate::error::GgsError;
 use crate::experiment::ExperimentSpec;
 use crate::json::{self, Value};
 use crate::sweep::{baseline_config, figure5_configs, WorkloadSweep};
@@ -122,23 +124,45 @@ impl Study {
     ///
     /// Panics if `threads` is zero or `scale` is not positive.
     pub fn run(scale: f64, configs: ConfigSet, threads: usize) -> Self {
+        Self::run_with_metrics(scale, configs, threads, &MetricsRegistry::new())
+    }
+
+    /// Like [`Study::run`], additionally recording wall-clock phase
+    /// spans (`generate_inputs`, `simulate`, `aggregate`) and
+    /// per-worker counters into `metrics`. Workers accumulate into
+    /// thread-local registries that are merged into `metrics` as each
+    /// worker finishes, so the shared registry is touched once per
+    /// worker, not once per event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero or `scale` is not positive.
+    pub fn run_with_metrics(
+        scale: f64,
+        configs: ConfigSet,
+        threads: usize,
+        metrics: &MetricsRegistry,
+    ) -> Self {
         assert!(threads > 0, "need at least one worker thread");
         let spec = ExperimentSpec::at_scale(scale);
         let metric_params = spec.metric_params();
 
         // Generate all six inputs (weighted up front so SSSP does not
         // re-derive weights per sweep).
-        let graphs: Vec<(GraphPreset, ggs_graph::Csr, GraphProfile)> = GraphPreset::ALL
-            .into_iter()
-            .map(|p| {
-                let g = SynthConfig::preset(p)
-                    .scale(scale)
-                    .generate()
-                    .with_hashed_weights(64);
-                let profile = GraphProfile::measure(&g, &metric_params);
-                (p, g, profile)
-            })
-            .collect();
+        let graphs: Vec<(GraphPreset, ggs_graph::Csr, GraphProfile)> = {
+            let _phase = metrics.phase("generate_inputs");
+            GraphPreset::ALL
+                .into_iter()
+                .map(|p| {
+                    let g = SynthConfig::preset(p)
+                        .scale(scale)
+                        .generate()
+                        .with_hashed_weights(64);
+                    let profile = GraphProfile::measure(&g, &metric_params);
+                    (p, g, profile)
+                })
+                .collect()
+        };
 
         // Workload list: (graph index, app).
         let jobs: Vec<(usize, AppKind)> = (0..graphs.len())
@@ -148,27 +172,42 @@ impl Study {
         let next = std::sync::atomic::AtomicUsize::new(0);
         let results = std::sync::Mutex::new(vec![None; jobs.len()]);
 
-        std::thread::scope(|scope| {
-            for _ in 0..threads.min(jobs.len()).max(1) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let (gi, app) = jobs[i];
-                    let (preset, graph, profile) = &graphs[gi];
-                    let report = run_one(app, *preset, graph, profile, configs, &spec);
-                    results.lock().expect("no worker panicked")[i] = Some(report);
-                });
-            }
-        });
+        {
+            let _phase = metrics.phase("simulate");
+            std::thread::scope(|scope| {
+                for _ in 0..threads.min(jobs.len()).max(1) {
+                    scope.spawn(|| {
+                        let local = MetricsRegistry::new();
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            let (gi, app) = jobs[i];
+                            let (preset, graph, profile) = &graphs[gi];
+                            let report = run_one(app, *preset, graph, profile, configs, &spec);
+                            local.add("workloads_simulated", 1);
+                            local.add("configs_simulated", report.rows.len() as u64);
+                            for row in &report.rows {
+                                local.observe("config_total_cycles", row.total_cycles);
+                            }
+                            let mut slots = results.lock().unwrap_or_else(|e| e.into_inner());
+                            slots[i] = Some(report);
+                        }
+                        metrics.merge(&local);
+                    });
+                }
+            });
+        }
 
-        let reports = results
+        let _phase = metrics.phase("aggregate");
+        let reports: Vec<WorkloadReport> = results
             .into_inner()
-            .expect("no worker panicked")
+            .unwrap_or_else(|e| e.into_inner())
             .into_iter()
             .map(|r| r.expect("every job completed"))
             .collect();
+        metrics.add("study_workloads", reports.len() as u64);
         Self { scale, reports }
     }
 
@@ -264,9 +303,13 @@ impl Study {
     ///
     /// # Errors
     ///
-    /// Returns a message on malformed JSON or a missing/ill-typed
-    /// field.
-    pub fn from_json(text: &str) -> Result<Self, String> {
+    /// Returns [`GgsError::Json`] on malformed JSON or a
+    /// missing/ill-typed field.
+    pub fn from_json(text: &str) -> Result<Self, GgsError> {
+        Self::from_json_inner(text).map_err(GgsError::Json)
+    }
+
+    fn from_json_inner(text: &str) -> Result<Self, String> {
         fn str_field(v: &Value, key: &str) -> Result<String, String> {
             v.get(key)
                 .and_then(Value::as_str)
@@ -388,6 +431,35 @@ mod tests {
         assert_eq!(back, study);
         let pretty = Study::from_json(&study.to_json_pretty()).unwrap();
         assert_eq!(pretty, study);
+    }
+
+    #[test]
+    fn run_with_metrics_records_phases_and_counters() {
+        let metrics = MetricsRegistry::new();
+        let study = Study::run_with_metrics(0.004, ConfigSet::Figure5, 4, &metrics);
+        assert_eq!(study.reports.len(), 36);
+        assert_eq!(metrics.counter("workloads_simulated"), 36);
+        assert_eq!(metrics.counter("study_workloads"), 36);
+        assert!(metrics.counter("configs_simulated") > 36);
+        let phases: Vec<String> = metrics.spans().iter().map(|s| s.name.clone()).collect();
+        for phase in ["generate_inputs", "simulate", "aggregate"] {
+            assert!(phases.contains(&phase.to_string()), "missing phase {phase}");
+        }
+        let hist = metrics
+            .histograms()
+            .into_iter()
+            .find(|(n, _)| n == "config_total_cycles")
+            .expect("cycle histogram recorded")
+            .1;
+        assert!(hist.count > 0 && hist.min > 0);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input_with_typed_error() {
+        let err = Study::from_json("{not json").unwrap_err();
+        assert!(matches!(err, crate::error::GgsError::Json(_)));
+        let err = Study::from_json("{\"scale\": 1.0}").unwrap_err();
+        assert!(err.to_string().contains("reports"));
     }
 
     #[test]

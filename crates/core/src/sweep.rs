@@ -7,7 +7,10 @@ use ggs_model::taxonomy::Traversal;
 use ggs_model::SystemConfig;
 use ggs_sim::ExecStats;
 
-use crate::experiment::{run_workload, ExperimentSpec};
+use ggs_trace::Tracer;
+
+use crate::error::GgsError;
+use crate::experiment::{run_workload_traced, ExperimentSpec};
 
 /// The result of one configuration point within a sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -61,7 +64,8 @@ impl WorkloadSweep {
     /// # Panics
     ///
     /// Panics if any configuration's propagation is unsupported by
-    /// `app`.
+    /// `app`. Prefer [`WorkloadSweep::try_run`] on paths that must not
+    /// panic.
     pub fn run(
         app: AppKind,
         graph_name: impl Into<String>,
@@ -69,30 +73,60 @@ impl WorkloadSweep {
         configs: &[SystemConfig],
         spec: &ExperimentSpec,
     ) -> Self {
+        Self::run_traced(app, graph_name, graph, configs, spec, Tracer::off())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`WorkloadSweep::run`].
+    pub fn try_run(
+        app: AppKind,
+        graph_name: impl Into<String>,
+        graph: &Csr,
+        configs: &[SystemConfig],
+        spec: &ExperimentSpec,
+    ) -> Result<Self, GgsError> {
+        Self::run_traced(app, graph_name, graph, configs, spec, Tracer::off())
+    }
+
+    /// Fallible, instrumented variant of [`WorkloadSweep::run`]: every
+    /// configuration's simulation emits through `tracer` (see
+    /// [`run_workload_traced`]).
+    pub fn run_traced(
+        app: AppKind,
+        graph_name: impl Into<String>,
+        graph: &Csr,
+        configs: &[SystemConfig],
+        spec: &ExperimentSpec,
+        tracer: Tracer<'_>,
+    ) -> Result<Self, GgsError> {
         let results = configs
             .iter()
-            .map(|&config| ConfigResult {
-                config,
-                stats: run_workload(app, graph, config, spec),
+            .map(|&config| {
+                run_workload_traced(app, graph, config, spec, tracer)
+                    .map(|stats| ConfigResult { config, stats })
             })
-            .collect();
-        Self {
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
             app,
             graph_name: graph_name.into(),
             results,
-        }
+        })
     }
 
     /// The fastest configuration (the paper's per-workload BEST).
     ///
     /// # Panics
     ///
-    /// Panics if the sweep is empty.
+    /// Panics if the sweep is empty. Prefer [`WorkloadSweep::try_best`]
+    /// on paths that must not panic.
     pub fn best(&self) -> &ConfigResult {
-        self.results
-            .iter()
-            .min_by_key(|r| r.stats.total_cycles())
-            .expect("sweep has at least one configuration")
+        self.try_best()
+            .unwrap_or_else(|| panic!("sweep has at least one configuration"))
+    }
+
+    /// The fastest configuration, or `None` for an empty sweep.
+    pub fn try_best(&self) -> Option<&ConfigResult> {
+        self.results.iter().min_by_key(|r| r.stats.total_cycles())
     }
 
     /// The result for a specific configuration, if it was swept.
@@ -105,17 +139,34 @@ impl WorkloadSweep {
     ///
     /// # Panics
     ///
-    /// Panics if `baseline` was not part of the sweep.
+    /// Panics if `baseline` was not part of the sweep. Prefer
+    /// [`WorkloadSweep::try_normalized_to`] on paths that must not
+    /// panic.
     pub fn normalized_to(&self, baseline: SystemConfig) -> Vec<(SystemConfig, f64)> {
+        self.try_normalized_to(baseline)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`WorkloadSweep::normalized_to`]: a missing
+    /// baseline is reported as [`GgsError::MissingConfig`].
+    pub fn try_normalized_to(
+        &self,
+        baseline: SystemConfig,
+    ) -> Result<Vec<(SystemConfig, f64)>, GgsError> {
         let base = self
             .result_for(baseline)
-            .expect("baseline configuration must be part of the sweep")
+            .ok_or_else(|| {
+                GgsError::MissingConfig(format!(
+                    "baseline configuration {baseline} must be part of the sweep"
+                ))
+            })?
             .stats
             .total_cycles() as f64;
-        self.results
+        Ok(self
+            .results
             .iter()
             .map(|r| (r.config, r.stats.total_cycles() as f64 / base))
-            .collect()
+            .collect())
     }
 
     /// Relative slowdown of configuration `cfg` versus the best
@@ -123,15 +174,31 @@ impl WorkloadSweep {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` was not part of the sweep.
+    /// Panics if `cfg` was not part of the sweep. Prefer
+    /// [`WorkloadSweep::try_slowdown_vs_best`] on paths that must not
+    /// panic.
     pub fn slowdown_vs_best(&self, cfg: SystemConfig) -> f64 {
-        let best = self.best().stats.total_cycles() as f64;
-        let t = self
-            .result_for(cfg)
-            .expect("configuration must be part of the sweep")
+        self.try_slowdown_vs_best(cfg)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`WorkloadSweep::slowdown_vs_best`]: an
+    /// empty sweep or a configuration outside it is reported as
+    /// [`GgsError::MissingConfig`].
+    pub fn try_slowdown_vs_best(&self, cfg: SystemConfig) -> Result<f64, GgsError> {
+        let best = self
+            .try_best()
+            .ok_or_else(|| GgsError::MissingConfig("sweep is empty".to_owned()))?
             .stats
             .total_cycles() as f64;
-        t / best - 1.0
+        let t = self
+            .result_for(cfg)
+            .ok_or_else(|| {
+                GgsError::MissingConfig(format!("configuration {cfg} must be part of the sweep"))
+            })?
+            .stats
+            .total_cycles() as f64;
+        Ok(t / best - 1.0)
     }
 }
 
@@ -235,6 +302,35 @@ mod more_tests {
             &spec,
         );
         let _ = sweep.normalized_to("TG0".parse().unwrap());
+    }
+
+    #[test]
+    fn try_variants_report_errors_instead_of_panicking() {
+        let spec = ExperimentSpec::at_scale(0.02);
+        let sweep = WorkloadSweep::try_run(
+            AppKind::Pr,
+            "chain",
+            &graph(),
+            &["SGR".parse().unwrap()],
+            &spec,
+        )
+        .unwrap();
+        let err = sweep.try_normalized_to("TG0".parse().unwrap()).unwrap_err();
+        assert!(err.to_string().contains("baseline configuration"));
+        assert!(sweep.try_slowdown_vs_best("TG0".parse().unwrap()).is_err());
+        assert!(sweep.try_slowdown_vs_best("SGR".parse().unwrap()).is_ok());
+        // Unsupported pairing surfaces as Err, not panic.
+        assert!(WorkloadSweep::try_run(
+            AppKind::Cc,
+            "chain",
+            &graph(),
+            &["SGR".parse().unwrap()],
+            &spec,
+        )
+        .is_err());
+        // Empty sweep has no best.
+        let empty = WorkloadSweep::try_run(AppKind::Pr, "chain", &graph(), &[], &spec).unwrap();
+        assert!(empty.try_best().is_none());
     }
 
     #[test]

@@ -2,6 +2,34 @@
 
 use crate::csr::{Csr, VertexId};
 
+/// Error produced when a [`GraphBuilder`] cannot build a valid graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a vertex `>= num_vertices`.
+    EndpointOutOfRange {
+        /// The offending edge.
+        edge: (VertexId, VertexId),
+        /// Number of vertices the builder was created with.
+        num_vertices: u32,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            GraphError::EndpointOutOfRange {
+                edge: (s, t),
+                num_vertices,
+            } => write!(
+                f,
+                "edge endpoint out of range: ({s}, {t}) in a graph of {num_vertices} vertices"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// Incremental builder that normalizes an edge list into a [`Csr`] graph.
 ///
 /// The paper's methodology (§V-A) prepares every input the same way:
@@ -47,34 +75,22 @@ impl GraphBuilder {
 
     /// Adds a directed edge.
     ///
-    /// # Panics
-    ///
-    /// Panics if either endpoint is `>= num_vertices`.
+    /// Endpoints are validated when the graph is built (see
+    /// [`GraphBuilder::try_build`]), so adding is infallible.
     pub fn edge(mut self, source: VertexId, target: VertexId) -> Self {
-        assert!(
-            source < self.num_vertices && target < self.num_vertices,
-            "edge endpoint out of range"
-        );
         self.edges.push((source, target));
         self
     }
 
     /// Adds every edge from an iterator.
     ///
-    /// # Panics
-    ///
-    /// Panics if any endpoint is `>= num_vertices`.
+    /// Endpoints are validated when the graph is built (see
+    /// [`GraphBuilder::try_build`]), so adding is infallible.
     pub fn edges<I>(mut self, iter: I) -> Self
     where
         I: IntoIterator<Item = (VertexId, VertexId)>,
     {
-        for (s, t) in iter {
-            assert!(
-                s < self.num_vertices && t < self.num_vertices,
-                "edge endpoint out of range"
-            );
-            self.edges.push((s, t));
-        }
+        self.edges.extend(iter);
         self
     }
 
@@ -98,13 +114,31 @@ impl GraphBuilder {
     }
 
     /// Normalizes and builds the [`Csr`] graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any added edge has an endpoint `>= num_vertices`.
+    /// Prefer [`GraphBuilder::try_build`] on paths that must not panic.
     pub fn build(self) -> Csr {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`GraphBuilder::build`]: returns an error if
+    /// any added edge has an endpoint `>= num_vertices` instead of
+    /// panicking.
+    pub fn try_build(self) -> Result<Csr, GraphError> {
         let Self {
             num_vertices,
             mut edges,
             symmetric,
             keep_self_loops,
         } = self;
+        if let Some(&edge) = edges
+            .iter()
+            .find(|&&(s, t)| s >= num_vertices || t >= num_vertices)
+        {
+            return Err(GraphError::EndpointOutOfRange { edge, num_vertices });
+        }
         if !keep_self_loops {
             edges.retain(|&(s, t)| s != t);
         }
@@ -114,7 +148,7 @@ impl GraphBuilder {
         }
         edges.sort_unstable();
         edges.dedup();
-        Csr::from_edges(num_vertices, &edges)
+        Ok(Csr::from_edges(num_vertices, &edges))
     }
 }
 
@@ -171,6 +205,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn rejects_out_of_range_edges() {
-        let _ = GraphBuilder::new(1).edge(0, 1);
+        let _ = GraphBuilder::new(1).edge(0, 1).build();
+    }
+
+    #[test]
+    fn try_build_reports_out_of_range_edges() {
+        let err = GraphBuilder::new(1).edge(0, 7).try_build().unwrap_err();
+        assert_eq!(
+            err,
+            GraphError::EndpointOutOfRange {
+                edge: (0, 7),
+                num_vertices: 1
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+        assert!(GraphBuilder::new(2).edge(0, 1).try_build().is_ok());
     }
 }

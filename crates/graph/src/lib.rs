@@ -39,6 +39,6 @@ pub mod mtx;
 pub mod stats;
 pub mod synth;
 
-pub use builder::GraphBuilder;
+pub use builder::{GraphBuilder, GraphError};
 pub use csr::{Csr, VertexId};
 pub use stats::DegreeStats;

@@ -34,7 +34,7 @@ mod presets;
 mod wiring;
 
 pub use degrees::DegreeModel;
-pub use presets::GraphPreset;
+pub use presets::{GraphPreset, ParsePresetError};
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;

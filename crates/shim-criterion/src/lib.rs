@@ -110,7 +110,7 @@ pub struct Bencher {
 
 impl Bencher {
     /// Measures `f`: one warm-up call, then the mean of
-    /// [`MEASURED_ITERS`] timed calls.
+    /// `MEASURED_ITERS` timed calls.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         black_box(f());
         let start = Instant::now();

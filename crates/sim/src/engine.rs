@@ -10,6 +10,7 @@ use crate::params::SystemParams;
 use crate::sm::{Sm, Step};
 use crate::stats::{ExecStats, StallClass};
 use crate::trace::KernelTrace;
+use ggs_trace::{TraceEvent, Tracer};
 
 /// How far one SM may run ahead of the globally-earliest SM before
 /// yielding (keeps shared-state updates near global time order while
@@ -24,27 +25,46 @@ const QUANTUM_CYCLES: u64 = 256;
 /// call [`Simulation::finish`] to retrieve the final [`ExecStats`].
 ///
 /// See the crate-level documentation for an end-to-end example.
+///
+/// The lifetime parameter is the borrow of an injected
+/// [`ggs_trace::TraceSink`]; [`Simulation::new`] leaves tracing off and
+/// the lifetime unconstrained.
 #[derive(Debug)]
-pub struct Simulation {
+pub struct Simulation<'t> {
     params: SystemParams,
     hw: HwConfig,
-    mem: MemorySystem,
+    mem: MemorySystem<'t>,
     stats: ExecStats,
     clock: u64,
+    tracer: Tracer<'t>,
 }
 
-impl Simulation {
+impl<'t> Simulation<'t> {
     /// Creates a simulation of `params` hardware under configuration
-    /// `hw`.
+    /// `hw`, with tracing off.
     pub fn new(params: SystemParams, hw: HwConfig) -> Self {
-        let mem = MemorySystem::new(&params, hw);
+        Self::with_tracer(params, hw, Tracer::off())
+    }
+
+    /// Creates a simulation with an injected trace sink handle. The
+    /// engine, every SM, and the memory system emit structured events to
+    /// it (see [`ggs_trace::TraceEvent`] for the schema).
+    pub fn with_tracer(params: SystemParams, hw: HwConfig, tracer: Tracer<'t>) -> Self {
+        let mem = MemorySystem::with_tracer(&params, hw, tracer);
         Self {
             params,
             hw,
             mem,
             stats: ExecStats::default(),
             clock: 0,
+            tracer,
         }
+    }
+
+    /// The injected trace handle (off unless constructed via
+    /// [`Simulation::with_tracer`]).
+    pub fn tracer(&self) -> Tracer<'t> {
+        self.tracer
     }
 
     /// The hardware configuration under simulation.
@@ -86,7 +106,18 @@ impl Simulation {
         if kernel.num_threads() == 0 {
             return;
         }
+        let kernel_seq = self.stats.kernels;
         self.stats.kernels += 1;
+        if self.tracer.enabled() {
+            // Round boundary: the pre-launch clock marks where the host
+            // submitted this iteration's kernel.
+            self.tracer.emit(&TraceEvent::Iteration {
+                round: kernel_seq,
+                cycle: self.clock,
+            });
+        }
+        let counters_before = self.mem.counters;
+        let flits_before = self.mem.noc_flit_total();
 
         // Kernel launch overhead: all SMs idle.
         let launch = self.params.kernel_launch_cycles;
@@ -101,6 +132,14 @@ impl Simulation {
 
         let start = self.clock;
         let num_blocks = kernel.num_blocks();
+        if self.tracer.enabled() {
+            self.tracer.emit(&TraceEvent::KernelBegin {
+                kernel: kernel_seq,
+                cycle: start,
+                blocks: num_blocks,
+                threads: kernel.num_threads(),
+            });
+        }
         let tb = kernel.tb_size() as u64;
         let threads: Vec<&[std::vec::Vec<crate::trace::MicroOp>]> = {
             // Pre-slice blocks to hand to SMs.
@@ -125,6 +164,7 @@ impl Simulation {
                     self.params.max_blocks_per_sm,
                     self.params.scheduler,
                 )
+                .with_tracer(self.tracer)
             })
             .collect();
 
@@ -219,6 +259,36 @@ impl Simulation {
         self.clock = kernel_end;
         self.stats.total_cycles = self.clock;
         self.stats.mem = self.mem.counters;
+
+        if self.tracer.enabled() {
+            // Per-kernel counter deltas (the memory system accumulates
+            // across kernels) plus the end-of-kernel marker.
+            let d = self.mem.counters.delta(&counters_before);
+            self.tracer.emit(&TraceEvent::CacheCounters {
+                kernel: kernel_seq,
+                cycle: kernel_end,
+                l1_hits: d.l1_hits,
+                l1_misses: d.l1_misses,
+                l2_hits: d.l2_hits,
+                l2_misses: d.l2_misses,
+                l1_atomics: d.l1_atomics,
+                l2_atomics: d.l2_atomics,
+                registrations: d.registrations,
+                remote_transfers: d.remote_transfers,
+                invalidations: d.invalidations,
+            });
+            self.tracer.emit(&TraceEvent::NocTotals {
+                kernel: kernel_seq,
+                cycle: kernel_end,
+                line_transfers: d.noc_line_transfers,
+                control_messages: d.noc_control_messages,
+                flits: self.mem.noc_flit_total().saturating_sub(flits_before),
+            });
+            self.tracer.emit(&TraceEvent::KernelEnd {
+                kernel: kernel_seq,
+                cycle: kernel_end,
+            });
+        }
     }
 
     /// Read-only view of the statistics accumulated so far.
@@ -236,7 +306,7 @@ impl Simulation {
 /// [`MemorySystem`]'s checker so tools never need the memory system
 /// directly. See [`crate::check`].
 #[cfg(feature = "check")]
-impl Simulation {
+impl Simulation<'_> {
     /// Enables the protocol invariant checker for all subsequent
     /// kernels.
     pub fn enable_protocol_checker(&mut self) {
@@ -285,6 +355,36 @@ mod tests {
 
     fn compute_kernel(threads: usize, ops: usize) -> KernelTrace {
         KernelTrace::new(vec![vec![MicroOp::compute(2); ops]; threads], 256)
+    }
+
+    #[test]
+    fn tracer_emits_kernel_lifecycle_events() {
+        use ggs_trace::{JsonlSink, Tracer};
+
+        let sink = JsonlSink::new(Vec::new());
+        {
+            let mut sim = Simulation::with_tracer(
+                SystemParams::default(),
+                hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+                Tracer::new(&sink, 100),
+            );
+            // Loads so the cache counters are non-trivial.
+            let threads = (0..256u64)
+                .map(|t| vec![MicroOp::load(t * 4), MicroOp::compute(4)])
+                .collect();
+            sim.run_kernel(&KernelTrace::new(threads, 256));
+            sim.finish();
+        }
+        let text = String::from_utf8(sink.into_inner()).expect("jsonl is utf-8");
+        for kind in [
+            "iteration",
+            "kernel_begin",
+            "kernel_end",
+            "cache_counters",
+            "noc_totals",
+        ] {
+            assert!(text.contains(kind), "missing event kind {kind}:\n{text}");
+        }
     }
 
     #[test]

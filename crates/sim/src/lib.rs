@@ -69,6 +69,7 @@ pub mod trace;
 pub use check::{InvariantKind, ProtocolViolation};
 pub use config::{CoherenceKind, ConsistencyModel, HwConfig};
 pub use engine::Simulation;
-pub use params::SystemParams;
+pub use ggs_trace::{TraceEvent, TraceSink, Tracer};
+pub use params::{ParamsError, SystemParams, SystemParamsBuilder};
 pub use stats::{ExecStats, StallBreakdown, StallClass};
 pub use trace::{KernelTrace, MicroOp};

@@ -16,6 +16,7 @@ use crate::config::{CoherenceKind, HwConfig};
 use crate::noc::Mesh;
 use crate::params::SystemParams;
 use crate::stats::{MemCounters, RegionStats};
+use ggs_trace::{TraceEvent, Tracer};
 
 /// Min-heap of outstanding-transaction completion times with a capacity,
 /// modeling MSHRs and store buffers.
@@ -86,8 +87,12 @@ pub struct Access {
 }
 
 /// The coherent memory hierarchy shared by all SMs.
+///
+/// The lifetime parameter is the borrow of an injected
+/// [`ggs_trace::TraceSink`]; constructing via [`MemorySystem::new`]
+/// leaves tracing off and the lifetime unconstrained.
 #[derive(Debug)]
-pub struct MemorySystem {
+pub struct MemorySystem<'t> {
     hw: HwConfig,
     mesh: Mesh,
     line_shift: u32,
@@ -127,15 +132,27 @@ pub struct MemorySystem {
     regions: Vec<(u64, u64, String)>,
     region_stats: Vec<RegionStats>,
 
+    /// Injected trace sink handle; [`ggs_trace::Tracer::off`] by default.
+    tracer: Tracer<'t>,
+    /// Cycle of the last ownership-transfer event emitted (stride
+    /// sampling bounds the trace volume of hot ping-pong lines).
+    last_ownership_emit: u64,
+
     /// Protocol invariant observer (`check` feature): `None` until
     /// [`MemorySystem::enable_protocol_checker`] turns it on.
     #[cfg(feature = "check")]
     checker: Option<ProtocolChecker>,
 }
 
-impl MemorySystem {
-    /// Builds the memory system for `params` under configuration `hw`.
+impl<'t> MemorySystem<'t> {
+    /// Builds the memory system for `params` under configuration `hw`,
+    /// with tracing off.
     pub fn new(params: &SystemParams, hw: HwConfig) -> Self {
+        Self::with_tracer(params, hw, Tracer::off())
+    }
+
+    /// Builds the memory system with an injected trace sink handle.
+    pub fn with_tracer(params: &SystemParams, hw: HwConfig, tracer: Tracer<'t>) -> Self {
         let line_shift = params.line_bytes.trailing_zeros();
         assert!(
             params.line_bytes.is_power_of_two(),
@@ -182,9 +199,20 @@ impl MemorySystem {
             counters: MemCounters::default(),
             regions: Vec::new(),
             region_stats: Vec::new(),
+            tracer,
+            last_ownership_emit: 0,
             #[cfg(feature = "check")]
             checker: None,
         }
+    }
+
+    /// Total NoC flits implied by the traffic counters so far (full-line
+    /// payloads plus single-flit control messages).
+    pub fn noc_flit_total(&self) -> u64 {
+        self.mesh.flit_total(
+            self.counters.noc_line_transfers,
+            self.counters.noc_control_messages,
+        )
     }
 
     /// Registers a named address region `[base, base + bytes)` for
@@ -431,6 +459,19 @@ impl MemorySystem {
         // line to one owner at a time (ping-pong under contention).
         let chain = self.owner_chain.get(&line).copied().unwrap_or(0);
         let start = admit.max(chain);
+        let remote = matches!(self.owner.get(&line), Some(&other) if other != sm);
+        if self.tracer.enabled()
+            && (at >= self.last_ownership_emit + self.tracer.stride()
+                || self.counters.registrations == 1)
+        {
+            self.last_ownership_emit = at;
+            self.tracer.emit(&TraceEvent::OwnershipTransfer {
+                sm,
+                cycle: at,
+                line,
+                remote,
+            });
+        }
         let complete_at = match self.owner.get(&line) {
             Some(&other) if other != sm => {
                 self.counters.remote_transfers += 1;
@@ -577,7 +618,7 @@ impl MemorySystem {
 /// logic lives here because it needs to peek at every L1 and the
 /// ownership registry; `ProtocolChecker` only accumulates violations.
 #[cfg(feature = "check")]
-impl MemorySystem {
+impl MemorySystem<'_> {
     /// Turns the protocol invariant checker on. Until this is called,
     /// the compiled-in hooks cost one branch per access.
     pub fn enable_protocol_checker(&mut self) {
@@ -730,7 +771,7 @@ mod tests {
     use super::*;
     use crate::config::ConsistencyModel;
 
-    fn mem(coh: CoherenceKind) -> MemorySystem {
+    fn mem(coh: CoherenceKind) -> MemorySystem<'static> {
         MemorySystem::new(
             &SystemParams::default(),
             HwConfig::new(coh, ConsistencyModel::Drf1),
@@ -944,7 +985,7 @@ mod check_tests {
     use crate::check::InvariantKind;
     use crate::config::ConsistencyModel;
 
-    fn mem(coh: CoherenceKind) -> MemorySystem {
+    fn mem(coh: CoherenceKind) -> MemorySystem<'static> {
         let mut m = MemorySystem::new(
             &SystemParams::default(),
             HwConfig::new(coh, ConsistencyModel::Drf1),
@@ -1055,7 +1096,7 @@ mod traffic_tests {
     use super::*;
     use crate::config::{CoherenceKind, ConsistencyModel};
 
-    fn mem(coh: CoherenceKind) -> MemorySystem {
+    fn mem(coh: CoherenceKind) -> MemorySystem<'static> {
         MemorySystem::new(
             &SystemParams::default(),
             HwConfig::new(coh, ConsistencyModel::Drf1),

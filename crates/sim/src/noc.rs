@@ -9,6 +9,9 @@
 
 use crate::params::SystemParams;
 
+/// Payload bytes carried per NoC flit (Garnet's default link width).
+pub const FLIT_BYTES: u32 = 16;
+
 /// The 4×4 mesh topology and its latency model.
 #[derive(Debug, Clone)]
 pub struct Mesh {
@@ -19,6 +22,7 @@ pub struct Mesh {
     mem_hop: u64,
     remote_base: u64,
     remote_hop: u64,
+    line_flits: u64,
 }
 
 impl Mesh {
@@ -32,7 +36,26 @@ impl Mesh {
             mem_hop: params.mem_hop_cycles,
             remote_base: params.remote_l1_base_cycles,
             remote_hop: params.remote_l1_hop_cycles,
+            line_flits: (params.line_bytes.div_ceil(FLIT_BYTES) + 1) as u64,
         }
+    }
+
+    /// Flits needed to move one cache-line payload: one head/control
+    /// flit plus `line_bytes / FLIT_BYTES` payload flits.
+    pub fn line_flits(&self) -> u64 {
+        self.line_flits
+    }
+
+    /// Flits per control message (requests, acks, word-sized replies):
+    /// a single flit.
+    pub fn control_flits(&self) -> u64 {
+        1
+    }
+
+    /// Total flits implied by a traffic mix of full-line transfers and
+    /// control messages.
+    pub fn flit_total(&self, line_transfers: u64, control_messages: u64) -> u64 {
+        line_transfers * self.line_flits() + control_messages * self.control_flits()
     }
 
     /// Number of mesh nodes.
@@ -159,5 +182,15 @@ mod tests {
         let m = mesh();
         assert!(m.l2_latency(0, 15) > m.l2_latency(0, 0));
         assert!(m.remote_l1_latency(0, 14) > m.remote_l1_latency(0, 1));
+    }
+
+    #[test]
+    fn flit_accounting() {
+        let m = mesh();
+        // 64-byte lines over 16-byte flits: 4 payload + 1 head flit.
+        assert_eq!(m.line_flits(), 5);
+        assert_eq!(m.control_flits(), 1);
+        assert_eq!(m.flit_total(10, 7), 57);
+        assert_eq!(m.flit_total(0, 0), 0);
     }
 }

@@ -1,5 +1,35 @@
 //! Simulated system parameters (the paper's Table IV).
 
+use std::fmt;
+
+/// Validation failure from [`SystemParamsBuilder::build`] or one of the
+/// fallible `try_*` constructors in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamsError {
+    /// A count or size parameter that must be ≥ 1 was zero.
+    NonPositive(&'static str),
+    /// A parameter that must be a power of two was not.
+    NotPowerOfTwo(&'static str),
+    /// A cache scale factor was zero, negative, or non-finite.
+    BadScale(f64),
+}
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamsError::NonPositive(what) => write!(f, "{what} must be positive"),
+            ParamsError::NotPowerOfTwo(what) => {
+                write!(f, "{what} must be a power of two")
+            }
+            ParamsError::BadScale(factor) => {
+                write!(f, "scale factor must be positive and finite, got {factor}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
 /// Warp scheduling policy of each SM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SchedulerPolicy {
@@ -146,17 +176,78 @@ impl SystemParams {
     ///
     /// # Panics
     ///
-    /// Panics if `factor` is not positive and finite.
-    pub fn scaled_caches(mut self, factor: f64) -> Self {
-        assert!(
-            factor.is_finite() && factor > 0.0,
-            "scale factor must be positive"
-        );
+    /// Panics if `factor` is not positive and finite. Prefer
+    /// [`SystemParams::try_scaled_caches`] on paths that must not panic.
+    pub fn scaled_caches(self, factor: f64) -> Self {
+        self.try_scaled_caches(factor)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`SystemParams::scaled_caches`]: rejects
+    /// non-finite or non-positive factors instead of panicking.
+    pub fn try_scaled_caches(mut self, factor: f64) -> Result<Self, ParamsError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(ParamsError::BadScale(factor));
+        }
         let min_l1 = (self.line_bytes * self.l1_assoc) as u64;
         let min_l2 = (self.line_bytes * self.l2_assoc) as u64 * self.l2_banks as u64;
         self.l1_bytes = (((self.l1_bytes as f64 * factor) as u64) / min_l1).max(1) * min_l1;
         self.l2_bytes = (((self.l2_bytes as f64 * factor) as u64) / min_l2).max(1) * min_l2;
-        self
+        Ok(self)
+    }
+
+    /// Start a fluent, validated builder seeded with the Table IV
+    /// defaults.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ggs_sim::SystemParams;
+    ///
+    /// let params = SystemParams::builder()
+    ///     .num_sms(8)
+    ///     .tb_size(128)
+    ///     .scaled_caches(0.25)
+    ///     .build()
+    ///     .expect("valid parameters");
+    /// assert_eq!(params.num_sms, 8);
+    /// assert!(SystemParams::builder().line_bytes(48).build().is_err());
+    /// ```
+    pub fn builder() -> SystemParamsBuilder {
+        SystemParamsBuilder {
+            params: SystemParams::default(),
+            scale: None,
+        }
+    }
+
+    /// Check the structural invariants the simulator relies on.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        for (value, what) in [
+            (self.num_sms, "num_sms"),
+            (self.warp_size, "warp_size"),
+            (self.tb_size, "tb_size"),
+            (self.max_blocks_per_sm, "max_blocks_per_sm"),
+            (self.line_bytes, "line_bytes"),
+            (self.l1_assoc, "l1_assoc"),
+            (self.l2_assoc, "l2_assoc"),
+            (self.l2_banks, "l2_banks"),
+            (self.mshr_entries, "mshr_entries"),
+            (self.store_buffer_entries, "store_buffer_entries"),
+        ] {
+            if value == 0 {
+                return Err(ParamsError::NonPositive(what));
+            }
+        }
+        if self.l1_bytes == 0 {
+            return Err(ParamsError::NonPositive("l1_bytes"));
+        }
+        if self.l2_bytes == 0 {
+            return Err(ParamsError::NonPositive("l2_bytes"));
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(ParamsError::NotPowerOfTwo("line_bytes"));
+        }
+        Ok(())
     }
 
     /// Number of warps per thread block.
@@ -172,6 +263,75 @@ impl SystemParams {
     /// L2 capacity in kilobytes (used by the volume classifier).
     pub fn l2_kb(&self) -> f64 {
         self.l2_bytes as f64 / 1024.0
+    }
+}
+
+/// Fluent, validated constructor for [`SystemParams`], created by
+/// [`SystemParams::builder`]. Unset fields keep their Table IV default.
+#[derive(Debug, Clone)]
+pub struct SystemParamsBuilder {
+    params: SystemParams,
+    scale: Option<f64>,
+}
+
+macro_rules! builder_setter {
+    ($(#[$doc:meta] $name:ident: $ty:ty),* $(,)?) => {
+        $(
+            #[$doc]
+            pub fn $name(mut self, value: $ty) -> Self {
+                self.params.$name = value;
+                self
+            }
+        )*
+    };
+}
+
+impl SystemParamsBuilder {
+    builder_setter! {
+        /// Number of GPU cores (CUs/SMs).
+        num_sms: u32,
+        /// Threads per warp.
+        warp_size: u32,
+        /// Threads per thread block.
+        tb_size: u32,
+        /// Maximum thread blocks resident on one SM.
+        max_blocks_per_sm: u32,
+        /// Cache line size in bytes (must be a power of two).
+        line_bytes: u32,
+        /// Per-SM L1 data cache capacity in bytes.
+        l1_bytes: u64,
+        /// L1 associativity.
+        l1_assoc: u32,
+        /// Shared L2 capacity in bytes.
+        l2_bytes: u64,
+        /// L2 associativity.
+        l2_assoc: u32,
+        /// Number of L2 banks.
+        l2_banks: u32,
+        /// L1 MSHR entries per SM.
+        mshr_entries: u32,
+        /// Store buffer entries per SM.
+        store_buffer_entries: u32,
+        /// Fixed cost charged between kernel launches.
+        kernel_launch_cycles: u64,
+        /// Warp scheduling policy.
+        scheduler: SchedulerPolicy,
+    }
+
+    /// Scale L1/L2 capacities by `factor` (applied after the explicit
+    /// sizes, validated in [`SystemParamsBuilder::build`]).
+    pub fn scaled_caches(mut self, factor: f64) -> Self {
+        self.scale = Some(factor);
+        self
+    }
+
+    /// Validate and produce the parameters.
+    pub fn build(self) -> Result<SystemParams, ParamsError> {
+        self.params.validate()?;
+        match self.scale {
+            Some(factor) => self.params.try_scaled_caches(factor),
+            None => Ok(self.params),
+        }
     }
 }
 
@@ -225,5 +385,54 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn scaling_rejects_zero() {
         let _ = SystemParams::default().scaled_caches(0.0);
+    }
+
+    #[test]
+    fn try_scaled_caches_reports_bad_factors() {
+        assert_eq!(
+            SystemParams::default().try_scaled_caches(0.0),
+            Err(ParamsError::BadScale(0.0))
+        );
+        assert!(SystemParams::default().try_scaled_caches(f64::NAN).is_err());
+        assert!(SystemParams::default().try_scaled_caches(0.5).is_ok());
+    }
+
+    #[test]
+    fn builder_defaults_match_struct_defaults() {
+        let built = SystemParams::builder().build().expect("defaults are valid");
+        assert_eq!(built, SystemParams::default());
+    }
+
+    #[test]
+    fn builder_applies_setters_and_scaling() {
+        let p = SystemParams::builder()
+            .num_sms(4)
+            .tb_size(64)
+            .scheduler(SchedulerPolicy::RoundRobin)
+            .scaled_caches(0.125)
+            .build()
+            .expect("valid");
+        assert_eq!(p.num_sms, 4);
+        assert_eq!(p.tb_size, 64);
+        assert_eq!(p.scheduler, SchedulerPolicy::RoundRobin);
+        assert_eq!(p.l1_bytes, 4 * 1024);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_parameters() {
+        assert_eq!(
+            SystemParams::builder().warp_size(0).build(),
+            Err(ParamsError::NonPositive("warp_size"))
+        );
+        assert_eq!(
+            SystemParams::builder().line_bytes(48).build(),
+            Err(ParamsError::NotPowerOfTwo("line_bytes"))
+        );
+        assert_eq!(
+            SystemParams::builder().scaled_caches(-1.0).build(),
+            Err(ParamsError::BadScale(-1.0))
+        );
+        let err = ParamsError::NonPositive("tb_size");
+        assert!(err.to_string().contains("tb_size must be positive"));
     }
 }

@@ -7,6 +7,7 @@ use crate::mem::MemorySystem;
 use crate::params::SchedulerPolicy;
 use crate::stats::{StallBreakdown, StallClass};
 use crate::trace::MicroOp;
+use ggs_trace::{TraceEvent, Tracer};
 
 /// One 32-lane warp executing its lanes' micro-op streams in lockstep
 /// slots.
@@ -72,6 +73,10 @@ pub struct Sm<'k> {
     /// Latest `ready_at` of a warp that retired its final slot (tail
     /// pipeline latency still in flight when the warp finished).
     tail: u64,
+    /// Injected trace sink handle; off by default.
+    tracer: Tracer<'k>,
+    /// Start cycle of the last stall sample emitted (stride sampling).
+    last_sample: u64,
 }
 
 /// Result of one scheduler step.
@@ -115,7 +120,16 @@ impl<'k> Sm<'k> {
             stats: StallBreakdown::default(),
             last_completion: 0,
             tail: 0,
+            tracer: Tracer::off(),
+            last_sample: 0,
         }
+    }
+
+    /// Attach a trace sink handle (stall samples and acquire/release
+    /// events); returns the SM for builder-style chaining.
+    pub fn with_tracer(mut self, tracer: Tracer<'k>) -> Self {
+        self.tracer = tracer;
+        self
     }
 
     /// This SM's id (its index among the GPU's cores).
@@ -192,6 +206,17 @@ impl<'k> Sm<'k> {
             Some((t, class)) => {
                 debug_assert!(t > self.now);
                 self.stats.record(class, t - self.now);
+                // Sampled stall-transition event: at most one per stride
+                // window per SM, so hot stalls stay bounded in the trace.
+                if self.tracer.enabled() && self.now >= self.last_sample + self.tracer.stride() {
+                    self.last_sample = self.now;
+                    self.tracer.emit(&TraceEvent::StallSample {
+                        sm: self.id,
+                        cycle: self.now,
+                        class: class.name(),
+                        cycles: t - self.now,
+                    });
+                }
                 self.now = t;
                 Step::Waited
             }
@@ -316,6 +341,13 @@ impl<'k> Sm<'k> {
             // (self-invalidate) around it.
             let drain = mem.release_drain(self.id);
             mem.acquire(self.id);
+            if self.tracer.enabled() {
+                self.tracer.emit(&TraceEvent::AcquireRelease {
+                    sm: self.id,
+                    cycle: now,
+                    drain_to: drain,
+                });
+            }
             now.max(drain)
         } else if self.consistency.atomics_program_ordered() {
             // Program order between atomics: wait for this warp's
@@ -373,7 +405,7 @@ mod tests {
     use crate::config::{CoherenceKind, HwConfig};
     use crate::params::SystemParams;
 
-    fn setup(consistency: ConsistencyModel) -> (MemorySystem, Sm<'static>) {
+    fn setup(consistency: ConsistencyModel) -> (MemorySystem<'static>, Sm<'static>) {
         let params = SystemParams::default();
         let mem = MemorySystem::new(&params, HwConfig::new(CoherenceKind::Gpu, consistency));
         let sm = Sm::new(

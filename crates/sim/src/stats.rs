@@ -37,18 +37,22 @@ impl StallClass {
         StallClass::Sync,
         StallClass::Idle,
     ];
-}
 
-impl fmt::Display for StallClass {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Static display name, used as the stall-sample trace-event label.
+    pub fn name(self) -> &'static str {
+        match self {
             StallClass::Busy => "Busy",
             StallClass::Comp => "Comp",
             StallClass::Data => "Data",
             StallClass::Sync => "Sync",
             StallClass::Idle => "Idle",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for StallClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -234,6 +238,39 @@ pub struct MemCounters {
     pub noc_control_messages: u64,
 }
 
+impl MemCounters {
+    /// Field-wise difference against an `earlier` snapshot of the same
+    /// monotonically increasing counters (the engine uses this for
+    /// per-kernel trace deltas). Saturates rather than wrapping if a
+    /// snapshot from a different run is passed.
+    pub fn delta(&self, earlier: &MemCounters) -> MemCounters {
+        MemCounters {
+            l1_hits: self.l1_hits.saturating_sub(earlier.l1_hits),
+            l1_misses: self.l1_misses.saturating_sub(earlier.l1_misses),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
+            l2_atomics: self.l2_atomics.saturating_sub(earlier.l2_atomics),
+            l1_atomics: self.l1_atomics.saturating_sub(earlier.l1_atomics),
+            registrations: self.registrations.saturating_sub(earlier.registrations),
+            remote_transfers: self
+                .remote_transfers
+                .saturating_sub(earlier.remote_transfers),
+            write_throughs: self.write_throughs.saturating_sub(earlier.write_throughs),
+            invalidations: self.invalidations.saturating_sub(earlier.invalidations),
+            mshr_stalls: self.mshr_stalls.saturating_sub(earlier.mshr_stalls),
+            store_buffer_stalls: self
+                .store_buffer_stalls
+                .saturating_sub(earlier.store_buffer_stalls),
+            noc_line_transfers: self
+                .noc_line_transfers
+                .saturating_sub(earlier.noc_line_transfers),
+            noc_control_messages: self
+                .noc_control_messages
+                .saturating_sub(earlier.noc_control_messages),
+        }
+    }
+}
+
 impl AddAssign for MemCounters {
     fn add_assign(&mut self, rhs: MemCounters) {
         self.l1_hits += rhs.l1_hits;
@@ -310,5 +347,31 @@ mod tests {
         a += b;
         assert_eq!(a.l1_hits, 2);
         assert_eq!(a.registrations, 3);
+    }
+
+    #[test]
+    fn mem_counters_delta_subtracts_and_saturates() {
+        let earlier = MemCounters {
+            l1_hits: 5,
+            l2_misses: 2,
+            ..MemCounters::default()
+        };
+        let later = MemCounters {
+            l1_hits: 9,
+            l2_misses: 2,
+            ..MemCounters::default()
+        };
+        let d = later.delta(&earlier);
+        assert_eq!(d.l1_hits, 4);
+        assert_eq!(d.l2_misses, 0);
+        // Swapped arguments saturate instead of wrapping.
+        assert_eq!(earlier.delta(&later).l1_hits, 0);
+    }
+
+    #[test]
+    fn stall_class_names_match_display() {
+        for class in StallClass::ALL {
+            assert_eq!(class.name(), class.to_string());
+        }
     }
 }

@@ -111,10 +111,22 @@ impl KernelTrace {
     ///
     /// # Panics
     ///
-    /// Panics if `tb_size` is zero.
+    /// Panics if `tb_size` is zero. Prefer [`KernelTrace::try_new`] on
+    /// paths that must not panic.
     pub fn new(threads: Vec<Vec<MicroOp>>, tb_size: u32) -> Self {
-        assert!(tb_size > 0, "tb_size must be positive");
-        Self { threads, tb_size }
+        Self::try_new(threads, tb_size).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible variant of [`KernelTrace::new`]: rejects a zero
+    /// `tb_size` instead of panicking.
+    pub fn try_new(
+        threads: Vec<Vec<MicroOp>>,
+        tb_size: u32,
+    ) -> Result<Self, crate::params::ParamsError> {
+        if tb_size == 0 {
+            return Err(crate::params::ParamsError::NonPositive("tb_size"));
+        }
+        Ok(Self { threads, tb_size })
     }
 
     /// Number of threads (may be less than `num_blocks * tb_size` in the
@@ -207,5 +219,11 @@ mod tests {
     #[should_panic(expected = "tb_size")]
     fn zero_tb_size_rejected() {
         let _ = KernelTrace::new(Vec::new(), 0);
+    }
+
+    #[test]
+    fn try_new_reports_zero_tb_size() {
+        assert!(KernelTrace::try_new(Vec::new(), 0).is_err());
+        assert!(KernelTrace::try_new(Vec::new(), 1).is_ok());
     }
 }

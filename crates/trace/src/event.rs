@@ -1,0 +1,523 @@
+//! Typed trace events and their JSONL / Chrome-trace serializations.
+
+use std::fmt::Write as _;
+
+/// A structured event emitted by an instrumented component.
+///
+/// Cycle fields are *simulated* GPU cycles (the engine clock), except for
+/// [`TraceEvent::Phase`], whose timestamps are host wall-clock
+/// microseconds relative to the owning [`crate::MetricsRegistry`]'s
+/// creation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A kernel launch reached the SMs (after launch overhead).
+    KernelBegin {
+        /// Zero-based kernel sequence number within the run.
+        kernel: u64,
+        /// Simulated cycle at which the kernel starts executing.
+        cycle: u64,
+        /// Number of thread blocks in the launch.
+        blocks: u64,
+        /// Number of threads in the launch.
+        threads: u64,
+    },
+    /// A kernel finished draining.
+    KernelEnd {
+        /// Zero-based kernel sequence number within the run.
+        kernel: u64,
+        /// Simulated cycle at which the kernel (incl. drain) completed.
+        cycle: u64,
+    },
+    /// A per-round iteration boundary (one kernel launch per round in
+    /// level-synchronous graph workloads).
+    Iteration {
+        /// Zero-based round number (equals the kernel sequence number).
+        round: u64,
+        /// Simulated cycle at which the round was submitted.
+        cycle: u64,
+    },
+    /// A sampled stall interval on one SM. Emitted at most once per
+    /// sampling stride per SM, so high-frequency stalls are represented
+    /// rather than enumerated.
+    StallSample {
+        /// SM identifier.
+        sm: u32,
+        /// Simulated cycle at which the stall began.
+        cycle: u64,
+        /// Stall class name (`Busy`/`Comp`/`Data`/`Sync`/`Idle`).
+        class: &'static str,
+        /// Length of the stalled interval in cycles.
+        cycles: u64,
+    },
+    /// Per-kernel delta of the L1/L2 hit–miss–ownership counters.
+    CacheCounters {
+        /// Kernel the delta belongs to.
+        kernel: u64,
+        /// Simulated cycle at which the snapshot was taken (kernel end).
+        cycle: u64,
+        /// L1 load/store hits.
+        l1_hits: u64,
+        /// L1 load/store misses.
+        l1_misses: u64,
+        /// L2 hits.
+        l2_hits: u64,
+        /// L2 misses (memory accesses).
+        l2_misses: u64,
+        /// Atomics performed in L1 (DeNovo ownership hits).
+        l1_atomics: u64,
+        /// Atomics performed at L2.
+        l2_atomics: u64,
+        /// DeNovo ownership registrations at L2.
+        registrations: u64,
+        /// Remote-L1 ownership transfers.
+        remote_transfers: u64,
+        /// Lines invalidated by acquires (GPU coherence flushes).
+        invalidations: u64,
+    },
+    /// Per-kernel NoC traffic totals.
+    NocTotals {
+        /// Kernel the delta belongs to.
+        kernel: u64,
+        /// Simulated cycle at which the snapshot was taken (kernel end).
+        cycle: u64,
+        /// Full cache-line payload transfers across the mesh.
+        line_transfers: u64,
+        /// Single-flit control messages (ownership requests/acks).
+        control_messages: u64,
+        /// Total flits moved (payload + header + control).
+        flits: u64,
+    },
+    /// An atomic executed as a fence: release drain + acquire
+    /// self-invalidation (DRF0 semantics).
+    AcquireRelease {
+        /// SM that issued the fence.
+        sm: u32,
+        /// Simulated cycle at which the fence issued.
+        cycle: u64,
+        /// Cycle up to which the SM's prior writes must drain.
+        drain_to: u64,
+    },
+    /// A DeNovo ownership registration observed at L2 (sampled at the
+    /// tracer stride).
+    OwnershipTransfer {
+        /// SM acquiring ownership.
+        sm: u32,
+        /// Simulated cycle of the registration.
+        cycle: u64,
+        /// Line address (byte address >> line shift).
+        line: u64,
+        /// Whether the line was owned by a *different* SM (remote
+        /// transfer) rather than unowned / already local.
+        remote: bool,
+    },
+    /// A host wall-clock phase span (study/sweep self-profile).
+    Phase {
+        /// Phase name (e.g. `generate-inputs`, `simulate`).
+        name: String,
+        /// Start, in microseconds since the registry was created.
+        start_us: u64,
+        /// Duration in microseconds.
+        dur_us: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Machine-readable event kind, used as the `type` field in JSONL.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::KernelBegin { .. } => "kernel_begin",
+            TraceEvent::KernelEnd { .. } => "kernel_end",
+            TraceEvent::Iteration { .. } => "iteration",
+            TraceEvent::StallSample { .. } => "stall_sample",
+            TraceEvent::CacheCounters { .. } => "cache_counters",
+            TraceEvent::NocTotals { .. } => "noc_totals",
+            TraceEvent::AcquireRelease { .. } => "acquire_release",
+            TraceEvent::OwnershipTransfer { .. } => "ownership_transfer",
+            TraceEvent::Phase { .. } => "phase",
+        }
+    }
+
+    /// Event category, used as the Chrome-trace `cat` field.
+    pub fn category(&self) -> &'static str {
+        match self {
+            TraceEvent::KernelBegin { .. } | TraceEvent::KernelEnd { .. } => "kernel",
+            TraceEvent::Iteration { .. } => "iter",
+            TraceEvent::StallSample { .. } => "stall",
+            TraceEvent::CacheCounters { .. } | TraceEvent::OwnershipTransfer { .. } => "cache",
+            TraceEvent::NocTotals { .. } => "noc",
+            TraceEvent::AcquireRelease { .. } => "sync",
+            TraceEvent::Phase { .. } => "phase",
+        }
+    }
+
+    /// Timestamp of the event: simulated cycle, or microseconds for
+    /// [`TraceEvent::Phase`].
+    pub fn timestamp(&self) -> u64 {
+        match *self {
+            TraceEvent::KernelBegin { cycle, .. }
+            | TraceEvent::KernelEnd { cycle, .. }
+            | TraceEvent::Iteration { cycle, .. }
+            | TraceEvent::StallSample { cycle, .. }
+            | TraceEvent::CacheCounters { cycle, .. }
+            | TraceEvent::NocTotals { cycle, .. }
+            | TraceEvent::AcquireRelease { cycle, .. }
+            | TraceEvent::OwnershipTransfer { cycle, .. } => cycle,
+            TraceEvent::Phase { start_us, .. } => start_us,
+        }
+    }
+
+    /// Serialize as one JSONL line (no trailing newline).
+    ///
+    /// Every line carries `type`, `cat`, and `cycle` (or `start_us` for
+    /// phases) plus the event's own fields.
+    pub fn jsonl(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"type\":\"{}\",\"cat\":\"{}\"",
+            self.kind(),
+            self.category()
+        );
+        match self {
+            TraceEvent::KernelBegin {
+                kernel,
+                cycle,
+                blocks,
+                threads,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"cycle\":{cycle},\"kernel\":{kernel},\"blocks\":{blocks},\"threads\":{threads}"
+                );
+            }
+            TraceEvent::KernelEnd { kernel, cycle } => {
+                let _ = write!(s, ",\"cycle\":{cycle},\"kernel\":{kernel}");
+            }
+            TraceEvent::Iteration { round, cycle } => {
+                let _ = write!(s, ",\"cycle\":{cycle},\"round\":{round}");
+            }
+            TraceEvent::StallSample {
+                sm,
+                cycle,
+                class,
+                cycles,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"cycle\":{cycle},\"sm\":{sm},\"class\":\"{class}\",\"cycles\":{cycles}"
+                );
+            }
+            TraceEvent::CacheCounters {
+                kernel,
+                cycle,
+                l1_hits,
+                l1_misses,
+                l2_hits,
+                l2_misses,
+                l1_atomics,
+                l2_atomics,
+                registrations,
+                remote_transfers,
+                invalidations,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"cycle\":{cycle},\"kernel\":{kernel},\"l1_hits\":{l1_hits},\
+                     \"l1_misses\":{l1_misses},\"l2_hits\":{l2_hits},\"l2_misses\":{l2_misses},\
+                     \"l1_atomics\":{l1_atomics},\"l2_atomics\":{l2_atomics},\
+                     \"registrations\":{registrations},\"remote_transfers\":{remote_transfers},\
+                     \"invalidations\":{invalidations}"
+                );
+            }
+            TraceEvent::NocTotals {
+                kernel,
+                cycle,
+                line_transfers,
+                control_messages,
+                flits,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"cycle\":{cycle},\"kernel\":{kernel},\"line_transfers\":{line_transfers},\
+                     \"control_messages\":{control_messages},\"flits\":{flits}"
+                );
+            }
+            TraceEvent::AcquireRelease {
+                sm,
+                cycle,
+                drain_to,
+            } => {
+                let _ = write!(s, ",\"cycle\":{cycle},\"sm\":{sm},\"drain_to\":{drain_to}");
+            }
+            TraceEvent::OwnershipTransfer {
+                sm,
+                cycle,
+                line,
+                remote,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"cycle\":{cycle},\"sm\":{sm},\"line\":{line},\"remote\":{remote}"
+                );
+            }
+            TraceEvent::Phase {
+                name,
+                start_us,
+                dur_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"start_us\":{start_us},\"dur_us\":{dur_us},\"name\":\"{}\"",
+                    escape(name)
+                );
+            }
+        }
+        s.push('}');
+        s
+    }
+
+    /// Serialize as one Chrome trace-event object (no trailing comma).
+    ///
+    /// The mapping targets `chrome://tracing` / Perfetto conventions:
+    /// kernels are `B`/`E` duration pairs on tid 0, stall samples are
+    /// complete (`X`) events on per-SM tracks (tid = SM id + 1), counter
+    /// snapshots are `C` events, and point occurrences are instants
+    /// (`i`). Timestamps (`ts`) are simulated cycles interpreted as
+    /// microseconds by the viewer.
+    pub fn chrome(&self) -> String {
+        let ts = self.timestamp();
+        let cat = self.category();
+        let mut s = String::with_capacity(160);
+        match self {
+            TraceEvent::KernelBegin {
+                kernel,
+                blocks,
+                threads,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"kernel-{kernel}\",\"cat\":\"{cat}\",\"ph\":\"B\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"args\":{{\"blocks\":{blocks},\"threads\":{threads}}}}}"
+                );
+            }
+            TraceEvent::KernelEnd { kernel, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"kernel-{kernel}\",\"cat\":\"{cat}\",\"ph\":\"E\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0}}"
+                );
+            }
+            TraceEvent::Iteration { round, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"round-{round}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"s\":\"g\"}}"
+                );
+            }
+            TraceEvent::StallSample {
+                sm, class, cycles, ..
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"{class}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{cycles},\"pid\":0,\"tid\":{}}}",
+                    sm + 1
+                );
+            }
+            TraceEvent::CacheCounters {
+                l1_hits,
+                l1_misses,
+                l2_hits,
+                l2_misses,
+                l1_atomics,
+                l2_atomics,
+                registrations,
+                remote_transfers,
+                invalidations,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"cache\",\"cat\":\"{cat}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\
+                     \"tid\":0,\"args\":{{\"l1_hits\":{l1_hits},\"l1_misses\":{l1_misses},\
+                     \"l2_hits\":{l2_hits},\"l2_misses\":{l2_misses},\"l1_atomics\":{l1_atomics},\
+                     \"l2_atomics\":{l2_atomics},\"registrations\":{registrations},\
+                     \"remote_transfers\":{remote_transfers},\"invalidations\":{invalidations}}}}}"
+                );
+            }
+            TraceEvent::NocTotals {
+                line_transfers,
+                control_messages,
+                flits,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"noc\",\"cat\":\"{cat}\",\"ph\":\"C\",\"ts\":{ts},\"pid\":0,\
+                     \"tid\":0,\"args\":{{\"line_transfers\":{line_transfers},\
+                     \"control_messages\":{control_messages},\"flits\":{flits}}}}}"
+                );
+            }
+            TraceEvent::AcquireRelease { sm, drain_to, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"acq-rel\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\"pid\":0,\
+                     \"tid\":{},\"s\":\"t\",\"args\":{{\"drain_to\":{drain_to}}}}}",
+                    sm + 1
+                );
+            }
+            TraceEvent::OwnershipTransfer {
+                sm, line, remote, ..
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"ownership\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{\"line\":{line},\
+                     \"remote\":{remote}}}}}",
+                    sm + 1
+                );
+            }
+            TraceEvent::Phase { name, dur_us, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{dur_us},\"pid\":0,\"tid\":0}}",
+                    escape(name)
+                );
+            }
+        }
+        s
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::KernelBegin {
+                kernel: 1,
+                cycle: 2000,
+                blocks: 4,
+                threads: 1024,
+            },
+            TraceEvent::KernelEnd {
+                kernel: 1,
+                cycle: 9000,
+            },
+            TraceEvent::Iteration {
+                round: 1,
+                cycle: 1999,
+            },
+            TraceEvent::StallSample {
+                sm: 3,
+                cycle: 2500,
+                class: "Data",
+                cycles: 88,
+            },
+            TraceEvent::CacheCounters {
+                kernel: 1,
+                cycle: 9000,
+                l1_hits: 10,
+                l1_misses: 5,
+                l2_hits: 4,
+                l2_misses: 1,
+                l1_atomics: 2,
+                l2_atomics: 3,
+                registrations: 6,
+                remote_transfers: 1,
+                invalidations: 0,
+            },
+            TraceEvent::NocTotals {
+                kernel: 1,
+                cycle: 9000,
+                line_transfers: 7,
+                control_messages: 12,
+                flits: 47,
+            },
+            TraceEvent::AcquireRelease {
+                sm: 0,
+                cycle: 3000,
+                drain_to: 3100,
+            },
+            TraceEvent::OwnershipTransfer {
+                sm: 2,
+                cycle: 2750,
+                line: 42,
+                remote: true,
+            },
+            TraceEvent::Phase {
+                name: "simulate".into(),
+                start_us: 10,
+                dur_us: 900,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_lines_are_self_describing() {
+        for ev in all_variants() {
+            let line = ev.jsonl();
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(
+                line.contains(&format!("\"type\":\"{}\"", ev.kind())),
+                "{line}"
+            );
+            assert!(
+                line.contains(&format!("\"cat\":\"{}\"", ev.category())),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn chrome_objects_carry_phase_and_timestamp() {
+        for ev in all_variants() {
+            let obj = ev.chrome();
+            assert!(obj.contains("\"ph\":\""), "{obj}");
+            assert!(obj.contains(&format!("\"ts\":{}", ev.timestamp())), "{obj}");
+            assert!(obj.contains("\"pid\":0"), "{obj}");
+        }
+    }
+
+    #[test]
+    fn categories_cover_the_acceptance_set() {
+        let cats: std::collections::BTreeSet<&str> =
+            all_variants().iter().map(|e| e.category()).collect();
+        for needed in ["kernel", "stall", "cache", "noc"] {
+            assert!(cats.contains(needed), "missing category {needed}");
+        }
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let ev = TraceEvent::Phase {
+            name: "a\"b\\c".into(),
+            start_us: 0,
+            dur_us: 1,
+        };
+        assert!(ev.jsonl().contains("a\\\"b\\\\c"));
+        assert!(ev.chrome().contains("a\\\"b\\\\c"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Trace sinks: where events go.
+
+use crate::event::TraceEvent;
+use std::io::{self, Write};
+use std::sync::Mutex;
+
+/// A destination for trace events.
+///
+/// Sinks take `&self` and must be [`Sync`]: one sink may be shared by the
+/// engine, every SM, and the memory system of a simulation, and study
+/// workers may share a sink across threads. File-backed sinks use
+/// interior mutability (a [`Mutex`] around the writer).
+pub trait TraceSink: Sync {
+    /// Whether this sink wants events at all. Instrumented code caches
+    /// this once per simulation, so a `false` here reduces the hot path
+    /// to a single boolean test per potential event.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event. Implementations must not panic on I/O errors;
+    /// they latch the error for [`TraceSink::finish`] to report.
+    fn emit(&self, event: &TraceEvent);
+
+    /// Flush buffered output and close any container syntax, reporting
+    /// the first latched I/O error. Idempotent; also invoked on drop for
+    /// the file-backed sinks (where the error is then discarded).
+    fn finish(&self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The zero-cost sink: reports `enabled() == false` and drops events.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _event: &TraceEvent) {}
+}
+
+/// A shared no-op sink; [`crate::Tracer::off`] borrows this.
+pub static NOOP: NoopSink = NoopSink;
+
+/// Writer state shared by the file-backed sinks.
+struct WriterState<W> {
+    writer: W,
+    /// First I/O error observed, reported by `finish`.
+    error: Option<io::Error>,
+    /// Events written so far (drives comma placement in Chrome traces).
+    count: u64,
+    finished: bool,
+}
+
+impl<W: Write> WriterState<W> {
+    fn write(&mut self, bytes: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.writer.write_all(bytes) {
+            self.error = Some(e);
+        }
+    }
+
+    fn take_result(&mut self) -> io::Result<()> {
+        match self.error.take() {
+            Some(e) => Err(e),
+            None => self.writer.flush(),
+        }
+    }
+}
+
+/// The writer state is `Option` so `into_inner` can take it while the
+/// sink still has a `Drop` impl; a `None` means the writer was moved out.
+fn lock<W>(m: &Mutex<Option<WriterState<W>>>) -> std::sync::MutexGuard<'_, Option<WriterState<W>>> {
+    // A panic while holding the lock can only leave behind a partially
+    // written event; the stream stays usable, so ignore poisoning.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Writes each event as one JSON object per line (JSON Lines).
+///
+/// The schema is documented in `docs/observability.md`; every line has
+/// `type` and `cat` discriminators plus the event's own fields.
+pub struct JsonlSink<W: Write + Send> {
+    state: Mutex<Option<WriterState<W>>>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wrap a writer. Consider a `BufWriter` for file targets.
+    pub fn new(writer: W) -> Self {
+        Self {
+            state: Mutex::new(Some(WriterState {
+                writer,
+                error: None,
+                count: 0,
+                finished: false,
+            })),
+        }
+    }
+
+    /// Number of events written so far.
+    pub fn len(&self) -> u64 {
+        lock(&self.state).as_ref().map_or(0, |st| st.count)
+    }
+
+    /// Whether no events have been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consume the sink and return the inner writer.
+    pub fn into_inner(self) -> W {
+        lock(&self.state)
+            .take()
+            .expect("writer present until into_inner")
+            .writer
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn emit(&self, event: &TraceEvent) {
+        if let Some(st) = lock(&self.state).as_mut() {
+            let mut line = event.jsonl();
+            line.push('\n');
+            st.write(line.as_bytes());
+            st.count += 1;
+        }
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        match lock(&self.state).as_mut() {
+            Some(st) => {
+                st.finished = true;
+                st.take_result()
+            }
+            None => Ok(()),
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// Writes a Chrome trace-event file: `{"traceEvents":[ ... ]}`.
+///
+/// Load the result in `chrome://tracing` or <https://ui.perfetto.dev>.
+/// The header is written on construction and events are streamed
+/// incrementally; call [`TraceSink::finish`] to write the closing
+/// bracket and observe any I/O error (drop also closes the file, but
+/// swallows errors).
+pub struct ChromeTraceSink<W: Write + Send> {
+    state: Mutex<Option<WriterState<W>>>,
+}
+
+impl<W: Write + Send> ChromeTraceSink<W> {
+    /// Wrap a writer and emit the trace-file header.
+    pub fn new(writer: W) -> Self {
+        let mut st = WriterState {
+            writer,
+            error: None,
+            count: 0,
+            finished: false,
+        };
+        st.write(b"{\"traceEvents\":[");
+        Self {
+            state: Mutex::new(Some(st)),
+        }
+    }
+
+    /// Number of events written so far.
+    pub fn len(&self) -> u64 {
+        lock(&self.state).as_ref().map_or(0, |st| st.count)
+    }
+
+    /// Whether no events have been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consume the sink and return the inner writer. Call
+    /// [`TraceSink::finish`] first if the footer must be present.
+    pub fn into_inner(self) -> W {
+        lock(&self.state)
+            .take()
+            .expect("writer present until into_inner")
+            .writer
+    }
+}
+
+impl<W: Write + Send> TraceSink for ChromeTraceSink<W> {
+    fn emit(&self, event: &TraceEvent) {
+        if let Some(st) = lock(&self.state).as_mut() {
+            if st.finished {
+                return;
+            }
+            let obj = event.chrome();
+            if st.count > 0 {
+                st.write(b",\n");
+            }
+            st.write(obj.as_bytes());
+            st.count += 1;
+        }
+    }
+
+    fn finish(&self) -> io::Result<()> {
+        match lock(&self.state).as_mut() {
+            Some(st) => {
+                if !st.finished {
+                    st.finished = true;
+                    st.write(b"]}\n");
+                }
+                st.take_result()
+            }
+            None => Ok(()),
+        }
+    }
+}
+
+impl<W: Write + Send> Drop for ChromeTraceSink<W> {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TraceEvent {
+        TraceEvent::KernelEnd {
+            kernel: 0,
+            cycle: 10,
+        }
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        assert!(!NoopSink.enabled());
+        NoopSink.emit(&sample());
+        assert!(NoopSink.finish().is_ok());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(&sample());
+        sink.emit(&sample());
+        assert_eq!(sink.len(), 2);
+        sink.finish().expect("vec write");
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn chrome_sink_brackets_and_commas() {
+        let sink = ChromeTraceSink::new(Vec::new());
+        sink.emit(&sample());
+        sink.emit(&sample());
+        sink.finish().expect("vec write");
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.trim_end().ends_with("]}"));
+        assert_eq!(text.matches("\"ph\":\"E\"").count(), 2);
+        // Exactly one separating comma between the two events.
+        assert_eq!(text.matches(",\n").count(), 1);
+    }
+
+    #[test]
+    fn empty_chrome_trace_is_still_valid() {
+        let sink = ChromeTraceSink::new(Vec::new());
+        sink.finish().expect("vec write");
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert_eq!(text.trim_end(), "{\"traceEvents\":[]}");
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_emit_after_finish_is_ignored() {
+        let sink = ChromeTraceSink::new(Vec::new());
+        sink.emit(&sample());
+        sink.finish().expect("vec write");
+        sink.emit(&sample());
+        sink.finish().expect("vec write");
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        assert_eq!(text.matches("\"ph\"").count(), 1);
+        assert_eq!(text.matches("]}").count(), 1);
+    }
+
+    struct FailingWriter;
+    impl Write for FailingWriter {
+        fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+            Err(io::Error::other("disk full"))
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn io_errors_are_latched_not_panicked() {
+        let sink = ChromeTraceSink::new(FailingWriter);
+        sink.emit(&sample());
+        let err = sink.finish().expect_err("writer always fails");
+        assert_eq!(err.to_string(), "disk full");
+        // Idempotent finish after the error was taken flushes cleanly.
+        assert!(sink.finish().is_ok());
+    }
+}

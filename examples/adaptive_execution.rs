@@ -10,36 +10,21 @@
 //! cargo run --release --example adaptive_execution -- SSSP EML
 //! ```
 
-use ggs_apps::AppKind;
 use ggs_core::adaptive::run_adaptive;
-use ggs_core::experiment::{run_workload, ExperimentSpec};
-use ggs_graph::synth::{GraphPreset, SynthConfig};
+use gpu_graph_spec::prelude::*;
 
-fn main() {
+fn main() -> Result<(), GgsError> {
     let mut args = std::env::args().skip(1);
-    let app: AppKind = args
-        .next()
-        .unwrap_or_else(|| "SSSP".into())
-        .parse()
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
-    let preset: GraphPreset = args
-        .next()
-        .unwrap_or_else(|| "EML".into())
-        .parse()
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
+    let app: AppKind = args.next().unwrap_or_else(|| "SSSP".into()).parse()?;
+    let preset: GraphPreset = args.next().unwrap_or_else(|| "EML".into()).parse()?;
     let scale = 0.125;
 
     let graph = SynthConfig::preset(preset).scale(scale).generate();
-    let spec = ExperimentSpec::at_scale(scale);
+    let spec = ExperimentSpec::builder().scale(scale).build()?;
 
     let adaptive = run_adaptive(app, &graph, &spec);
-    let static_stats = run_workload(app, &graph, adaptive.static_config, &spec);
+    let static_stats =
+        run_workload_traced(app, &graph, adaptive.static_config, &spec, Tracer::off())?;
 
     println!("{app} on {preset} (scale {scale})");
     println!(
@@ -59,4 +44,5 @@ fn main() {
     println!("per-kernel hardware schedule: {schedule}");
     let delta = 1.0 - adaptive.stats.total_cycles() as f64 / static_stats.total_cycles() as f64;
     println!("adaptation delta vs static choice: {:+.1}%", delta * 100.0);
+    Ok(())
 }

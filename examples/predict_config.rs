@@ -11,38 +11,34 @@
 use std::fs::File;
 use std::io::BufReader;
 
-use ggs_apps::AppKind;
-use ggs_graph::synth::{GraphPreset, SynthConfig};
-use ggs_graph::{mtx, Csr};
-use ggs_model::{predict_full, predict_partial, GraphProfile, MetricParams};
+use ggs_graph::mtx;
+use ggs_model::MetricParams;
+use gpu_graph_spec::prelude::*;
 
-fn load(arg: &str) -> (String, Csr, MetricParams) {
+fn load(arg: &str) -> Result<(String, Csr, MetricParams), GgsError> {
     if let Ok(preset) = arg.parse::<GraphPreset>() {
         // Scaled-down synthetic stand-in with matching cache scaling.
         let scale = 0.125;
         let graph = SynthConfig::preset(preset).scale(scale).generate();
         let params = MetricParams::default().scaled_caches(scale);
-        (
+        Ok((
             format!("{preset} (synthetic, scale {scale})"),
             graph,
             params,
-        )
+        ))
     } else {
-        let file = File::open(arg).unwrap_or_else(|e| {
-            eprintln!("cannot open {arg}: {e}");
-            std::process::exit(2);
-        });
-        let graph = mtx::read_mtx(BufReader::new(file)).unwrap_or_else(|e| {
-            eprintln!("cannot parse {arg}: {e}");
-            std::process::exit(2);
-        });
-        (arg.to_owned(), graph, MetricParams::default())
+        let file = File::open(arg)?;
+        let graph = mtx::read_mtx(BufReader::new(file))?;
+        Ok((arg.to_owned(), graph, MetricParams::default()))
     }
 }
 
-fn main() {
+fn main() -> Result<(), GgsError> {
     let arg = std::env::args().nth(1).unwrap_or_else(|| "RAJ".to_owned());
-    let (name, graph, params) = load(&arg);
+    let (name, graph, params) = load(&arg).unwrap_or_else(|e| {
+        eprintln!("predict_config: cannot load {arg}: {e}");
+        std::process::exit(2);
+    });
     let profile = GraphProfile::measure(&graph, &params);
 
     println!("input: {name}");
@@ -75,4 +71,5 @@ fn main() {
             predict_partial(&algo, &profile).code(),
         );
     }
+    Ok(())
 }

@@ -5,12 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ggs_apps::AppKind;
-use ggs_core::experiment::{run_workload, ExperimentSpec};
-use ggs_graph::GraphBuilder;
-use ggs_model::{predict_full, GraphProfile};
+use gpu_graph_spec::prelude::*;
 
-fn main() {
+fn main() -> Result<(), GgsError> {
     // 1. Build an input graph (here: a ring plus random chords — any
     //    directed symmetric graph works; see `ggs_graph::synth` for
     //    stand-ins of the paper's SuiteSparse inputs and
@@ -24,7 +21,7 @@ fn main() {
                 .filter(|&(a, b)| a != b),
         )
         .symmetric(true)
-        .build();
+        .try_build()?;
     println!(
         "graph: {} vertices, {} directed edges",
         graph.num_vertices(),
@@ -33,7 +30,7 @@ fn main() {
 
     // 2. Measure its structural profile (volume / reuse / imbalance) and
     //    ask the paper's decision tree for the best configuration.
-    let spec = ExperimentSpec::at_scale(0.05);
+    let spec = ExperimentSpec::builder().scale(0.05).build()?;
     let profile = GraphProfile::measure(&graph, &spec.metric_params());
     println!(
         "profile: volume {:.1} KB ({}), reuse {:.3} ({}), imbalance {:.3} ({})",
@@ -50,7 +47,7 @@ fn main() {
     println!("model recommends {config} for {app}");
 
     // 3. Simulate the workload under that configuration.
-    let stats = run_workload(app, &graph, config, &spec);
+    let stats = run_workload_traced(app, &graph, config, &spec, Tracer::off())?;
     println!(
         "simulated {} kernels in {} GPU cycles",
         stats.kernels,
@@ -59,4 +56,5 @@ fn main() {
     for (class, frac) in stats.stall_fractions() {
         println!("  {class:>4}: {:5.1}%", frac * 100.0);
     }
+    Ok(())
 }

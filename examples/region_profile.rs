@@ -7,42 +7,18 @@
 //! cargo run --release --example region_profile -- PR EML SGR
 //! ```
 
-use ggs_apps::AppKind;
-use ggs_core::experiment::{run_workload_profiled, ExperimentSpec};
-use ggs_graph::synth::{GraphPreset, SynthConfig};
-use ggs_model::SystemConfig;
+use gpu_graph_spec::prelude::*;
 
-fn main() {
+fn main() -> Result<(), GgsError> {
     let mut args = std::env::args().skip(1);
-    let app: AppKind = args
-        .next()
-        .unwrap_or_else(|| "PR".into())
-        .parse()
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
-    let preset: GraphPreset = args
-        .next()
-        .unwrap_or_else(|| "EML".into())
-        .parse()
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
-    let config: SystemConfig = args
-        .next()
-        .unwrap_or_else(|| "SGR".into())
-        .parse()
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
+    let app: AppKind = args.next().unwrap_or_else(|| "PR".into()).parse()?;
+    let preset: GraphPreset = args.next().unwrap_or_else(|| "EML".into()).parse()?;
+    let config: SystemConfig = args.next().unwrap_or_else(|| "SGR".into()).parse()?;
     let scale = 0.125;
 
     let graph = SynthConfig::preset(preset).scale(scale).generate();
-    let spec = ExperimentSpec::at_scale(scale);
-    let (stats, regions) = run_workload_profiled(app, &graph, config, &spec);
+    let spec = ExperimentSpec::builder().scale(scale).build()?;
+    let (stats, regions) = run_workload_profiled_traced(app, &graph, config, &spec, Tracer::off())?;
 
     println!(
         "{app} on {preset} under {config}: {} cycles total",
@@ -69,4 +45,5 @@ fn main() {
             s.avg_latency()
         );
     }
+    Ok(())
 }

@@ -6,33 +6,16 @@
 //! cargo run --release --example stall_breakdown -- CC AMZ
 //! ```
 
-use ggs_apps::AppKind;
-use ggs_core::experiment::{run_workload, ExperimentSpec};
-use ggs_core::sweep::figure5_configs;
-use ggs_graph::synth::{GraphPreset, SynthConfig};
+use gpu_graph_spec::prelude::*;
 
-fn main() {
+fn main() -> Result<(), GgsError> {
     let mut args = std::env::args().skip(1);
-    let app: AppKind = args
-        .next()
-        .unwrap_or_else(|| "CC".into())
-        .parse()
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
-    let preset: GraphPreset = args
-        .next()
-        .unwrap_or_else(|| "AMZ".into())
-        .parse()
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
+    let app: AppKind = args.next().unwrap_or_else(|| "CC".into()).parse()?;
+    let preset: GraphPreset = args.next().unwrap_or_else(|| "AMZ".into()).parse()?;
     let scale = 0.125;
 
     let graph = SynthConfig::preset(preset).scale(scale).generate();
-    let spec = ExperimentSpec::at_scale(scale);
+    let spec = ExperimentSpec::builder().scale(scale).build()?;
 
     println!("{app} on {preset} (scale {scale})");
     println!(
@@ -40,7 +23,7 @@ fn main() {
         "config", "cycles", "busy%", "comp%", "data%", "sync%", "idle%"
     );
     for config in figure5_configs(app) {
-        let stats = run_workload(app, &graph, config, &spec);
+        let stats = run_workload_traced(app, &graph, config, &spec, Tracer::off())?;
         let f = stats.stall_fractions();
         println!(
             "{:>6} {:>10} {:>6.1} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
@@ -53,4 +36,5 @@ fn main() {
             f[4].1 * 100.0,
         );
     }
+    Ok(())
 }

@@ -6,37 +6,19 @@
 //! cargo run --release --example sweep_workload -- SSSP RAJ 0.125
 //! ```
 
-use ggs_apps::AppKind;
-use ggs_core::experiment::ExperimentSpec;
-use ggs_core::sweep::{baseline_config, WorkloadSweep};
-use ggs_graph::synth::{GraphPreset, SynthConfig};
-use ggs_model::{predict_full, GraphProfile, SystemConfig};
+use gpu_graph_spec::prelude::*;
 
-fn main() {
+fn main() -> Result<(), GgsError> {
     let mut args = std::env::args().skip(1);
-    let app: AppKind = args
-        .next()
-        .unwrap_or_else(|| "SSSP".into())
-        .parse()
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
-    let preset: GraphPreset = args
-        .next()
-        .unwrap_or_else(|| "RAJ".into())
-        .parse()
-        .unwrap_or_else(|e| {
-            eprintln!("{e}");
-            std::process::exit(2);
-        });
+    let app: AppKind = args.next().unwrap_or_else(|| "SSSP".into()).parse()?;
+    let preset: GraphPreset = args.next().unwrap_or_else(|| "RAJ".into()).parse()?;
     let scale: f64 = args
         .next()
-        .map(|s| s.parse().expect("scale must be a number"))
+        .map(|s| s.parse().unwrap_or_else(|_| die("scale must be a number")))
         .unwrap_or(0.125);
 
     let graph = SynthConfig::preset(preset).scale(scale).generate();
-    let spec = ExperimentSpec::at_scale(scale);
+    let spec = ExperimentSpec::builder().scale(scale).build()?;
     let profile = GraphProfile::measure(&graph, &spec.metric_params());
     let predicted = predict_full(&app.algo_profile(), &profile);
 
@@ -45,19 +27,22 @@ fn main() {
         profile.class_code()
     );
     let configs = SystemConfig::all_for(app.algo_profile().traversal);
-    let sweep = WorkloadSweep::run(app, preset.mnemonic(), &graph, &configs, &spec);
+    let sweep = WorkloadSweep::try_run(app, preset.mnemonic(), &graph, &configs, &spec)?;
 
     let baseline = baseline_config(app);
+    let best = sweep
+        .try_best()
+        .unwrap_or_else(|| die("sweep is empty"))
+        .config;
     println!("{:>6} {:>12} {:>10}  ", "config", "cycles", "vs base");
-    for (config, norm) in sweep.normalized_to(baseline) {
+    for (config, norm) in sweep.try_normalized_to(baseline)? {
         let cycles = sweep
             .result_for(config)
-            .expect("swept")
-            .stats
-            .total_cycles();
+            .map(|r| r.stats.total_cycles())
+            .unwrap_or(0);
         let mark = match config {
-            c if c == sweep.best().config && c == predicted => "<= BEST, predicted",
-            c if c == sweep.best().config => "<= BEST",
+            c if c == best && c == predicted => "<= BEST, predicted",
+            c if c == best => "<= BEST",
             c if c == predicted => "<= predicted",
             _ => "",
         };
@@ -66,6 +51,12 @@ fn main() {
     println!(
         "\nmodel prediction {} runs within {:.1}% of the empirical best",
         predicted.code(),
-        sweep.slowdown_vs_best(predicted) * 100.0
+        sweep.try_slowdown_vs_best(predicted)? * 100.0
     );
+    Ok(())
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
 }
