@@ -9,7 +9,22 @@
 //!       [--trace-out PATH] [--trace-stride N]
 //!       [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|check|all]
 //! repro trace <app> <graph> <config> [--scale S] [--trace-out PATH] [--trace-stride N]
+//! repro study [--scale S] [--threads N] [--json PATH]
+//!             [--journal PATH] [--resume PATH] [--deadline-ms N]
+//!             [--max-kernels N] [--max-sim-cycles N] [--retries N]
+//!             [--inject-fault APP/GRAPH/CFG[=panic|hang|io]]...
 //! ```
+//!
+//! `repro study` runs the 36-workload study through the fault-tolerant
+//! runner (see docs/robustness.md): per-cell panic isolation, watchdog
+//! budgets (`--max-kernels`, `--max-sim-cycles`, `--deadline-ms`),
+//! bounded retries for transient I/O errors, and checkpoint/resume via
+//! an append-only JSONL journal (`--journal` to write, `--resume` to
+//! skip already-completed cells). Failed or timed-out cells are
+//! reported individually and the partial Figure 5/6 output is rendered
+//! from the surviving cells; the exit status is 0 as long as the study
+//! itself completes. `--inject-fault` sabotages named cells for testing
+//! the machinery.
 //!
 //! `repro trace` simulates one (application, graph, configuration)
 //! point with full instrumentation and writes the event stream to
@@ -54,6 +69,13 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut trace_stride = 1000u64;
     let mut check_extended = false;
+    let mut journal_path: Option<String> = None;
+    let mut resume_path: Option<String> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut max_kernels: Option<u64> = None;
+    let mut max_sim_cycles: Option<u64> = None;
+    let mut retries: Option<u32> = None;
+    let mut inject_faults: Vec<String> = Vec::new();
     let mut sections: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -94,6 +116,51 @@ fn main() {
             "--all" => {
                 check_extended = true;
             }
+            "--journal" => {
+                journal_path = Some(args.next().unwrap_or_else(|| die("--journal needs a path")));
+            }
+            "--resume" => {
+                resume_path = Some(args.next().unwrap_or_else(|| die("--resume needs a path")));
+            }
+            "--deadline-ms" => {
+                deadline_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &u64| v > 0)
+                        .unwrap_or_else(|| die("--deadline-ms needs a positive integer")),
+                );
+            }
+            "--max-kernels" => {
+                max_kernels = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &u64| v > 0)
+                        .unwrap_or_else(|| die("--max-kernels needs a positive integer")),
+                );
+            }
+            "--max-sim-cycles" => {
+                max_sim_cycles = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &u64| v > 0)
+                        .unwrap_or_else(|| die("--max-sim-cycles needs a positive integer")),
+                );
+            }
+            "--retries" => {
+                retries = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &u32| v > 0)
+                        .unwrap_or_else(|| die("--retries needs a positive integer")),
+                );
+            }
+            "--inject-fault" => {
+                inject_faults.push(
+                    args.next().unwrap_or_else(|| {
+                        die("--inject-fault needs APP/GRAPH/CFG[=panic|hang|io]")
+                    }),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale S] [--threads N] [--json PATH] [--svg PATH] [--all] \
@@ -113,6 +180,18 @@ fn main() {
                      preset mnemonic or rmat<N> (2^N vertices, scaled by --scale); the \
                      trace is Chrome trace-event JSON (.jsonl for JSON lines)"
                 );
+                println!(
+                    "       repro study [--scale S] [--threads N] [--json PATH] \
+                     [--journal PATH] [--resume PATH] [--deadline-ms N] [--max-kernels N] \
+                     [--max-sim-cycles N] [--retries N] \
+                     [--inject-fault APP/GRAPH/CFG[=panic|hang|io]]..."
+                );
+                println!(
+                    "  study    run the 36-workload study fault-tolerantly: failed cells \
+                     are isolated and reported, budgets bound runaway cells, completed \
+                     cells checkpoint to --journal and --resume skips them \
+                     (docs/robustness.md)"
+                );
                 return;
             }
             s => sections.push(s.to_owned()),
@@ -130,6 +209,26 @@ fn main() {
             trace_out.as_deref(),
             trace_stride,
         );
+        return;
+    }
+    if sections.first().map(String::as_str) == Some("study") {
+        if sections.len() > 1 {
+            die("study takes no operands, only flags");
+        }
+        let opts = StudyCmd {
+            scale,
+            threads,
+            json_path,
+            trace_out,
+            journal_path,
+            resume_path,
+            deadline_ms,
+            max_kernels,
+            max_sim_cycles,
+            retries,
+            inject_faults,
+        };
+        study_cmd(&opts);
         return;
     }
     if sections.is_empty() {
@@ -191,6 +290,16 @@ fn main() {
             "[repro] study finished in {:.1}s",
             start.elapsed().as_secs_f64()
         );
+        if !study.failures.is_empty() {
+            eprintln!(
+                "[repro] warning: {} cell(s) failed; figures are rendered from the \
+                 surviving cells (run `repro study` for the per-cell report)",
+                study.failures.len()
+            );
+            for cell in &study.failures {
+                eprintln!("[repro]   {} {}: {}", cell.status, cell.key(), cell.detail);
+            }
+        }
         if let Some(path) = &trace_out {
             write_phase_profile(path, &metrics);
         }
@@ -305,6 +414,122 @@ fn trace_cmd(
         stats.total_cycles(),
         stats.kernels
     );
+}
+
+/// Flags of the `repro study` subcommand.
+struct StudyCmd {
+    scale: f64,
+    threads: usize,
+    json_path: Option<String>,
+    trace_out: Option<String>,
+    journal_path: Option<String>,
+    resume_path: Option<String>,
+    deadline_ms: Option<u64>,
+    max_kernels: Option<u64>,
+    max_sim_cycles: Option<u64>,
+    retries: Option<u32>,
+    inject_faults: Vec<String>,
+}
+
+/// `repro study`: the 36-workload study through the fault-tolerant
+/// runner, with per-cell failure reporting and partial Figure 5/6
+/// output. Exits 0 as long as the study itself completes, even when
+/// individual cells fail — graceful degradation is the point.
+fn study_cmd(cmd: &StudyCmd) {
+    use ggs_core::runner::{run_study, FaultPlan, StudyOptions};
+    use ggs_core::ExperimentSpec;
+
+    let mut builder = ExperimentSpec::builder().scale(cmd.scale);
+    if let Some(n) = cmd.max_kernels {
+        builder = builder.max_kernels(n);
+    }
+    if let Some(n) = cmd.max_sim_cycles {
+        builder = builder.max_sim_cycles(n);
+    }
+    let spec = match builder.build() {
+        Ok(s) => s,
+        Err(e) => die(&format!("{e}")),
+    };
+
+    let mut options = StudyOptions::new(ConfigSet::Figure5, cmd.threads);
+    if let Some(n) = cmd.retries {
+        options.retry.max_attempts = n;
+    }
+    options.cell_deadline = cmd.deadline_ms.map(std::time::Duration::from_millis);
+    let mut faults = FaultPlan::new();
+    for spec_str in &cmd.inject_faults {
+        faults = match faults.parse_spec(spec_str) {
+            Ok(f) => f,
+            Err(e) => die(&format!("{e}")),
+        };
+    }
+    options.faults = faults;
+    options.journal_path = cmd.journal_path.as_ref().map(std::path::PathBuf::from);
+    options.resume_from = cmd.resume_path.as_ref().map(std::path::PathBuf::from);
+
+    // Cell panics are caught and reported by the runner; replace the
+    // default hook so each one costs a single stderr line instead of a
+    // full backtrace. Set RUST_BACKTRACE=1 to keep the default hook.
+    if std::env::var_os("RUST_BACKTRACE").is_none() {
+        std::panic::set_hook(Box::new(|info| {
+            eprintln!("[repro] cell worker panicked: {info}");
+        }));
+    }
+    eprintln!(
+        "[repro] running the fault-tolerant study at scale {} on {} threads…",
+        cmd.scale, cmd.threads
+    );
+    let start = std::time::Instant::now();
+    let metrics = ggs_trace::MetricsRegistry::new();
+    let outcome = if let Some(path) = &cmd.trace_out {
+        let sink = open_sink(path);
+        let outcome = run_study(&spec, &options, &metrics, sink.as_ref());
+        metrics.emit_phases(sink.as_ref());
+        close_sink(path, sink);
+        outcome
+    } else {
+        run_study(&spec, &options, &metrics, &ggs_trace::NOOP)
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(e) => die(&format!("{e}")),
+    };
+    eprintln!(
+        "[repro] study finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    if let Some(e) = &outcome.journal_error {
+        eprintln!("[repro] warning: journal degraded, checkpoints incomplete: {e}");
+    }
+
+    for cell in &outcome.study.failures {
+        println!(
+            "  {:7} {} (attempt {}): {}",
+            cell.status.to_string().to_uppercase(),
+            cell.key(),
+            cell.attempts,
+            cell.detail
+        );
+    }
+    let (ok, failed, timeout, skipped) = outcome.counts();
+    println!(
+        "study: {} cells — {} ok, {} failed, {} timeout, {} skipped",
+        outcome.cells.len(),
+        ok,
+        failed,
+        timeout,
+        skipped
+    );
+    println!();
+
+    if let Some(path) = &cmd.json_path {
+        if let Err(e) = std::fs::write(path, outcome.study.to_json_pretty()) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("[repro] wrote {path}");
+    }
+    fig5(&outcome.study);
+    fig6(&outcome.study);
 }
 
 /// Resolves a `repro trace` graph operand: a preset mnemonic, or
@@ -563,8 +788,12 @@ fn fig5(study: &Study) {
     for report in &study.reports {
         let mut line = format!("{:4} {:4} |", report.app, report.graph);
         for row in &report.rows {
-            let norm = report.normalized(&row.config);
-            line.push_str(&format!(" {}={:.2}", row.config, norm));
+            // A degraded study can lose the baseline row; fall back to
+            // raw cycles rather than panicking (docs/robustness.md).
+            match report.try_normalized(&row.config) {
+                Some(norm) => line.push_str(&format!(" {}={:.2}", row.config, norm)),
+                None => line.push_str(&format!(" {}={}cyc", row.config, row.total_cycles)),
+            }
         }
         let best = report.best.clone();
         let pred = report.predicted.clone();
@@ -580,12 +809,12 @@ fn fig5(study: &Study) {
             .iter()
             .filter(|r| r.app == app.mnemonic())
             .collect();
-        let geo = |f: &dyn Fn(&ggs_core::WorkloadReport) -> f64| -> f64 {
-            let s: f64 = reports.iter().map(|r| f(r).ln()).sum();
-            (s / reports.len() as f64).exp()
+        let geo = |f: &dyn Fn(&ggs_core::WorkloadReport) -> Option<f64>| -> f64 {
+            let norms: Vec<f64> = reports.iter().filter_map(|r| f(r)).collect();
+            (norms.iter().map(|v| v.ln()).sum::<f64>() / norms.len() as f64).exp()
         };
-        let best = geo(&|r| r.normalized(&r.best));
-        let pred = geo(&|r| r.normalized(&r.predicted));
+        let best = geo(&|r| r.try_normalized(&r.best));
+        let pred = geo(&|r| r.try_normalized(&r.predicted));
         t.row([
             app.mnemonic().to_owned(),
             format!("{best:.3}"),
@@ -608,12 +837,12 @@ fn fig5_svg(study: &Study) -> String {
             bars: r
                 .rows
                 .iter()
-                .map(|row| {
-                    let norm = r.normalized(&row.config);
-                    Bar {
+                .filter_map(|row| {
+                    let norm = r.try_normalized(&row.config)?;
+                    Some(Bar {
                         label: row.config.clone(),
                         segments: row.fractions.iter().map(|f| f * norm).collect(),
-                    }
+                    })
                 })
                 .collect(),
         })
@@ -644,13 +873,17 @@ fn fig6(study: &Study) {
         "PRED within",
     ]);
     for (r, reduction) in study.figure6_rows() {
+        let pred_within = match r.try_prediction_slowdown() {
+            Some(s) => format!("{:.1}%", s * 100.0),
+            None => "n/a".to_owned(),
+        };
         t.row([
             format!("{}-{}", r.app, r.graph),
             r.default_config().to_owned(),
             r.best.clone(),
             r.predicted.clone(),
             format!("{:.0}%", reduction * 100.0),
-            format!("{:.1}%", r.prediction_slowdown() * 100.0),
+            pred_within,
         ]);
     }
     println!("{}", t.render());
@@ -759,15 +992,18 @@ fn partial(study: &Study) {
         if r.app == "CC" {
             continue; // CC's recommendation (DD1) never uses DRFrlx
         }
-        total += 1;
-        let best_norlx = r
+        // A degraded study can lose every non-rlx row of a workload;
+        // skip it rather than panicking.
+        let Some(best_norlx) = r
             .rows
             .iter()
             .filter(|row| !row.config.ends_with('R'))
             .min_by_key(|row| row.total_cycles)
-            .expect("non-rlx configs present")
-            .config
-            .clone();
+            .map(|row| row.config.clone())
+        else {
+            continue;
+        };
+        total += 1;
         let flip = r.best.starts_with('S') && best_norlx.starts_with('T');
         if flip {
             flips += 1;
@@ -808,19 +1044,13 @@ fn flexible(study: &Study) {
     for code in ["TG0", "SG1", "SGR", "SD1", "SDR"] {
         let norms: Vec<f64> = static_reports
             .iter()
-            .map(|r| {
-                r.cycles_of(code).expect("swept") as f64
-                    / r.cycles_of(&r.best).expect("best") as f64
-            })
+            .filter_map(|r| Some(r.cycles_of(code)? as f64 / r.cycles_of(&r.best)? as f64))
             .collect();
         t.row([format!("always {code}"), format!("{:.3}", geomean(&norms))]);
     }
     let pred_norms: Vec<f64> = static_reports
         .iter()
-        .map(|r| {
-            r.cycles_of(&r.predicted).expect("swept") as f64
-                / r.cycles_of(&r.best).expect("best") as f64
-        })
+        .filter_map(|r| Some(r.cycles_of(&r.predicted)? as f64 / r.cycles_of(&r.best)? as f64))
         .collect();
     t.row([
         "model-predicted per workload".to_owned(),

@@ -92,6 +92,50 @@ fn help_and_bad_flags() {
 }
 
 #[test]
+fn study_isolates_injected_faults_and_resumes_from_its_journal() {
+    let journal = std::env::temp_dir().join(format!("ggs-cli-study-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let journal = journal.to_str().expect("utf8 temp path");
+
+    // An injected panic must not take the study down: exit 0, the cell
+    // reported, everything else completed and checkpointed.
+    let out = repro(&[
+        "study",
+        "--scale",
+        "0.004",
+        "--threads",
+        "8",
+        "--journal",
+        journal,
+        "--inject-fault",
+        "PR/AMZ/SGR",
+    ]);
+    assert!(out.contains("FAILED  PR/AMZ/SGR"), "{out}");
+    assert!(
+        out.contains("study: 174 cells") && out.contains("173 ok, 1 failed, 0 timeout"),
+        "{out}"
+    );
+    // The degraded Figure 5 still renders, minus the failed bar.
+    assert!(out.contains("Figure 5"), "{out}");
+
+    // Resuming re-runs only the missing cell.
+    let out = repro(&[
+        "study",
+        "--scale",
+        "0.004",
+        "--threads",
+        "8",
+        "--resume",
+        journal,
+    ]);
+    assert!(
+        out.contains("1 ok, 0 failed, 0 timeout, 173 skipped"),
+        "{out}"
+    );
+    let _ = std::fs::remove_file(journal);
+}
+
+#[test]
 fn check_certifies_every_workload_clean() {
     // Small scale keeps the full static + dynamic sweep fast; the
     // contracts are scale-invariant. `--all` adds the extended app set.

@@ -62,6 +62,38 @@ pub enum GgsError {
     Json(String),
     /// An I/O failure (trace output, study files).
     Io(std::io::Error),
+    /// A simulation exceeded its configured kernel or simulated-cycle
+    /// budget (watchdog; see `ExperimentSpec::budget`).
+    Budget(ggs_sim::BudgetBreach),
+    /// A study cell exceeded its wall-clock deadline.
+    Deadline {
+        /// The configured per-cell deadline, in milliseconds.
+        limit_ms: u64,
+    },
+    /// A study cell panicked; the panic was caught at the cell boundary
+    /// and converted into this error (see `runner::CellFailure`).
+    CellPanic {
+        /// The panic payload, downcast to a string when possible.
+        payload: String,
+    },
+}
+
+impl GgsError {
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Only transient environmental failures (I/O) are retryable;
+    /// deterministic errors — bad specs, unsupported pairings, budget
+    /// breaches, panics — fail the same way every time and are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, GgsError::Io(_))
+    }
+
+    /// Whether this error is a watchdog trip (budget or wall-clock
+    /// deadline) rather than a genuine failure; the study runner
+    /// records such cells as `Timeout` instead of `Failed`.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, GgsError::Budget(_) | GgsError::Deadline { .. })
+    }
 }
 
 impl fmt::Display for GgsError {
@@ -81,6 +113,11 @@ impl fmt::Display for GgsError {
             GgsError::MissingConfig(msg) => f.write_str(msg),
             GgsError::Json(msg) => write!(f, "malformed study JSON: {msg}"),
             GgsError::Io(e) => e.fmt(f),
+            GgsError::Budget(b) => b.fmt(f),
+            GgsError::Deadline { limit_ms } => {
+                write!(f, "wall-clock deadline exceeded ({limit_ms} ms)")
+            }
+            GgsError::CellPanic { payload } => write!(f, "cell panicked: {payload}"),
         }
     }
 }

@@ -1,9 +1,11 @@
 //! Running one (application, graph, configuration) experiment point.
 
+use std::time::Instant;
+
 use ggs_apps::{AppKind, Workload};
 use ggs_graph::Csr;
 use ggs_model::SystemConfig;
-use ggs_sim::{ExecStats, Simulation, SystemParams};
+use ggs_sim::{ExecStats, SimBudget, Simulation, SystemParams};
 use ggs_trace::Tracer;
 
 use crate::error::GgsError;
@@ -16,6 +18,11 @@ pub struct ExperimentSpec {
     pub scale: f64,
     /// Simulated hardware parameters (Table IV, possibly cache-scaled).
     pub params: SystemParams,
+    /// Watchdog budget applied to every simulation run under this spec
+    /// (kernel/iteration and simulated-cycle limits). Unlimited by
+    /// default; a breached run is reported as [`GgsError::Budget`] by
+    /// [`run_workload_budgeted`].
+    pub budget: SimBudget,
 }
 
 impl Default for ExperimentSpec {
@@ -61,7 +68,11 @@ impl ExperimentSpec {
         // *classifier* keeps nominal scaling (see `metric_params`) so
         // every Table II volume class is preserved.
         params.l1_bytes = params.l1_bytes.max(8 * 1024);
-        Ok(Self { scale, params })
+        Ok(Self {
+            scale,
+            params,
+            budget: SimBudget::UNLIMITED,
+        })
     }
 
     /// A fluent builder over [`ExperimentSpec::try_at_scale`] that also
@@ -81,6 +92,7 @@ impl ExperimentSpec {
         ExperimentSpecBuilder {
             scale: 1.0,
             params: None,
+            budget: SimBudget::UNLIMITED,
         }
     }
 
@@ -99,6 +111,7 @@ impl ExperimentSpec {
 pub struct ExperimentSpecBuilder {
     scale: f64,
     params: Option<SystemParams>,
+    budget: SimBudget,
 }
 
 impl ExperimentSpecBuilder {
@@ -106,6 +119,26 @@ impl ExperimentSpecBuilder {
     /// (default 1.0).
     pub fn scale(mut self, scale: f64) -> Self {
         self.scale = scale;
+        self
+    }
+
+    /// Watchdog budget for every simulation run under the spec
+    /// (default [`SimBudget::UNLIMITED`]).
+    pub fn budget(mut self, budget: SimBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Caps the number of kernels (≈ iterations for the level-
+    /// synchronous graph workloads) any single simulation may launch.
+    pub fn max_kernels(mut self, limit: u64) -> Self {
+        self.budget.max_kernels = Some(limit);
+        self
+    }
+
+    /// Caps the simulated cycles any single simulation may accumulate.
+    pub fn max_sim_cycles(mut self, limit: u64) -> Self {
+        self.budget.max_cycles = Some(limit);
         self
     }
 
@@ -128,6 +161,7 @@ impl ExperimentSpecBuilder {
         if let Some(params) = self.params {
             spec.params = params;
         }
+        spec.budget = self.budget;
         Ok(spec)
     }
 }
@@ -184,6 +218,57 @@ pub fn run_workload_traced(
     Workload::new(app, graph).generate(config.propagation, tb, &mut |kernel| {
         sim.run_kernel(kernel);
     });
+    Ok(sim.finish())
+}
+
+/// Watchdog-guarded variant of [`run_workload_traced`]: the spec's
+/// [`SimBudget`] and an optional wall-clock `deadline` are enforced at
+/// kernel boundaries. Once either trips, remaining kernels are skipped
+/// (the generator itself cannot be interrupted mid-kernel) and the run
+/// is reported as [`GgsError::Budget`] / [`GgsError::Deadline`] instead
+/// of returning partial statistics.
+pub fn run_workload_budgeted(
+    app: AppKind,
+    graph: &Csr,
+    config: SystemConfig,
+    spec: &ExperimentSpec,
+    tracer: Tracer<'_>,
+    deadline: Option<Instant>,
+) -> Result<ExecStats, GgsError> {
+    check_supported(app, config)?;
+    let weighted;
+    let graph = if app.needs_weights() && !graph.is_weighted() {
+        weighted = graph.clone().with_hashed_weights(64);
+        &weighted
+    } else {
+        graph
+    };
+    let mut sim = Simulation::with_tracer(spec.params.clone(), config.hw(), tracer);
+    sim.set_budget(spec.budget);
+    let started = Instant::now();
+    let mut deadline_hit = false;
+    let tb = spec.params.tb_size;
+    Workload::new(app, graph).generate(config.propagation, tb, &mut |kernel| {
+        if deadline_hit || sim.budget_exhausted() {
+            return;
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                deadline_hit = true;
+                return;
+            }
+        }
+        sim.run_kernel(kernel);
+    });
+    if let Some(breach) = sim.budget_breach() {
+        return Err(GgsError::Budget(breach));
+    }
+    if deadline_hit {
+        let limit_ms = deadline
+            .map(|d| d.saturating_duration_since(started).as_millis() as u64)
+            .unwrap_or(0);
+        return Err(GgsError::Deadline { limit_ms });
+    }
     Ok(sim.finish())
 }
 
@@ -319,6 +404,57 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(spec.params, params);
+    }
+
+    #[test]
+    fn budgeted_run_reports_kernel_budget_breach_as_timeout() {
+        let g = graph();
+        let spec = ExperimentSpec::builder()
+            .scale(0.05)
+            .max_kernels(1)
+            .build()
+            .unwrap();
+        let err = run_workload_budgeted(
+            AppKind::Pr,
+            &g,
+            "SGR".parse().unwrap(),
+            &spec,
+            Tracer::off(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GgsError::Budget(_)), "{err}");
+        assert!(err.is_timeout() && !err.is_retryable());
+        assert!(err.to_string().contains("kernel budget exhausted"));
+    }
+
+    #[test]
+    fn budgeted_run_honors_wall_clock_deadline() {
+        let g = graph();
+        let spec = ExperimentSpec::at_scale(0.05);
+        let deadline = Instant::now() - std::time::Duration::from_millis(1);
+        let err = run_workload_budgeted(
+            AppKind::Pr,
+            &g,
+            "SGR".parse().unwrap(),
+            &spec,
+            Tracer::off(),
+            Some(deadline),
+        )
+        .unwrap_err();
+        assert!(matches!(err, GgsError::Deadline { .. }), "{err}");
+        assert!(err.is_timeout());
+    }
+
+    #[test]
+    fn unlimited_budget_matches_untracked_run() {
+        let g = graph();
+        let spec = ExperimentSpec::at_scale(0.05);
+        let cfg = "SGR".parse().unwrap();
+        let budgeted =
+            run_workload_budgeted(AppKind::Pr, &g, cfg, &spec, Tracer::off(), None).unwrap();
+        let plain = run_workload(AppKind::Pr, &g, cfg, &spec);
+        assert_eq!(budgeted.total_cycles(), plain.total_cycles());
     }
 
     #[test]

@@ -44,11 +44,18 @@ pub mod adaptive;
 pub mod error;
 pub mod experiment;
 pub mod json;
+pub mod runner;
 pub mod study;
 pub mod sweep;
 
 pub use error::GgsError;
-pub use experiment::{run_workload, run_workload_traced, ExperimentSpec, ExperimentSpecBuilder};
+pub use experiment::{
+    run_workload, run_workload_budgeted, run_workload_traced, ExperimentSpec, ExperimentSpecBuilder,
+};
 pub use ggs_trace::{MetricsRegistry, Tracer};
+pub use runner::{
+    run_study, CellFailure, CellReport, CellStatus, Fault, FaultPlan, Journal, RetryPolicy,
+    StudyOptions, StudyOutcome,
+};
 pub use study::{Study, WorkloadReport};
 pub use sweep::WorkloadSweep;

@@ -1,0 +1,1044 @@
+//! Fault-isolated, checkpointed execution of the full study.
+//!
+//! [`crate::study::Study::run_with_metrics`] fans the 36-workload ×
+//! configuration grid across worker threads; without protection a
+//! single panicking cell, a non-converging configuration, or a hung
+//! simulation kills the whole study and discards hours of completed
+//! results. This module wraps every *cell* (one application × graph ×
+//! configuration point) in the standard long-job robustness kit:
+//!
+//! * **Isolation** — each cell runs behind
+//!   [`std::panic::catch_unwind`]; a panic becomes a typed
+//!   [`CellFailure`] recorded in the failure report instead of
+//!   poisoning the pool.
+//! * **Watchdogs** — the spec's [`ggs_sim::SimBudget`] (kernel /
+//!   simulated-cycle limits) plus an optional wall-clock deadline per
+//!   cell; breached cells are recorded as [`CellStatus::Timeout`] and
+//!   the study continues.
+//! * **Retry** — cells failing with a retryable error (I/O) are retried
+//!   with bounded exponential backoff; deterministic failures (panics,
+//!   budget breaches, bad specs) fail fast.
+//! * **Checkpoint/resume** — completed cells are appended to a JSONL
+//!   [`Journal`] as they finish; a later run pointed at the journal
+//!   skips them ([`CellStatus::Skipped`]) and re-runs only what is
+//!   missing, reproducing the uninterrupted results byte for byte.
+//!
+//! The failure taxonomy, journal format, and resume workflow are
+//! documented in `docs/robustness.md`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write as _};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ggs_apps::AppKind;
+use ggs_graph::synth::{GraphPreset, SynthConfig};
+use ggs_model::{predict_full, predict_partial, GraphProfile, SystemConfig};
+use ggs_sim::trace::{KernelTrace, MicroOp};
+use ggs_sim::{Simulation, StallClass};
+use ggs_trace::{MetricsRegistry, TraceEvent, TraceSink, Tracer};
+
+use crate::error::GgsError;
+use crate::experiment::{run_workload_budgeted, ExperimentSpec};
+use crate::json::{self, Value};
+use crate::study::{ConfigSet, ResultRow, Study, WorkloadReport};
+use crate::sweep::{baseline_config, figure5_configs};
+
+/// Terminal state of one study cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell simulated successfully (possibly after retries).
+    Ok,
+    /// The cell panicked or failed with a non-retryable error.
+    Failed,
+    /// The cell tripped a watchdog (budget or wall-clock deadline).
+    Timeout,
+    /// The cell was restored from a resume journal without re-running.
+    Skipped,
+}
+
+impl CellStatus {
+    /// Stable lower-case name used in reports, JSON, and trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Failed => "failed",
+            CellStatus::Timeout => "timeout",
+            CellStatus::Skipped => "skipped",
+        }
+    }
+
+    /// Parses a name produced by [`CellStatus::name`].
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "ok" => Some(CellStatus::Ok),
+            "failed" => Some(CellStatus::Failed),
+            "timeout" => Some(CellStatus::Timeout),
+            "skipped" => Some(CellStatus::Skipped),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CellStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-cell outcome record: the structured failure report the study
+/// emits alongside its (possibly partial) results.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Application mnemonic.
+    pub app: String,
+    /// Graph mnemonic.
+    pub graph: String,
+    /// Configuration code.
+    pub config: String,
+    /// Terminal state.
+    pub status: CellStatus,
+    /// Human-readable detail: the error/panic message, the breached
+    /// budget, or the resume provenance. Empty for clean `Ok` cells.
+    pub detail: String,
+    /// Execution attempts made (0 for cells restored from a journal).
+    pub attempts: u32,
+}
+
+impl CellReport {
+    /// The `APP/GRAPH/CONFIG` key identifying this cell.
+    pub fn key(&self) -> String {
+        cell_key(&self.app, &self.graph, &self.config)
+    }
+}
+
+/// A panic caught at a cell boundary, converted to a typed value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFailure {
+    /// Application mnemonic of the panicking cell.
+    pub app: String,
+    /// Graph mnemonic of the panicking cell.
+    pub graph: String,
+    /// Configuration code of the panicking cell.
+    pub config: String,
+    /// The panic payload, downcast to a string when possible.
+    pub payload: String,
+}
+
+impl CellFailure {
+    /// Converts a [`catch_unwind`] payload into a typed failure.
+    pub fn from_payload(
+        app: &str,
+        graph: &str,
+        config: &str,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> Self {
+        let text = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        Self {
+            app: app.to_owned(),
+            graph: graph.to_owned(),
+            config: config.to_owned(),
+            payload: text,
+        }
+    }
+}
+
+impl fmt::Display for CellFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{}/{} panicked: {}",
+            self.app, self.graph, self.config, self.payload
+        )
+    }
+}
+
+impl From<CellFailure> for GgsError {
+    fn from(failure: CellFailure) -> Self {
+        GgsError::CellPanic {
+            payload: failure.payload,
+        }
+    }
+}
+
+/// A deliberately injected failure mode, for fault-injection tests and
+/// the `repro study --inject-fault` smoke job.
+#[derive(Debug)]
+pub enum Fault {
+    /// The cell panics on every attempt (deterministic; fails fast).
+    Panic,
+    /// The cell spins feeding kernels forever; only a watchdog (budget
+    /// or deadline) can stop it. An internal failsafe caps the spin
+    /// when no watchdog is configured, so tests cannot truly hang.
+    Hang,
+    /// The first `remaining` attempts fail with a transient I/O error,
+    /// after which the cell runs normally (exercises the retry path).
+    TransientIo {
+        /// Failures left to inject (decremented per attempt).
+        remaining: AtomicU32,
+    },
+}
+
+/// Which cells to sabotage, keyed by `APP/GRAPH/CONFIG`.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    cells: BTreeMap<String, Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `fault` for the cell `app/graph/config`.
+    pub fn inject(mut self, app: &str, graph: &str, config: &str, fault: Fault) -> Self {
+        self.cells.insert(cell_key(app, graph, config), fault);
+        self
+    }
+
+    /// Parses a CLI fault spec: `APP/GRAPH/CONFIG[=panic|hang|io]`
+    /// (default `panic`), e.g. `PR/RMAT/SGR=hang`.
+    pub fn parse_spec(mut self, spec: &str) -> Result<Self, GgsError> {
+        let (key, kind) = match spec.split_once('=') {
+            Some((key, kind)) => (key, kind),
+            None => (spec, "panic"),
+        };
+        if key.split('/').count() != 3 {
+            return Err(GgsError::InvalidSpec(format!(
+                "fault cell must be APP/GRAPH/CONFIG, got {key:?}"
+            )));
+        }
+        let fault = match kind {
+            "panic" => Fault::Panic,
+            "hang" => Fault::Hang,
+            "io" => Fault::TransientIo {
+                remaining: AtomicU32::new(2),
+            },
+            other => {
+                return Err(GgsError::InvalidSpec(format!(
+                    "unknown fault kind {other:?} (expected panic, hang, or io)"
+                )))
+            }
+        };
+        self.cells.insert(key.to_owned(), fault);
+        Ok(self)
+    }
+
+    /// Whether no faults are registered.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn get(&self, key: &str) -> Option<&Fault> {
+        self.cells.get(key)
+    }
+}
+
+/// Bounded-backoff retry policy for retryable cell failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per cell, including the first (minimum 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep after the `attempt`-th failure (1-based):
+    /// `base · 2^(attempt-1)`, capped at `max_backoff`.
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let raw = self.base_backoff.saturating_mul(1u32 << exp);
+        raw.min(self.max_backoff)
+    }
+}
+
+/// One completed-cell record of a resume [`Journal`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Hash of the spec + config set the cell was run under.
+    pub spec_hash: String,
+    /// Application mnemonic.
+    pub app: String,
+    /// Graph mnemonic.
+    pub graph: String,
+    /// Configuration code.
+    pub config: String,
+    /// The cell's result row (cycles + stall fractions).
+    pub row: ResultRow,
+}
+
+/// An append-only JSONL checkpoint of completed cells.
+///
+/// Each line is one object:
+/// `{"app":"PR","config":"SGR","fractions":[..5 floats..],"graph":"RMAT",`
+/// `"spec_hash":"<16 hex>","total_cycles":N}`. Lines are written (and
+/// flushed) as cells finish, so a killed run leaves at worst one
+/// truncated final line — which [`Journal::load`] tolerates by skipping
+/// anything that does not parse.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Journal {
+    /// Entries in file order.
+    pub entries: Vec<JournalEntry>,
+}
+
+impl Journal {
+    /// Loads a journal, skipping malformed or truncated lines (a study
+    /// killed mid-write is the expected producer). Only a failure to
+    /// read the file at all is an error.
+    pub fn load(path: &Path) -> Result<Self, GgsError> {
+        let file = std::fs::File::open(path)?;
+        let mut entries = Vec::new();
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if let Some(entry) = parse_journal_line(&line) {
+                entries.push(entry);
+            }
+        }
+        Ok(Self { entries })
+    }
+
+    /// The completed cells recorded under `spec_hash`, keyed by
+    /// `APP/GRAPH/CONFIG`. Later duplicates win (a cell re-run by a
+    /// resumed study overwrites its older record).
+    pub fn completed_for(&self, spec_hash: &str) -> BTreeMap<String, ResultRow> {
+        self.entries
+            .iter()
+            .filter(|e| e.spec_hash == spec_hash)
+            .map(|e| (cell_key(&e.app, &e.graph, &e.config), e.row.clone()))
+            .collect()
+    }
+}
+
+fn parse_journal_line(line: &str) -> Option<JournalEntry> {
+    let v = json::parse(line).ok()?;
+    let s = |key: &str| v.get(key).and_then(Value::as_str).map(str::to_owned);
+    let fracs = v.get("fractions").and_then(Value::as_array)?;
+    if fracs.len() != 5 {
+        return None;
+    }
+    let mut fractions = [0.0f64; 5];
+    for (slot, f) in fractions.iter_mut().zip(fracs) {
+        *slot = f.as_f64()?;
+    }
+    Some(JournalEntry {
+        spec_hash: s("spec_hash")?,
+        app: s("app")?,
+        graph: s("graph")?,
+        config: s("config")?.clone(),
+        row: ResultRow {
+            config: s("config")?,
+            total_cycles: v.get("total_cycles").and_then(Value::as_u64)?,
+            fractions,
+        },
+    })
+}
+
+fn journal_line(spec_hash: &str, app: &str, graph: &str, row: &ResultRow) -> String {
+    let fractions = row.fractions.iter().map(|&f| Value::Number(f)).collect();
+    Value::Object(BTreeMap::from([
+        ("spec_hash".to_owned(), Value::String(spec_hash.to_owned())),
+        ("app".to_owned(), Value::String(app.to_owned())),
+        ("graph".to_owned(), Value::String(graph.to_owned())),
+        ("config".to_owned(), Value::String(row.config.clone())),
+        (
+            "total_cycles".to_owned(),
+            Value::Number(row.total_cycles as f64),
+        ),
+        ("fractions".to_owned(), Value::Array(fractions)),
+    ]))
+    .to_string_compact()
+}
+
+/// Stable 64-bit FNV-1a hash of the experiment spec and config set,
+/// identifying which run a journal entry belongs to. (The std hasher is
+/// not guaranteed stable across releases; FNV-1a is.)
+pub fn spec_hash(spec: &ExperimentSpec, configs: ConfigSet) -> String {
+    let text = format!("{spec:?}|{configs:?}");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Options controlling a fault-tolerant study run.
+#[derive(Debug)]
+pub struct StudyOptions {
+    /// Configuration set per workload.
+    pub configs: ConfigSet,
+    /// Worker threads (0 is rejected as an invalid spec).
+    pub threads: usize,
+    /// Retry policy for retryable cell failures.
+    pub retry: RetryPolicy,
+    /// Wall-clock deadline per cell attempt, if any.
+    pub cell_deadline: Option<Duration>,
+    /// Deliberate faults to inject (tests, smoke jobs).
+    pub faults: FaultPlan,
+    /// Where to append the checkpoint journal, if anywhere.
+    pub journal_path: Option<PathBuf>,
+    /// A journal from a previous (possibly killed) run; cells recorded
+    /// there under the same spec hash are skipped.
+    pub resume_from: Option<PathBuf>,
+}
+
+impl Default for StudyOptions {
+    fn default() -> Self {
+        Self {
+            configs: ConfigSet::Figure5,
+            threads: 1,
+            retry: RetryPolicy::default(),
+            cell_deadline: None,
+            faults: FaultPlan::new(),
+            journal_path: None,
+            resume_from: None,
+        }
+    }
+}
+
+impl StudyOptions {
+    /// Options matching the legacy `Study::run_with_metrics` behavior:
+    /// `configs` over `threads` workers, no watchdogs, no journal.
+    pub fn new(configs: ConfigSet, threads: usize) -> Self {
+        Self {
+            configs,
+            threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// The result of a fault-tolerant study run.
+#[derive(Debug)]
+pub struct StudyOutcome {
+    /// The (possibly partial) study: reports cover every workload with
+    /// at least one surviving cell; `study.failures` lists the cells
+    /// that failed or timed out.
+    pub study: Study,
+    /// Every cell's terminal record, in job order (graph-major, then
+    /// app, then configuration) — the structured per-cell report.
+    pub cells: Vec<CellReport>,
+    /// The first journal write error, if checkpointing degraded. The
+    /// study itself still completes (graceful degradation).
+    pub journal_error: Option<GgsError>,
+}
+
+impl StudyOutcome {
+    /// Cell totals `(ok, failed, timeout, skipped)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let mut c = (0, 0, 0, 0);
+        for cell in &self.cells {
+            match cell.status {
+                CellStatus::Ok => c.0 += 1,
+                CellStatus::Failed => c.1 += 1,
+                CellStatus::Timeout => c.2 += 1,
+                CellStatus::Skipped => c.3 += 1,
+            }
+        }
+        c
+    }
+}
+
+/// One schedulable cell.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    graph_index: usize,
+    app: AppKind,
+    config: SystemConfig,
+}
+
+/// What a worker records for one finished cell.
+#[derive(Debug)]
+struct CellOutcome {
+    report: CellReport,
+    row: Option<ResultRow>,
+}
+
+struct JournalWriter {
+    state: Mutex<(std::fs::File, Option<std::io::Error>)>,
+}
+
+impl JournalWriter {
+    fn open(path: &Path) -> Result<Self, GgsError> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self {
+            state: Mutex::new((file, None)),
+        })
+    }
+
+    /// Appends and flushes one line; the first error is latched and
+    /// later appends become no-ops (the run continues unjournaled).
+    fn append(&self, line: &str) {
+        let mut guard = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let (file, error) = &mut *guard;
+        if error.is_some() {
+            return;
+        }
+        let result = file
+            .write_all(line.as_bytes())
+            .and_then(|()| file.write_all(b"\n"))
+            .and_then(|()| file.flush());
+        if let Err(e) = result {
+            *error = Some(e);
+        }
+    }
+
+    fn take_error(&self) -> Option<std::io::Error> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .1
+            .take()
+    }
+}
+
+fn cell_key(app: &str, graph: &str, config: &str) -> String {
+    format!("{app}/{graph}/{config}")
+}
+
+/// Runs the study under `spec` with full fault tolerance: panics are
+/// isolated per cell, watchdogs convert runaways into timeouts, retryable
+/// errors are retried with bounded backoff, and completed cells are
+/// checkpointed to (and resumed from) a JSONL journal.
+///
+/// Returns `Err` only for setup failures (zero threads, an unreadable
+/// resume journal); individual cell failures never abort the run — they
+/// are reported in [`StudyOutcome::cells`] and `study.failures`.
+pub fn run_study(
+    spec: &ExperimentSpec,
+    options: &StudyOptions,
+    metrics: &MetricsRegistry,
+    sink: &dyn TraceSink,
+) -> Result<StudyOutcome, GgsError> {
+    if options.threads == 0 {
+        return Err(GgsError::InvalidSpec(
+            "need at least one worker thread".to_owned(),
+        ));
+    }
+    let epoch = Instant::now();
+    let hash = spec_hash(spec, options.configs);
+    let resumed: BTreeMap<String, ResultRow> = match &options.resume_from {
+        Some(path) => Journal::load(path)?.completed_for(&hash),
+        None => BTreeMap::new(),
+    };
+    let journal = match &options.journal_path {
+        Some(path) => Some(JournalWriter::open(path)?),
+        None => None,
+    };
+
+    let metric_params = spec.metric_params();
+    let graphs: Vec<(GraphPreset, ggs_graph::Csr, GraphProfile)> = {
+        let _phase = metrics.phase("generate_inputs");
+        GraphPreset::ALL
+            .into_iter()
+            .map(|p| {
+                let g = SynthConfig::preset(p)
+                    .scale(spec.scale)
+                    .generate()
+                    .with_hashed_weights(64);
+                let profile = GraphProfile::measure(&g, &metric_params);
+                (p, g, profile)
+            })
+            .collect()
+    };
+
+    // Cell list: graph-major, then app, then configuration — the same
+    // order the aggregate reports are emitted in.
+    let cells: Vec<Cell> = (0..graphs.len())
+        .flat_map(|graph_index| {
+            AppKind::ALL.into_iter().flat_map(move |app| {
+                let configs = match options.configs {
+                    ConfigSet::Figure5 => figure5_configs(app),
+                    ConfigSet::Full => SystemConfig::all_for(app.algo_profile().traversal),
+                };
+                configs.into_iter().map(move |config| Cell {
+                    graph_index,
+                    app,
+                    config,
+                })
+            })
+        })
+        .collect();
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<CellOutcome>>> =
+        Mutex::new((0..cells.len()).map(|_| None).collect());
+
+    {
+        let _phase = metrics.phase("simulate");
+        std::thread::scope(|scope| {
+            for _ in 0..options.threads.min(cells.len()).max(1) {
+                scope.spawn(|| {
+                    let local = MetricsRegistry::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        let cell = cells[i];
+                        let (preset, graph, _) = &graphs[cell.graph_index];
+                        let outcome = run_cell(
+                            cell,
+                            preset.mnemonic(),
+                            graph,
+                            spec,
+                            options,
+                            &resumed,
+                            epoch,
+                            sink,
+                        );
+                        if outcome.report.status == CellStatus::Ok {
+                            local.add("configs_simulated", 1);
+                            if let Some(row) = &outcome.row {
+                                local.observe("config_total_cycles", row.total_cycles);
+                                if let Some(j) = &journal {
+                                    j.append(&journal_line(
+                                        &hash,
+                                        &outcome.report.app,
+                                        &outcome.report.graph,
+                                        row,
+                                    ));
+                                }
+                            }
+                        }
+                        let mut slots = results.lock().unwrap_or_else(|e| e.into_inner());
+                        slots[i] = Some(outcome);
+                    }
+                    metrics.merge(&local);
+                });
+            }
+        });
+    }
+
+    let _phase = metrics.phase("aggregate");
+    let slots = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    let outcomes: Vec<CellOutcome> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.unwrap_or_else(|| {
+                // A worker died without recording this cell (should be
+                // unreachable given per-cell catch_unwind, but degrade
+                // to a report rather than poisoning the aggregate).
+                let cell = cells[i];
+                CellOutcome {
+                    report: CellReport {
+                        app: cell.app.mnemonic().to_owned(),
+                        graph: graphs[cell.graph_index].0.mnemonic().to_owned(),
+                        config: cell.config.code(),
+                        status: CellStatus::Failed,
+                        detail: "worker terminated before completing this cell".to_owned(),
+                        attempts: 0,
+                    },
+                    row: None,
+                }
+            })
+        })
+        .collect();
+    let study = aggregate(spec, &graphs, &cells, &outcomes);
+    let reports_out: Vec<CellReport> = outcomes.into_iter().map(|o| o.report).collect();
+
+    metrics.add("workloads_simulated", study.reports.len() as u64);
+    metrics.add("study_workloads", study.reports.len() as u64);
+
+    let journal_error = journal
+        .as_ref()
+        .and_then(JournalWriter::take_error)
+        .map(GgsError::Io);
+    Ok(StudyOutcome {
+        study,
+        cells: reports_out,
+        journal_error,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    cell: Cell,
+    graph_name: &str,
+    graph: &ggs_graph::Csr,
+    spec: &ExperimentSpec,
+    options: &StudyOptions,
+    resumed: &BTreeMap<String, ResultRow>,
+    epoch: Instant,
+    sink: &dyn TraceSink,
+) -> CellOutcome {
+    let app = cell.app.mnemonic().to_owned();
+    let config = cell.config.code();
+    let key = cell_key(&app, graph_name, &config);
+    let start_us = epoch.elapsed().as_micros() as u64;
+    let traced = sink.enabled();
+    if traced {
+        sink.emit(&TraceEvent::CellStart {
+            app: app.clone(),
+            graph: graph_name.to_owned(),
+            config: config.clone(),
+            start_us,
+        });
+    }
+
+    let outcome = if let Some(row) = resumed.get(&key) {
+        CellOutcome {
+            report: CellReport {
+                app: app.clone(),
+                graph: graph_name.to_owned(),
+                config: config.clone(),
+                status: CellStatus::Skipped,
+                detail: "resumed from journal".to_owned(),
+                attempts: 0,
+            },
+            row: Some(row.clone()),
+        }
+    } else {
+        execute_with_retries(cell, &app, graph_name, &config, graph, spec, options)
+    };
+
+    if traced {
+        sink.emit(&TraceEvent::CellFinish {
+            app,
+            graph: graph_name.to_owned(),
+            config,
+            status: outcome.report.status.name(),
+            attempts: outcome.report.attempts,
+            start_us,
+            dur_us: epoch.elapsed().as_micros() as u64 - start_us,
+        });
+    }
+    outcome
+}
+
+fn execute_with_retries(
+    cell: Cell,
+    app: &str,
+    graph_name: &str,
+    config: &str,
+    graph: &ggs_graph::Csr,
+    spec: &ExperimentSpec,
+    options: &StudyOptions,
+) -> CellOutcome {
+    let key = cell_key(app, graph_name, config);
+    let fault = options.faults.get(&key);
+    let max_attempts = options.retry.max_attempts.max(1);
+    let mut attempts = 0u32;
+    let result = loop {
+        attempts += 1;
+        let deadline = options.cell_deadline.map(|d| Instant::now() + d);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            execute_cell(cell, &key, graph, spec, fault, deadline)
+        }));
+        match caught {
+            Ok(Ok(stats)) => break Ok(stats),
+            Ok(Err(e)) => {
+                if e.is_retryable() && attempts < max_attempts {
+                    std::thread::sleep(options.retry.backoff(attempts));
+                    continue;
+                }
+                break Err(e);
+            }
+            // Panics are deterministic: fail fast, no retry.
+            Err(payload) => {
+                break Err(CellFailure::from_payload(app, graph_name, config, payload).into())
+            }
+        }
+    };
+    match result {
+        Ok(stats) => CellOutcome {
+            report: CellReport {
+                app: app.to_owned(),
+                graph: graph_name.to_owned(),
+                config: config.to_owned(),
+                status: CellStatus::Ok,
+                detail: String::new(),
+                attempts,
+            },
+            row: Some(ResultRow {
+                config: config.to_owned(),
+                total_cycles: stats.total_cycles(),
+                fractions: [
+                    stats.breakdown.fraction(StallClass::Busy),
+                    stats.breakdown.fraction(StallClass::Comp),
+                    stats.breakdown.fraction(StallClass::Data),
+                    stats.breakdown.fraction(StallClass::Sync),
+                    stats.breakdown.fraction(StallClass::Idle),
+                ],
+            }),
+        },
+        Err(e) => CellOutcome {
+            report: CellReport {
+                app: app.to_owned(),
+                graph: graph_name.to_owned(),
+                config: config.to_owned(),
+                status: if e.is_timeout() {
+                    CellStatus::Timeout
+                } else {
+                    CellStatus::Failed
+                },
+                detail: e.to_string(),
+                attempts,
+            },
+            row: None,
+        },
+    }
+}
+
+fn execute_cell(
+    cell: Cell,
+    key: &str,
+    graph: &ggs_graph::Csr,
+    spec: &ExperimentSpec,
+    fault: Option<&Fault>,
+    deadline: Option<Instant>,
+) -> Result<ggs_sim::ExecStats, GgsError> {
+    match fault {
+        Some(Fault::Panic) => panic!("injected fault: deliberate panic in {key}"),
+        Some(Fault::Hang) => return run_hang(cell, spec, deadline),
+        Some(Fault::TransientIo { remaining }) => {
+            let took = remaining
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok();
+            if took {
+                return Err(GgsError::Io(std::io::Error::other(
+                    "injected transient I/O failure",
+                )));
+            }
+        }
+        None => {}
+    }
+    run_workload_budgeted(cell.app, graph, cell.config, spec, Tracer::off(), deadline)
+}
+
+/// The `Hang` fault: feed small compute kernels forever, exactly like a
+/// non-converging workload would, so only the watchdogs stop it. A
+/// failsafe kernel cap keeps tests honest when neither watchdog is
+/// configured.
+fn run_hang(
+    cell: Cell,
+    spec: &ExperimentSpec,
+    deadline: Option<Instant>,
+) -> Result<ggs_sim::ExecStats, GgsError> {
+    const FAILSAFE_KERNELS: u64 = 4096;
+    let mut sim = Simulation::with_tracer(spec.params.clone(), cell.config.hw(), Tracer::off());
+    sim.set_budget(spec.budget);
+    let started = Instant::now();
+    let threads: Vec<Vec<MicroOp>> = (0..32).map(|_| vec![MicroOp::compute(64)]).collect();
+    let kernel = KernelTrace::new(threads, spec.params.tb_size);
+    let mut launched = 0u64;
+    loop {
+        if let Some(breach) = sim.budget_breach() {
+            return Err(GgsError::Budget(breach));
+        }
+        if let Some(d) = deadline {
+            if Instant::now() >= d {
+                return Err(GgsError::Deadline {
+                    limit_ms: started.elapsed().as_millis() as u64,
+                });
+            }
+        }
+        if launched >= FAILSAFE_KERNELS {
+            return Err(GgsError::Deadline {
+                limit_ms: started.elapsed().as_millis() as u64,
+            });
+        }
+        sim.run_kernel(&kernel);
+        launched += 1;
+    }
+}
+
+/// Builds the (possibly partial) study from per-cell outcomes: rows
+/// come from `Ok` cells and journal-restored `Skipped` cells; workloads
+/// with no surviving row are dropped from `reports` (their cells remain
+/// in the failure report).
+fn aggregate(
+    spec: &ExperimentSpec,
+    graphs: &[(GraphPreset, ggs_graph::Csr, GraphProfile)],
+    cells: &[Cell],
+    outcomes: &[CellOutcome],
+) -> Study {
+    let mut workload_reports = Vec::new();
+    let mut i = 0usize;
+    while i < cells.len() {
+        let gi = cells[i].graph_index;
+        let app = cells[i].app;
+        // Consume this workload's contiguous run of cells, keeping the
+        // rows of cells that survived (Ok or journal-restored) in
+        // configuration order.
+        let mut rows: Vec<ResultRow> = Vec::new();
+        while i < cells.len() && cells[i].graph_index == gi && cells[i].app == app {
+            if let Some(row) = &outcomes[i].row {
+                rows.push(row.clone());
+            }
+            i += 1;
+        }
+        if rows.is_empty() {
+            // Every cell of this workload failed; it is represented in
+            // the failure report only.
+            continue;
+        }
+        let (preset, _, profile) = &graphs[gi];
+        let algo = app.algo_profile();
+        let best = rows
+            .iter()
+            .min_by_key(|r| r.total_cycles)
+            .map(|r| r.config.clone())
+            .unwrap_or_default();
+        workload_reports.push(WorkloadReport {
+            app: app.mnemonic().to_owned(),
+            graph: preset.mnemonic().to_owned(),
+            classes: profile.class_code(),
+            predicted: predict_full(&algo, profile).code(),
+            predicted_partial: predict_partial(&algo, profile).code(),
+            best,
+            baseline: baseline_config(app).code(),
+            rows,
+        });
+    }
+
+    Study {
+        scale: spec.scale,
+        reports: workload_reports,
+        failures: outcomes
+            .iter()
+            .filter(|o| matches!(o.report.status, CellStatus::Failed | CellStatus::Timeout))
+            .map(|o| o.report.clone())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_status_names_round_trip() {
+        for status in [
+            CellStatus::Ok,
+            CellStatus::Failed,
+            CellStatus::Timeout,
+            CellStatus::Skipped,
+        ] {
+            assert_eq!(CellStatus::from_name(status.name()), Some(status));
+        }
+        assert_eq!(CellStatus::from_name("exploded"), None);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let policy = RetryPolicy::default();
+        assert_eq!(policy.backoff(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff(3), Duration::from_millis(40));
+        assert_eq!(policy.backoff(10), Duration::from_millis(200));
+        assert_eq!(policy.backoff(u32::MAX), Duration::from_millis(200));
+    }
+
+    #[test]
+    fn fault_plan_parses_cli_specs() {
+        let plan = FaultPlan::new()
+            .parse_spec("PR/AMZ/SGR")
+            .and_then(|p| p.parse_spec("CC/RAJ/DGR=hang"))
+            .and_then(|p| p.parse_spec("MIS/EML/SD1=io"))
+            .expect("valid specs");
+        assert!(matches!(plan.get("PR/AMZ/SGR"), Some(Fault::Panic)));
+        assert!(matches!(plan.get("CC/RAJ/DGR"), Some(Fault::Hang)));
+        assert!(matches!(
+            plan.get("MIS/EML/SD1"),
+            Some(Fault::TransientIo { .. })
+        ));
+        assert!(FaultPlan::new().parse_spec("PR/AMZ").is_err());
+        assert!(FaultPlan::new().parse_spec("PR/AMZ/SGR=meteor").is_err());
+    }
+
+    #[test]
+    fn cell_failure_downcasts_common_payloads() {
+        let f = CellFailure::from_payload("PR", "AMZ", "SGR", Box::new("boom"));
+        assert_eq!(f.payload, "boom");
+        let f = CellFailure::from_payload("PR", "AMZ", "SGR", Box::new(String::from("heap boom")));
+        assert_eq!(f.payload, "heap boom");
+        let f = CellFailure::from_payload("PR", "AMZ", "SGR", Box::new(42u32));
+        assert_eq!(f.payload, "non-string panic payload");
+        assert!(f.to_string().contains("PR/AMZ/SGR"));
+        let err: GgsError = f.into();
+        assert!(matches!(err, GgsError::CellPanic { .. }));
+        assert!(!err.is_retryable() && !err.is_timeout());
+    }
+
+    #[test]
+    fn journal_lines_round_trip_and_tolerate_garbage() {
+        let row = ResultRow {
+            config: "SGR".to_owned(),
+            total_cycles: 123_456,
+            fractions: [0.25, 0.1, 0.3, 0.15, 0.2],
+        };
+        let line = journal_line("deadbeefdeadbeef", "PR", "AMZ", &row);
+        let entry = parse_journal_line(&line).expect("own lines parse");
+        assert_eq!(entry.spec_hash, "deadbeefdeadbeef");
+        assert_eq!(entry.app, "PR");
+        assert_eq!(entry.graph, "AMZ");
+        assert_eq!(entry.row, row);
+        // Truncated / malformed lines are skipped, not fatal.
+        assert!(parse_journal_line(&line[..line.len() / 2]).is_none());
+        assert!(parse_journal_line("not json at all").is_none());
+        assert!(parse_journal_line("{\"app\":\"PR\"}").is_none());
+    }
+
+    #[test]
+    fn spec_hash_distinguishes_specs_and_config_sets() {
+        let a = ExperimentSpec::at_scale(0.05);
+        let b = ExperimentSpec::at_scale(0.1);
+        assert_eq!(
+            spec_hash(&a, ConfigSet::Figure5),
+            spec_hash(&a, ConfigSet::Figure5)
+        );
+        assert_ne!(
+            spec_hash(&a, ConfigSet::Figure5),
+            spec_hash(&b, ConfigSet::Figure5)
+        );
+        assert_ne!(
+            spec_hash(&a, ConfigSet::Figure5),
+            spec_hash(&a, ConfigSet::Full)
+        );
+        let mut budgeted = a.clone();
+        budgeted.budget.max_kernels = Some(5);
+        assert_ne!(
+            spec_hash(&a, ConfigSet::Figure5),
+            spec_hash(&budgeted, ConfigSet::Figure5)
+        );
+    }
+
+    #[test]
+    fn zero_threads_is_an_invalid_spec_not_a_panic() {
+        let spec = ExperimentSpec::at_scale(0.004);
+        let options = StudyOptions {
+            threads: 0,
+            ..Default::default()
+        };
+        let err = run_study(&spec, &options, &MetricsRegistry::new(), &ggs_trace::NOOP)
+            .expect_err("zero threads rejected");
+        assert!(matches!(err, GgsError::InvalidSpec(_)));
+    }
+}

@@ -3,16 +3,12 @@
 
 use std::collections::BTreeMap;
 
-use ggs_apps::AppKind;
-use ggs_graph::synth::{GraphPreset, SynthConfig};
-use ggs_model::{predict_full, predict_partial, GraphProfile, SystemConfig};
-use ggs_sim::StallClass;
 use ggs_trace::MetricsRegistry;
 
 use crate::error::GgsError;
 use crate::experiment::ExperimentSpec;
 use crate::json::{self, Value};
-use crate::sweep::{baseline_config, figure5_configs, WorkloadSweep};
+use crate::runner::{run_study, CellReport, CellStatus, StudyOptions};
 
 /// Which configuration set a study sweeps per workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,22 +62,45 @@ impl WorkloadReport {
             .map(|r| r.total_cycles)
     }
 
+    /// Execution time of `code` normalized to the baseline, or `None`
+    /// when either row is missing — which happens in degraded studies
+    /// where a cell failed or timed out (see `docs/robustness.md`).
+    pub fn try_normalized(&self, code: &str) -> Option<f64> {
+        let base = self.cycles_of(&self.baseline)? as f64;
+        Some(self.cycles_of(code)? as f64 / base)
+    }
+
     /// Execution time of `code` normalized to the baseline.
     ///
     /// # Panics
     ///
-    /// Panics if `code` or the baseline is missing from the rows.
+    /// Panics if `code` or the baseline is missing from the rows; use
+    /// [`WorkloadReport::try_normalized`] on possibly-degraded studies.
     pub fn normalized(&self, code: &str) -> f64 {
-        let base = self.cycles_of(&self.baseline).expect("baseline swept") as f64;
-        self.cycles_of(code).expect("config swept") as f64 / base
+        self.try_normalized(code)
+            .expect("baseline and config swept")
+    }
+
+    /// Relative slowdown of the model's prediction versus the empirical
+    /// best (0.0 when the model picked the best), or `None` when either
+    /// row is missing from a degraded study.
+    pub fn try_prediction_slowdown(&self) -> Option<f64> {
+        let best = self.cycles_of(&self.best)? as f64;
+        let pred = self.cycles_of(&self.predicted)? as f64;
+        Some(pred / best - 1.0)
     }
 
     /// Relative slowdown of the model's prediction versus the empirical
     /// best (0.0 when the model picked the best).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the best or predicted row is missing; use
+    /// [`WorkloadReport::try_prediction_slowdown`] on possibly-degraded
+    /// studies.
     pub fn prediction_slowdown(&self) -> f64 {
-        let best = self.cycles_of(&self.best).expect("best swept") as f64;
-        let pred = self.cycles_of(&self.predicted).expect("prediction swept") as f64;
-        pred / best - 1.0
+        self.try_prediction_slowdown()
+            .expect("best and prediction swept")
     }
 
     /// The default configuration Figure 6 compares against: `SGR` for
@@ -96,13 +115,26 @@ impl WorkloadReport {
 
     /// Fractional execution-time reduction of BEST versus the default
     /// configuration (Figure 6's headline metric); 0 when the default
+    /// is already best, `None` when either row is missing from a
+    /// degraded study.
+    pub fn try_best_reduction_vs_default(&self) -> Option<f64> {
+        let def = self.cycles_of(self.default_config())? as f64;
+        let best = self.cycles_of(&self.best)? as f64;
+        Some((1.0 - best / def).max(0.0))
+    }
+
+    /// Fractional execution-time reduction of BEST versus the default
+    /// configuration (Figure 6's headline metric); 0 when the default
     /// is already best.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the default or best row is missing; use
+    /// [`WorkloadReport::try_best_reduction_vs_default`] on
+    /// possibly-degraded studies.
     pub fn best_reduction_vs_default(&self) -> f64 {
-        let def = self
-            .cycles_of(self.default_config())
-            .expect("default swept") as f64;
-        let best = self.cycles_of(&self.best).expect("best swept") as f64;
-        (1.0 - best / def).max(0.0)
+        self.try_best_reduction_vs_default()
+            .expect("default and best swept")
     }
 }
 
@@ -111,8 +143,12 @@ impl WorkloadReport {
 pub struct Study {
     /// Scale the inputs were generated at.
     pub scale: f64,
-    /// One report per workload, in (graph, app) order.
+    /// One report per workload, in (graph, app) order. Workloads whose
+    /// every cell failed are absent (see `failures`).
     pub reports: Vec<WorkloadReport>,
+    /// Cells that failed or timed out; empty for a clean run (see
+    /// [`crate::runner`]).
+    pub failures: Vec<CellReport>,
 }
 
 impl Study {
@@ -145,70 +181,10 @@ impl Study {
     ) -> Self {
         assert!(threads > 0, "need at least one worker thread");
         let spec = ExperimentSpec::at_scale(scale);
-        let metric_params = spec.metric_params();
-
-        // Generate all six inputs (weighted up front so SSSP does not
-        // re-derive weights per sweep).
-        let graphs: Vec<(GraphPreset, ggs_graph::Csr, GraphProfile)> = {
-            let _phase = metrics.phase("generate_inputs");
-            GraphPreset::ALL
-                .into_iter()
-                .map(|p| {
-                    let g = SynthConfig::preset(p)
-                        .scale(scale)
-                        .generate()
-                        .with_hashed_weights(64);
-                    let profile = GraphProfile::measure(&g, &metric_params);
-                    (p, g, profile)
-                })
-                .collect()
-        };
-
-        // Workload list: (graph index, app).
-        let jobs: Vec<(usize, AppKind)> = (0..graphs.len())
-            .flat_map(|gi| AppKind::ALL.into_iter().map(move |app| (gi, app)))
-            .collect();
-
-        let next = std::sync::atomic::AtomicUsize::new(0);
-        let results = std::sync::Mutex::new(vec![None; jobs.len()]);
-
-        {
-            let _phase = metrics.phase("simulate");
-            std::thread::scope(|scope| {
-                for _ in 0..threads.min(jobs.len()).max(1) {
-                    scope.spawn(|| {
-                        let local = MetricsRegistry::new();
-                        loop {
-                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            if i >= jobs.len() {
-                                break;
-                            }
-                            let (gi, app) = jobs[i];
-                            let (preset, graph, profile) = &graphs[gi];
-                            let report = run_one(app, *preset, graph, profile, configs, &spec);
-                            local.add("workloads_simulated", 1);
-                            local.add("configs_simulated", report.rows.len() as u64);
-                            for row in &report.rows {
-                                local.observe("config_total_cycles", row.total_cycles);
-                            }
-                            let mut slots = results.lock().unwrap_or_else(|e| e.into_inner());
-                            slots[i] = Some(report);
-                        }
-                        metrics.merge(&local);
-                    });
-                }
-            });
-        }
-
-        let _phase = metrics.phase("aggregate");
-        let reports: Vec<WorkloadReport> = results
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-            .into_iter()
-            .map(|r| r.expect("every job completed"))
-            .collect();
-        metrics.add("study_workloads", reports.len() as u64);
-        Self { scale, reports }
+        let options = StudyOptions::new(configs, threads);
+        run_study(&spec, &options, metrics, &ggs_trace::NOOP)
+            .map(|outcome| outcome.study)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// The report for one workload.
@@ -228,22 +204,24 @@ impl Study {
     }
 
     /// Largest prediction slowdown across all workloads (the paper
-    /// reports ≤ 3.5%).
+    /// reports ≤ 3.5%). Workloads whose best or predicted row is
+    /// missing (degraded studies) are skipped rather than panicking.
     pub fn worst_prediction_slowdown(&self) -> f64 {
         self.reports
             .iter()
-            .map(|r| r.prediction_slowdown())
+            .filter_map(|r| r.try_prediction_slowdown())
             .fold(0.0, f64::max)
     }
 
     /// The Figure 6 rows: workloads where the default configuration
     /// (SGR, or DGR for CC) is *not* the empirical best, with the
-    /// fractional reduction BEST achieves.
+    /// fractional reduction BEST achieves. Workloads whose default or
+    /// best row is missing (degraded studies) are skipped.
     pub fn figure6_rows(&self) -> Vec<(&WorkloadReport, f64)> {
         self.reports
             .iter()
             .filter(|r| r.best != r.default_config())
-            .map(|r| (r, r.best_reduction_vs_default()))
+            .filter_map(|r| r.try_best_reduction_vs_default().map(|red| (r, red)))
             .collect()
     }
 
@@ -292,9 +270,27 @@ impl Study {
                 ]))
             })
             .collect();
+        let failures = self
+            .failures
+            .iter()
+            .map(|c| {
+                Value::Object(BTreeMap::from([
+                    ("app".to_owned(), Value::String(c.app.clone())),
+                    ("graph".to_owned(), Value::String(c.graph.clone())),
+                    ("config".to_owned(), Value::String(c.config.clone())),
+                    (
+                        "status".to_owned(),
+                        Value::String(c.status.name().to_owned()),
+                    ),
+                    ("detail".to_owned(), Value::String(c.detail.clone())),
+                    ("attempts".to_owned(), Value::Number(f64::from(c.attempts))),
+                ]))
+            })
+            .collect();
         Value::Object(BTreeMap::from([
             ("scale".to_owned(), Value::Number(self.scale)),
             ("reports".to_owned(), Value::Array(reports)),
+            ("failures".to_owned(), Value::Array(failures)),
         ]))
     }
 
@@ -364,48 +360,32 @@ impl Study {
                 rows,
             });
         }
-        Ok(Self { scale, reports })
-    }
-}
-
-fn run_one(
-    app: AppKind,
-    preset: GraphPreset,
-    graph: &ggs_graph::Csr,
-    profile: &GraphProfile,
-    configs: ConfigSet,
-    spec: &ExperimentSpec,
-) -> WorkloadReport {
-    let algo = app.algo_profile();
-    let config_list: Vec<SystemConfig> = match configs {
-        ConfigSet::Figure5 => figure5_configs(app),
-        ConfigSet::Full => SystemConfig::all_for(algo.traversal),
-    };
-    let sweep = WorkloadSweep::run(app, preset.mnemonic(), graph, &config_list, spec);
-    let rows = sweep
-        .results
-        .iter()
-        .map(|r| ResultRow {
-            config: r.config.code(),
-            total_cycles: r.stats.total_cycles(),
-            fractions: [
-                r.stats.breakdown.fraction(StallClass::Busy),
-                r.stats.breakdown.fraction(StallClass::Comp),
-                r.stats.breakdown.fraction(StallClass::Data),
-                r.stats.breakdown.fraction(StallClass::Sync),
-                r.stats.breakdown.fraction(StallClass::Idle),
-            ],
+        // Absent in pre-robustness serializations; default to a clean
+        // run so old files keep loading.
+        let mut failures = Vec::new();
+        if let Some(list) = root.get("failures").and_then(Value::as_array) {
+            for c in list {
+                let status_name = str_field(c, "status")?;
+                failures.push(CellReport {
+                    app: str_field(c, "app")?,
+                    graph: str_field(c, "graph")?,
+                    config: str_field(c, "config")?,
+                    status: CellStatus::from_name(&status_name)
+                        .ok_or_else(|| format!("unknown cell status {status_name:?}"))?,
+                    detail: str_field(c, "detail")?,
+                    attempts: c
+                        .get("attempts")
+                        .and_then(Value::as_u64)
+                        .ok_or("missing integer field \"attempts\"")?
+                        as u32,
+                });
+            }
+        }
+        Ok(Self {
+            scale,
+            reports,
+            failures,
         })
-        .collect();
-    WorkloadReport {
-        app: app.mnemonic().to_owned(),
-        graph: preset.mnemonic().to_owned(),
-        classes: profile.class_code(),
-        predicted: predict_full(&algo, profile).code(),
-        predicted_partial: predict_partial(&algo, profile).code(),
-        best: sweep.best().config.code(),
-        baseline: baseline_config(app).code(),
-        rows,
     }
 }
 

@@ -3,9 +3,9 @@
 
 use ggs_apps::AppKind;
 use ggs_graph::Csr;
-use ggs_model::taxonomy::Traversal;
+use ggs_model::taxonomy::{Propagation, Traversal};
 use ggs_model::SystemConfig;
-use ggs_sim::ExecStats;
+use ggs_sim::{CoherenceKind, ConsistencyModel, ExecStats};
 
 use ggs_trace::Tracer;
 
@@ -32,30 +32,99 @@ pub struct WorkloadSweep {
     pub results: Vec<ConfigResult>,
 }
 
-/// The five configurations Figure 5 shows per static workload —
-/// TG0 (the only pull bar: pull is insensitive to coherence/consistency)
-/// plus push over {GPU, DeNovo} × {DRF1, DRFrlx} (DRF0 push is uniformly
-/// poor and omitted, §VI) — and the four `D*` bars for CC.
+/// Builds a configuration point in const context (the struct fields are
+/// public, so the tables below are verified at compile time — no
+/// parsing, no panic path).
+const fn cfg(
+    propagation: Propagation,
+    coherence: CoherenceKind,
+    consistency: ConsistencyModel,
+) -> SystemConfig {
+    SystemConfig {
+        propagation,
+        coherence,
+        consistency,
+    }
+}
+
+/// The five Figure 5 bars for static workloads: TG0 (the only pull bar:
+/// pull is insensitive to coherence/consistency) plus push over
+/// {GPU, DeNovo} × {DRF1, DRFrlx} (DRF0 push is uniformly poor and
+/// omitted, §VI).
+const STATIC_FIGURE5: [SystemConfig; 5] = [
+    cfg(
+        Propagation::Pull,
+        CoherenceKind::Gpu,
+        ConsistencyModel::Drf0,
+    ), // TG0
+    cfg(
+        Propagation::Push,
+        CoherenceKind::Gpu,
+        ConsistencyModel::Drf1,
+    ), // SG1
+    cfg(
+        Propagation::Push,
+        CoherenceKind::Gpu,
+        ConsistencyModel::DrfRlx,
+    ), // SGR
+    cfg(
+        Propagation::Push,
+        CoherenceKind::DeNovo,
+        ConsistencyModel::Drf1,
+    ), // SD1
+    cfg(
+        Propagation::Push,
+        CoherenceKind::DeNovo,
+        ConsistencyModel::DrfRlx,
+    ), // SDR
+];
+
+/// The four `D*` bars Figure 5 shows for CC (dynamic traversal).
+const DYNAMIC_FIGURE5: [SystemConfig; 4] = [
+    cfg(
+        Propagation::PushPull,
+        CoherenceKind::Gpu,
+        ConsistencyModel::Drf1,
+    ), // DG1
+    cfg(
+        Propagation::PushPull,
+        CoherenceKind::Gpu,
+        ConsistencyModel::DrfRlx,
+    ), // DGR
+    cfg(
+        Propagation::PushPull,
+        CoherenceKind::DeNovo,
+        ConsistencyModel::Drf1,
+    ), // DD1
+    cfg(
+        Propagation::PushPull,
+        CoherenceKind::DeNovo,
+        ConsistencyModel::DrfRlx,
+    ), // DDR
+];
+
+/// The Figure 5 normalization baselines: TG0 for static workloads, DG1
+/// for CC.
+const STATIC_BASELINE: SystemConfig = STATIC_FIGURE5[0]; // TG0
+const DYNAMIC_BASELINE: SystemConfig = DYNAMIC_FIGURE5[0]; // DG1
+
+/// The configurations Figure 5 shows per workload: five for static
+/// workloads, four for CC. The tables behind it (`STATIC_FIGURE5` /
+/// `DYNAMIC_FIGURE5`) are compile-time constants, so this cannot fail.
 pub fn figure5_configs(app: AppKind) -> Vec<SystemConfig> {
-    let codes: &[&str] = match app.algo_profile().traversal {
-        Traversal::Static => &["TG0", "SG1", "SGR", "SD1", "SDR"],
-        Traversal::Dynamic => &["DG1", "DGR", "DD1", "DDR"],
-    };
-    codes
-        .iter()
-        .map(|c| c.parse().expect("static config table is valid"))
-        .collect()
+    match app.algo_profile().traversal {
+        Traversal::Static => STATIC_FIGURE5.to_vec(),
+        Traversal::Dynamic => DYNAMIC_FIGURE5.to_vec(),
+    }
 }
 
 /// The baseline every bar of a Figure 5 group is normalized to: `TG0`
 /// for static workloads, `DG1` for CC.
 pub fn baseline_config(app: AppKind) -> SystemConfig {
     match app.algo_profile().traversal {
-        Traversal::Static => "TG0",
-        Traversal::Dynamic => "DG1",
+        Traversal::Static => STATIC_BASELINE,
+        Traversal::Dynamic => DYNAMIC_BASELINE,
     }
-    .parse()
-    .expect("baseline config is valid")
 }
 
 impl WorkloadSweep {
@@ -228,6 +297,23 @@ mod tests {
     fn baselines_match_figure5_caption() {
         assert_eq!(baseline_config(AppKind::Mis).code(), "TG0");
         assert_eq!(baseline_config(AppKind::Cc).code(), "DG1");
+    }
+
+    #[test]
+    fn const_tables_agree_with_the_code_parser() {
+        // The compile-time tables must name exactly the paper's codes;
+        // round-trip each entry through the string parser to prove the
+        // field triples are the ones the codes denote.
+        let static_codes = ["TG0", "SG1", "SGR", "SD1", "SDR"];
+        for (cfg, code) in figure5_configs(AppKind::Pr).iter().zip(static_codes) {
+            assert_eq!(cfg.code(), code);
+            assert_eq!(*cfg, code.parse::<SystemConfig>().unwrap());
+        }
+        let dynamic_codes = ["DG1", "DGR", "DD1", "DDR"];
+        for (cfg, code) in figure5_configs(AppKind::Cc).iter().zip(dynamic_codes) {
+            assert_eq!(cfg.code(), code);
+            assert_eq!(*cfg, code.parse::<SystemConfig>().unwrap());
+        }
     }
 
     #[test]

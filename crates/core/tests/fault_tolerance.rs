@@ -1,0 +1,193 @@
+//! Fault-injection and checkpoint/resume integration tests for the
+//! study runner: a panicking cell and a hung cell must leave the other
+//! workloads' results intact, and a study killed mid-run must resume
+//! from its journal to byte-identical aggregate results.
+
+use std::path::PathBuf;
+
+use ggs_core::runner::{run_study, CellStatus, Fault, FaultPlan, StudyOptions};
+use ggs_core::study::ConfigSet;
+use ggs_core::{ExperimentSpec, MetricsRegistry};
+use ggs_trace::NOOP;
+
+const SCALE: f64 = 0.004;
+const THREADS: usize = 8;
+
+/// A spec whose kernel budget no legitimate cell can breach at this
+/// scale (the largest clean cell launches ~24 kernels) but that stops
+/// the `Hang` fault's kernel feed quickly.
+fn budgeted_spec() -> ExperimentSpec {
+    ExperimentSpec::builder()
+        .scale(SCALE)
+        .max_kernels(256)
+        .build()
+        .expect("valid spec")
+}
+
+fn options() -> StudyOptions {
+    StudyOptions::new(ConfigSet::Figure5, THREADS)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ggs-fault-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn panicking_and_hanging_cells_leave_the_rest_intact() {
+    let spec = budgeted_spec();
+    let clean = run_study(&spec, &options(), &MetricsRegistry::new(), &NOOP).expect("clean run");
+    assert!(clean.study.failures.is_empty());
+    assert_eq!(clean.study.reports.len(), 36);
+
+    let mut faulted_options = options();
+    faulted_options.faults = FaultPlan::new()
+        .inject("PR", "AMZ", "SGR", Fault::Panic)
+        .inject("CC", "RAJ", "DGR", Fault::Hang);
+    let faulted = run_study(&spec, &faulted_options, &MetricsRegistry::new(), &NOOP)
+        .expect("faulted run completes");
+
+    // Exactly the two injected cells are reported, with the right taxonomy.
+    let failures = &faulted.study.failures;
+    assert_eq!(failures.len(), 2, "failures: {failures:?}");
+    let panic_cell = failures
+        .iter()
+        .find(|c| c.key() == "PR/AMZ/SGR")
+        .expect("panicking cell reported");
+    assert_eq!(panic_cell.status, CellStatus::Failed);
+    assert!(panic_cell.detail.contains("injected fault"));
+    assert_eq!(panic_cell.attempts, 1, "panics must fail fast, no retry");
+    let hang_cell = failures
+        .iter()
+        .find(|c| c.key() == "CC/RAJ/DGR")
+        .expect("hung cell reported");
+    assert_eq!(hang_cell.status, CellStatus::Timeout);
+    assert!(hang_cell.detail.contains("kernel budget exhausted"));
+
+    // All 36 workloads still report; only the sabotaged ones lose a row.
+    assert_eq!(faulted.study.reports.len(), 36);
+    for clean_report in &clean.study.reports {
+        let report = faulted
+            .study
+            .report(&clean_report.graph, &clean_report.app)
+            .expect("workload present despite faults");
+        for row in &report.rows {
+            let clean_row = clean_report
+                .rows
+                .iter()
+                .find(|r| r.config == row.config)
+                .expect("row present in clean run");
+            assert_eq!(row, clean_row, "surviving cell diverged from clean run");
+        }
+        let workload = format!("{}/{}", clean_report.app, clean_report.graph);
+        let lost = clean_report.rows.len() - report.rows.len();
+        let expected = usize::from(workload == "PR/AMZ" || workload == "CC/RAJ");
+        assert_eq!(lost, expected, "{workload} lost {lost} rows");
+    }
+
+    let (ok, failed, timeout, skipped) = faulted.counts();
+    assert_eq!((failed, timeout, skipped), (1, 1, 0));
+    assert_eq!(ok + 2, clean.cells.len());
+}
+
+#[test]
+fn transient_io_failures_are_retried_to_success() {
+    let spec = budgeted_spec();
+    let mut opts = options();
+    opts.faults = FaultPlan::new().inject(
+        "MIS",
+        "EML",
+        "SD1",
+        Fault::TransientIo {
+            remaining: std::sync::atomic::AtomicU32::new(2),
+        },
+    );
+    let outcome = run_study(&spec, &opts, &MetricsRegistry::new(), &NOOP).expect("run completes");
+    assert!(outcome.study.failures.is_empty(), "retries must succeed");
+    let cell = outcome
+        .cells
+        .iter()
+        .find(|c| c.key() == "MIS/EML/SD1")
+        .expect("cell reported");
+    assert_eq!(cell.status, CellStatus::Ok);
+    assert_eq!(cell.attempts, 3, "two injected failures, then success");
+}
+
+#[test]
+fn exhausted_retries_report_the_transient_error() {
+    let spec = budgeted_spec();
+    let mut opts = options();
+    opts.retry.max_attempts = 2;
+    opts.retry.base_backoff = std::time::Duration::from_millis(1);
+    opts.faults = FaultPlan::new().inject(
+        "MIS",
+        "EML",
+        "SD1",
+        Fault::TransientIo {
+            remaining: std::sync::atomic::AtomicU32::new(10),
+        },
+    );
+    let outcome = run_study(&spec, &opts, &MetricsRegistry::new(), &NOOP).expect("run completes");
+    let cell = outcome
+        .cells
+        .iter()
+        .find(|c| c.key() == "MIS/EML/SD1")
+        .expect("cell reported");
+    assert_eq!(cell.status, CellStatus::Failed);
+    assert_eq!(cell.attempts, 2);
+    assert!(cell.detail.contains("injected transient I/O failure"));
+    // The workload still reports with its other four configurations.
+    let report = outcome
+        .study
+        .report("EML", "MIS")
+        .expect("workload present");
+    assert_eq!(report.rows.len(), 4);
+}
+
+#[test]
+fn journal_resume_reproduces_uninterrupted_results_byte_for_byte() {
+    let spec = budgeted_spec();
+    let journal = temp_path("study.jsonl");
+    let _ = std::fs::remove_file(&journal);
+
+    // Uninterrupted reference run.
+    let clean = run_study(&spec, &options(), &MetricsRegistry::new(), &NOOP).expect("clean run");
+
+    // "Killed" run: one cell panics partway; completed cells are
+    // checkpointed as they finish.
+    let mut opts = options();
+    opts.journal_path = Some(journal.clone());
+    opts.faults = FaultPlan::new().inject("BC", "OLS", "SG1", Fault::Panic);
+    let interrupted =
+        run_study(&spec, &opts, &MetricsRegistry::new(), &NOOP).expect("interrupted run");
+    assert!(interrupted.journal_error.is_none());
+    assert_eq!(interrupted.study.failures.len(), 1);
+
+    // Simulate dying mid-write: drop the last 3 complete lines and
+    // leave half of another as a truncated tail.
+    let text = std::fs::read_to_string(&journal).expect("journal readable");
+    let lines: Vec<&str> = text.lines().collect();
+    let complete = lines.len() - 3;
+    let mut truncated = lines[..complete].join("\n");
+    truncated.push('\n');
+    truncated.push_str(&lines[complete][..lines[complete].len() / 2]);
+    std::fs::write(&journal, truncated).expect("truncate journal");
+
+    // Resume (fault gone — the panicking cell gets re-run too).
+    let mut opts = options();
+    opts.resume_from = Some(journal.clone());
+    let resumed = run_study(&spec, &opts, &MetricsRegistry::new(), &NOOP).expect("resumed run");
+
+    let (ok, failed, timeout, skipped) = resumed.counts();
+    assert_eq!((failed, timeout), (0, 0));
+    assert_eq!(
+        skipped, complete,
+        "every parseable journal line skips a cell"
+    );
+    assert_eq!(ok + skipped, clean.cells.len(), "only missing cells re-ran");
+
+    // The aggregate is byte-identical to the uninterrupted run.
+    assert_eq!(resumed.study, clean.study);
+    assert_eq!(resumed.study.to_json(), clean.study.to_json());
+}

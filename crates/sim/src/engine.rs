@@ -17,6 +17,72 @@ use ggs_trace::{TraceEvent, Tracer};
 /// amortizing scheduling overhead).
 const QUANTUM_CYCLES: u64 = 256;
 
+/// Watchdog limits on a simulation, enforced at kernel-launch
+/// boundaries.
+///
+/// Long-running sweeps (the 36-workload study) use budgets to bound
+/// non-converging dynamic workloads and oversized inputs: once a limit
+/// is breached the simulation refuses further kernels instead of
+/// running away, and the caller observes
+/// [`Simulation::budget_exhausted`]. `None` means unlimited (the
+/// default), so existing callers are unaffected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimBudget {
+    /// Maximum number of kernels (≈ algorithm iterations for the
+    /// level-synchronous graph apps) the simulation may execute.
+    pub max_kernels: Option<u64>,
+    /// Maximum simulated GPU cycles. Checked before and after each
+    /// kernel; one kernel may overshoot the limit, but no further
+    /// kernel starts once it is reached.
+    pub max_cycles: Option<u64>,
+}
+
+impl SimBudget {
+    /// The unlimited budget (both limits absent).
+    pub const UNLIMITED: SimBudget = SimBudget {
+        max_kernels: None,
+        max_cycles: None,
+    };
+
+    /// Whether any limit is configured.
+    pub fn is_limited(&self) -> bool {
+        self.max_kernels.is_some() || self.max_cycles.is_some()
+    }
+}
+
+/// Which [`SimBudget`] limit a simulation ran into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetBreach {
+    /// The kernel-count limit was reached.
+    Kernels {
+        /// Configured limit.
+        limit: u64,
+        /// Kernels executed when the breach was detected.
+        reached: u64,
+    },
+    /// The simulated-cycle limit was reached.
+    Cycles {
+        /// Configured limit.
+        limit: u64,
+        /// Simulated clock when the breach was detected.
+        reached: u64,
+    },
+}
+
+impl std::fmt::Display for BudgetBreach {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BudgetBreach::Kernels { limit, reached } => {
+                write!(f, "kernel budget exhausted: {reached} of at most {limit}")
+            }
+            BudgetBreach::Cycles { limit, reached } => write!(
+                f,
+                "simulated-cycle budget exhausted: {reached} of at most {limit}"
+            ),
+        }
+    }
+}
+
 /// A multi-kernel simulation of one workload on one hardware
 /// configuration.
 ///
@@ -37,6 +103,8 @@ pub struct Simulation<'t> {
     stats: ExecStats,
     clock: u64,
     tracer: Tracer<'t>,
+    budget: SimBudget,
+    breach: Option<BudgetBreach>,
 }
 
 impl<'t> Simulation<'t> {
@@ -58,6 +126,58 @@ impl<'t> Simulation<'t> {
             stats: ExecStats::default(),
             clock: 0,
             tracer,
+            budget: SimBudget::UNLIMITED,
+            breach: None,
+        }
+    }
+
+    /// Installs a watchdog budget. Limits apply to the simulation's
+    /// cumulative kernel count and clock (not per kernel), take effect
+    /// from the next [`Simulation::run_kernel`] call, and replace any
+    /// previously-set budget (a previously-latched breach is kept).
+    pub fn set_budget(&mut self, budget: SimBudget) {
+        self.budget = budget;
+    }
+
+    /// The configured watchdog budget (unlimited by default).
+    pub fn budget(&self) -> SimBudget {
+        self.budget
+    }
+
+    /// Whether a budget limit has been breached. Once set, every
+    /// subsequent [`Simulation::run_kernel`] call is ignored, so partial
+    /// statistics stay valid for reporting.
+    pub fn budget_exhausted(&self) -> bool {
+        self.breach.is_some()
+    }
+
+    /// The first budget breach observed, if any.
+    pub fn budget_breach(&self) -> Option<BudgetBreach> {
+        self.breach
+    }
+
+    /// Latches a breach if the budget is exceeded at the current clock /
+    /// kernel count. Called at kernel boundaries.
+    fn check_budget(&mut self) {
+        if self.breach.is_some() {
+            return;
+        }
+        if let Some(limit) = self.budget.max_kernels {
+            if self.stats.kernels >= limit {
+                self.breach = Some(BudgetBreach::Kernels {
+                    limit,
+                    reached: self.stats.kernels,
+                });
+                return;
+            }
+        }
+        if let Some(limit) = self.budget.max_cycles {
+            if self.clock >= limit {
+                self.breach = Some(BudgetBreach::Cycles {
+                    limit,
+                    reached: self.clock,
+                });
+            }
         }
     }
 
@@ -104,6 +224,10 @@ impl<'t> Simulation<'t> {
     /// Empty kernels (no threads) are ignored entirely.
     pub fn run_kernel(&mut self, kernel: &KernelTrace) {
         if kernel.num_threads() == 0 {
+            return;
+        }
+        self.check_budget();
+        if self.breach.is_some() {
             return;
         }
         let kernel_seq = self.stats.kernels;
@@ -289,6 +413,9 @@ impl<'t> Simulation<'t> {
                 cycle: kernel_end,
             });
         }
+        // Re-check after the kernel so an overshoot is visible to the
+        // caller immediately, not only on the next launch attempt.
+        self.check_budget();
     }
 
     /// Read-only view of the statistics accumulated so far.
@@ -445,6 +572,77 @@ mod tests {
             t15 < t1 * 2,
             "parallel blocks should overlap: t1={t1} t15={t15}"
         );
+    }
+
+    #[test]
+    fn kernel_budget_stops_further_launches() {
+        let mut sim = Simulation::new(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+        );
+        sim.set_budget(SimBudget {
+            max_kernels: Some(2),
+            max_cycles: None,
+        });
+        for _ in 0..10 {
+            sim.run_kernel(&compute_kernel(256, 4));
+        }
+        assert!(sim.budget_exhausted());
+        assert!(matches!(
+            sim.budget_breach(),
+            Some(BudgetBreach::Kernels { limit: 2, .. })
+        ));
+        assert_eq!(sim.stats().kernels, 2, "third and later launches ignored");
+    }
+
+    #[test]
+    fn cycle_budget_latches_after_overshooting_kernel() {
+        let mut sim = Simulation::new(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+        );
+        sim.set_budget(SimBudget {
+            max_kernels: None,
+            max_cycles: Some(1),
+        });
+        sim.run_kernel(&compute_kernel(256, 4));
+        // The first kernel runs (budget checked at launch, clock was 0)
+        // and overshoots; the breach is latched at its end.
+        assert_eq!(sim.stats().kernels, 1);
+        assert!(sim.budget_exhausted());
+        let clock_after = sim.stats().total_cycles();
+        sim.run_kernel(&compute_kernel(256, 4));
+        assert_eq!(sim.stats().kernels, 1);
+        assert_eq!(sim.stats().total_cycles(), clock_after);
+    }
+
+    #[test]
+    fn unlimited_budget_never_breaches() {
+        let mut sim = Simulation::new(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+        );
+        assert!(!SimBudget::UNLIMITED.is_limited());
+        for _ in 0..4 {
+            sim.run_kernel(&compute_kernel(256, 2));
+        }
+        assert!(!sim.budget_exhausted());
+        assert!(sim.budget_breach().is_none());
+        assert_eq!(sim.stats().kernels, 4);
+    }
+
+    #[test]
+    fn budget_breach_display_names_the_limit() {
+        let k = BudgetBreach::Kernels {
+            limit: 5,
+            reached: 5,
+        };
+        assert!(k.to_string().contains("kernel budget"));
+        let c = BudgetBreach::Cycles {
+            limit: 100,
+            reached: 250,
+        };
+        assert!(c.to_string().contains("cycle budget"));
     }
 
     #[test]

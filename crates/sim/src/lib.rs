@@ -68,7 +68,7 @@ pub mod trace;
 #[cfg(feature = "check")]
 pub use check::{InvariantKind, ProtocolViolation};
 pub use config::{CoherenceKind, ConsistencyModel, HwConfig};
-pub use engine::Simulation;
+pub use engine::{BudgetBreach, SimBudget, Simulation};
 pub use ggs_trace::{TraceEvent, TraceSink, Tracer};
 pub use params::{ParamsError, SystemParams, SystemParamsBuilder};
 pub use stats::{ExecStats, StallBreakdown, StallClass};

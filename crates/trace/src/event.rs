@@ -119,6 +119,36 @@ pub enum TraceEvent {
         /// Duration in microseconds.
         dur_us: u64,
     },
+    /// A study cell (one workload × configuration point) started
+    /// executing on a worker. Timestamps are host wall-clock
+    /// microseconds relative to the study run's start.
+    CellStart {
+        /// Application mnemonic.
+        app: String,
+        /// Graph mnemonic.
+        graph: String,
+        /// Configuration code (`SGR`, `TG0`, …).
+        config: String,
+        /// Start, in microseconds since the study began.
+        start_us: u64,
+    },
+    /// A study cell finished (successfully or not).
+    CellFinish {
+        /// Application mnemonic.
+        app: String,
+        /// Graph mnemonic.
+        graph: String,
+        /// Configuration code.
+        config: String,
+        /// Final status (`ok`/`failed`/`timeout`/`skipped`).
+        status: &'static str,
+        /// Number of execution attempts (1 unless retried).
+        attempts: u32,
+        /// Start, in microseconds since the study began.
+        start_us: u64,
+        /// Wall-clock duration of all attempts, in microseconds.
+        dur_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -134,6 +164,8 @@ impl TraceEvent {
             TraceEvent::AcquireRelease { .. } => "acquire_release",
             TraceEvent::OwnershipTransfer { .. } => "ownership_transfer",
             TraceEvent::Phase { .. } => "phase",
+            TraceEvent::CellStart { .. } => "cell_start",
+            TraceEvent::CellFinish { .. } => "cell_finish",
         }
     }
 
@@ -147,11 +179,13 @@ impl TraceEvent {
             TraceEvent::NocTotals { .. } => "noc",
             TraceEvent::AcquireRelease { .. } => "sync",
             TraceEvent::Phase { .. } => "phase",
+            TraceEvent::CellStart { .. } | TraceEvent::CellFinish { .. } => "cell",
         }
     }
 
     /// Timestamp of the event: simulated cycle, or microseconds for
-    /// [`TraceEvent::Phase`].
+    /// the host wall-clock events ([`TraceEvent::Phase`],
+    /// [`TraceEvent::CellStart`], [`TraceEvent::CellFinish`]).
     pub fn timestamp(&self) -> u64 {
         match *self {
             TraceEvent::KernelBegin { cycle, .. }
@@ -162,7 +196,9 @@ impl TraceEvent {
             | TraceEvent::NocTotals { cycle, .. }
             | TraceEvent::AcquireRelease { cycle, .. }
             | TraceEvent::OwnershipTransfer { cycle, .. } => cycle,
-            TraceEvent::Phase { start_us, .. } => start_us,
+            TraceEvent::Phase { start_us, .. }
+            | TraceEvent::CellStart { start_us, .. }
+            | TraceEvent::CellFinish { start_us, .. } => start_us,
         }
     }
 
@@ -269,6 +305,39 @@ impl TraceEvent {
                     s,
                     ",\"start_us\":{start_us},\"dur_us\":{dur_us},\"name\":\"{}\"",
                     escape(name)
+                );
+            }
+            TraceEvent::CellStart {
+                app,
+                graph,
+                config,
+                start_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"start_us\":{start_us},\"app\":\"{}\",\"graph\":\"{}\",\"config\":\"{}\"",
+                    escape(app),
+                    escape(graph),
+                    escape(config)
+                );
+            }
+            TraceEvent::CellFinish {
+                app,
+                graph,
+                config,
+                status,
+                attempts,
+                start_us,
+                dur_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"start_us\":{start_us},\"dur_us\":{dur_us},\"app\":\"{}\",\
+                     \"graph\":\"{}\",\"config\":\"{}\",\"status\":\"{status}\",\
+                     \"attempts\":{attempts}",
+                    escape(app),
+                    escape(graph),
+                    escape(config)
                 );
             }
         }
@@ -386,6 +455,37 @@ impl TraceEvent {
                     escape(name)
                 );
             }
+            TraceEvent::CellStart {
+                app, graph, config, ..
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"{}/{}/{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"s\":\"g\"}}",
+                    escape(app),
+                    escape(graph),
+                    escape(config)
+                );
+            }
+            TraceEvent::CellFinish {
+                app,
+                graph,
+                config,
+                status,
+                attempts,
+                dur_us,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"{}/{}/{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{ts},\
+                     \"dur\":{dur_us},\"pid\":0,\"tid\":0,\
+                     \"args\":{{\"status\":\"{status}\",\"attempts\":{attempts}}}}}",
+                    escape(app),
+                    escape(graph),
+                    escape(config)
+                );
+            }
         }
         s
     }
@@ -471,6 +571,21 @@ mod tests {
                 name: "simulate".into(),
                 start_us: 10,
                 dur_us: 900,
+            },
+            TraceEvent::CellStart {
+                app: "PR".into(),
+                graph: "RMAT".into(),
+                config: "SGR".into(),
+                start_us: 15,
+            },
+            TraceEvent::CellFinish {
+                app: "PR".into(),
+                graph: "RMAT".into(),
+                config: "SGR".into(),
+                status: "ok",
+                attempts: 1,
+                start_us: 15,
+                dur_us: 420,
             },
         ]
     }

@@ -124,6 +124,11 @@ impl<W: Write + Send> JsonlSink<W> {
 impl<W: Write + Send> TraceSink for JsonlSink<W> {
     fn emit(&self, event: &TraceEvent) {
         if let Some(st) = lock(&self.state).as_mut() {
+            // Once the writer has failed, stop paying for serialization:
+            // the stream is dead and `finish` will report the error.
+            if st.error.is_some() {
+                return;
+            }
             let mut line = event.jsonl();
             line.push('\n');
             st.write(line.as_bytes());
@@ -197,7 +202,7 @@ impl<W: Write + Send> ChromeTraceSink<W> {
 impl<W: Write + Send> TraceSink for ChromeTraceSink<W> {
     fn emit(&self, event: &TraceEvent) {
         if let Some(st) = lock(&self.state).as_mut() {
-            if st.finished {
+            if st.finished || st.error.is_some() {
                 return;
             }
             let obj = event.chrome();
@@ -313,5 +318,18 @@ mod tests {
         assert_eq!(err.to_string(), "disk full");
         // Idempotent finish after the error was taken flushes cleanly.
         assert!(sink.finish().is_ok());
+    }
+
+    #[test]
+    fn jsonl_sink_latches_io_errors_and_stops_counting() {
+        let sink = JsonlSink::new(FailingWriter);
+        // Neither emit panics; the first failure is latched and later
+        // events are dropped without being serialized.
+        sink.emit(&sample());
+        sink.emit(&sample());
+        assert_eq!(sink.len(), 1, "events after the failure are dropped");
+        let err = sink.finish().expect_err("writer always fails");
+        assert_eq!(err.to_string(), "disk full");
+        assert!(sink.finish().is_ok(), "error reported exactly once");
     }
 }

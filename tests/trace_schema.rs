@@ -32,6 +32,24 @@ fn emit_all_events(sink: &dyn TraceSink) {
     let metrics = MetricsRegistry::new();
     drop(metrics.phase("golden_phase"));
     metrics.emit_phases(sink);
+    // Cell-lifecycle events come from the fault-tolerant study runner
+    // (docs/robustness.md), not from a single traced workload; pin
+    // their schema by emitting one of each directly.
+    sink.emit(&TraceEvent::CellStart {
+        app: "PR".into(),
+        graph: "OLS".into(),
+        config: "SG0".into(),
+        start_us: 1,
+    });
+    sink.emit(&TraceEvent::CellFinish {
+        app: "PR".into(),
+        graph: "OLS".into(),
+        config: "SG0".into(),
+        status: "ok",
+        attempts: 1,
+        start_us: 1,
+        dur_us: 2,
+    });
 }
 
 fn sorted_keys(v: &Value) -> Vec<String> {
