@@ -47,18 +47,22 @@ impl GraphArrays {
 
 /// Builds a vertex-centric kernel: one thread per vertex, traces
 /// produced by `emit(vertex, ops)`.
+///
+/// Each thread's ops are appended to one flat arena (the emit closures
+/// only push), so building a kernel costs two allocations total instead
+/// of one per vertex.
 pub(crate) fn vertex_kernel<F>(num_vertices: u32, tb_size: u32, mut emit: F) -> KernelTrace
 where
     F: FnMut(u32, &mut Vec<MicroOp>),
 {
-    let mut threads = Vec::with_capacity(num_vertices as usize);
     let mut ops = Vec::new();
+    let mut offsets = Vec::with_capacity(num_vertices as usize + 1);
+    offsets.push(0);
     for v in 0..num_vertices {
-        ops.clear();
         emit(v, &mut ops);
-        threads.push(ops.clone());
+        offsets.push(u32::try_from(ops.len()).expect("trace exceeds u32 op capacity"));
     }
-    KernelTrace::new(threads, tb_size)
+    KernelTrace::from_flat(ops, offsets, tb_size)
 }
 
 #[cfg(test)]

@@ -1,0 +1,380 @@
+//! The `repro bench` performance baseline: wall-clock timing of a
+//! fixed small study slice, serialized to `BENCH_sim.json`.
+//!
+//! The slice is the simulator's perf canary: nine (application,
+//! configuration) cells on a synthetic rmat14 graph at scale 0.125,
+//! chosen to exercise both coherence protocols, all three consistency
+//! models, and all three traversal directions. `repro bench` times
+//! each cell (best of `--iters` runs, through the shim-criterion
+//! `Bencher`), writes the report as JSON, and can compare it against a
+//! committed baseline to gate regressions in CI (see
+//! `docs/performance.md`).
+//!
+//! Simulated cycle counts are recorded alongside the wall-clock
+//! numbers: cycles are deterministic, so a cycles mismatch against the
+//! baseline means simulator *behavior* changed (intentionally or not)
+//! and the baseline needs a refresh in the same change.
+
+use std::time::{Duration, Instant};
+
+use criterion::Bencher;
+use ggs_apps::AppKind;
+use ggs_core::experiment::{run_workload_traced, ExperimentSpec};
+use ggs_core::json::{self, Value};
+use ggs_graph::synth::{DegreeModel, SynthConfig};
+use ggs_graph::Csr;
+use ggs_model::SystemConfig;
+use ggs_trace::Tracer;
+
+/// Scale factor of the benchmark slice (inputs and caches together,
+/// matching the study default).
+pub const BENCH_SCALE: f64 = 0.125;
+
+/// Graph of the benchmark slice: `rmat14` (2^14 vertices before
+/// scaling, average degree 16, hubbed power-law tail).
+pub const BENCH_GRAPH: &str = "rmat14";
+
+/// The nine benchmark cells: three applications, each under three
+/// configurations spanning coherence × consistency × direction.
+/// CC is a dynamic (push+pull) traversal, so its cells use `D*` codes.
+pub const SLICE: [(AppKind, &str); 9] = [
+    (AppKind::Pr, "TD0"),
+    (AppKind::Pr, "TDR"),
+    (AppKind::Pr, "SGR"),
+    (AppKind::Bfs, "TD0"),
+    (AppKind::Bfs, "TDR"),
+    (AppKind::Bfs, "SGR"),
+    (AppKind::Cc, "DG1"),
+    (AppKind::Cc, "DD1"),
+    (AppKind::Cc, "DGR"),
+];
+
+/// Generates an `rmat<exp>` synthetic power-law graph (2^exp vertices
+/// before scaling, average degree 16), as used by `repro trace` and
+/// the benchmark slice.
+pub fn rmat_graph(exp: u32, scale: f64) -> Csr {
+    let model = DegreeModel::log_normal(1.0).with_hubs(0.05, 256.0, 2048.0, 1.5);
+    SynthConfig::custom(format!("rmat{exp}"), 1u32 << exp, 16.0, model, 0.5)
+        .scale(scale)
+        .generate()
+}
+
+/// Timing of one benchmark cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTiming {
+    /// Application mnemonic (`PR`, `BFS`, `CC`).
+    pub app: String,
+    /// Configuration code (`TD0`, `SGR`, …).
+    pub config: String,
+    /// Best wall-clock time over the measured iterations.
+    pub wall: Duration,
+    /// Simulated GPU cycles the cell produced (deterministic).
+    pub cycles: u64,
+    /// Kernels the cell launched (deterministic).
+    pub kernels: u64,
+}
+
+/// One `repro bench` measurement: the whole slice plus aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Scale factor of the run.
+    pub scale: f64,
+    /// Iterations measured per cell (the best is kept).
+    pub iters: u32,
+    /// Per-cell timings, in slice order.
+    pub cells: Vec<CellTiming>,
+    /// Peak resident set size in KiB, when the platform exposes it.
+    pub peak_rss_kb: Option<u64>,
+}
+
+impl BenchReport {
+    /// Sum of the per-cell best wall-clock times.
+    pub fn total_wall(&self) -> Duration {
+        self.cells.iter().map(|c| c.wall).sum()
+    }
+
+    /// Cells simulated per second of wall-clock time — the headline
+    /// perf-trajectory number.
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.total_wall().as_secs_f64();
+        if secs > 0.0 {
+            self.cells.len() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the report as pretty-printed JSON (the
+    /// `BENCH_sim.json` schema, `ggs-bench-v1`).
+    pub fn to_json_pretty(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"ggs-bench-v1\",\n");
+        out.push_str(&format!("  \"graph\": \"{BENCH_GRAPH}\",\n"));
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"iters\": {},\n", self.iters));
+        out.push_str(&format!(
+            "  \"total_wall_ms\": {:.3},\n",
+            self.total_wall().as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!(
+            "  \"cells_per_sec\": {:.4},\n",
+            self.cells_per_sec()
+        ));
+        match self.peak_rss_kb {
+            Some(kb) => out.push_str(&format!("  \"peak_rss_kb\": {kb},\n")),
+            None => out.push_str("  \"peak_rss_kb\": null,\n"),
+        }
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"app\": \"{}\", \"config\": \"{}\", \"wall_ms\": {:.3}, \
+                 \"cycles\": {}, \"kernels\": {}}}{}\n",
+                c.app,
+                c.config,
+                c.wall.as_secs_f64() * 1e3,
+                c.cycles,
+                c.kernels,
+                if i + 1 < self.cells.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by
+    /// [`BenchReport::to_json_pretty`].
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v = json::parse(text)?;
+        let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
+        if schema != "ggs-bench-v1" {
+            return Err(format!("unsupported bench schema {schema:?}"));
+        }
+        let field_f64 = |k: &str| -> Result<f64, String> {
+            v.get(k)
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("missing numeric field {k:?}"))
+        };
+        let cells = v
+            .get("cells")
+            .and_then(Value::as_array)
+            .ok_or("missing cells array")?
+            .iter()
+            .map(|c| -> Result<CellTiming, String> {
+                let s = |k: &str| {
+                    c.get(k)
+                        .and_then(Value::as_str)
+                        .map(str::to_owned)
+                        .ok_or_else(|| format!("cell missing {k:?}"))
+                };
+                let n = |k: &str| {
+                    c.get(k)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("cell missing {k:?}"))
+                };
+                Ok(CellTiming {
+                    app: s("app")?,
+                    config: s("config")?,
+                    wall: Duration::from_secs_f64(n("wall_ms")? / 1e3),
+                    cycles: n("cycles")? as u64,
+                    kernels: n("kernels")? as u64,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            scale: field_f64("scale")?,
+            iters: field_f64("iters")? as u32,
+            cells,
+            peak_rss_kb: v.get("peak_rss_kb").and_then(Value::as_u64),
+        })
+    }
+}
+
+/// Runs the benchmark slice: each cell is timed `iters` times through
+/// the shim-criterion [`Bencher`] and the best iteration is kept.
+/// `progress` receives one human-readable line per cell.
+pub fn run_slice(iters: u32, progress: &mut dyn FnMut(&str)) -> BenchReport {
+    let graph = rmat_graph(14, BENCH_SCALE);
+    let spec = ExperimentSpec::at_scale(BENCH_SCALE);
+    let mut cells = Vec::with_capacity(SLICE.len());
+    for (app, code) in SLICE {
+        let config: SystemConfig = code.parse().expect("slice config codes are valid");
+        let mut best = Duration::MAX;
+        let mut stats = None;
+        for _ in 0..iters.max(1) {
+            let mut b = Bencher::default();
+            b.iter_custom(|_| {
+                let start = Instant::now();
+                let s = run_workload_traced(app, &graph, config, &spec, Tracer::off())
+                    .expect("slice cells are supported app/config pairs");
+                let wall = start.elapsed();
+                stats = Some(s);
+                wall
+            });
+            best = best.min(b.mean().expect("iter_custom always measures"));
+        }
+        let stats = stats.expect("at least one iteration ran");
+        progress(&format!(
+            "{:4} {code}: {:8.1} ms  ({} cycles, {} kernels)",
+            app.mnemonic(),
+            best.as_secs_f64() * 1e3,
+            stats.total_cycles(),
+            stats.kernels
+        ));
+        cells.push(CellTiming {
+            app: app.mnemonic().to_owned(),
+            config: code.to_owned(),
+            wall: best,
+            cycles: stats.total_cycles(),
+            kernels: stats.kernels,
+        });
+    }
+    BenchReport {
+        scale: BENCH_SCALE,
+        iters: iters.max(1),
+        cells,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+/// Compares a fresh measurement against a committed baseline.
+///
+/// Returns the list of failures (empty when the gate passes):
+/// * throughput (cells/sec) dropped more than `threshold_pct` percent;
+/// * any cell's simulated cycle count changed — cycles are
+///   deterministic, so a mismatch means simulator behavior changed and
+///   `BENCH_sim.json` must be refreshed in the same change
+///   (`repro bench --out BENCH_sim.json`).
+pub fn regression_failures(
+    current: &BenchReport,
+    baseline: &BenchReport,
+    threshold_pct: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let base = baseline.cells_per_sec();
+    let now = current.cells_per_sec();
+    if base > 0.0 && now < base * (1.0 - threshold_pct / 100.0) {
+        failures.push(format!(
+            "throughput regressed more than {threshold_pct}%: {now:.3} cells/sec vs baseline {base:.3}"
+        ));
+    }
+    for b in &baseline.cells {
+        let Some(c) = current
+            .cells
+            .iter()
+            .find(|c| c.app == b.app && c.config == b.config)
+        else {
+            failures.push(format!(
+                "cell {}/{} missing from the current run",
+                b.app, b.config
+            ));
+            continue;
+        };
+        if c.cycles != b.cycles || c.kernels != b.kernels {
+            failures.push(format!(
+                "cell {}/{} changed behavior: {} cycles / {} kernels vs baseline {} / {} \
+                 (refresh BENCH_sim.json if intentional)",
+                b.app, b.config, c.cycles, c.kernels, b.cycles, b.kernels
+            ));
+        }
+    }
+    failures
+}
+
+/// Peak resident set size in KiB from `/proc/self/status` (`VmHWM`);
+/// `None` on platforms without procfs.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(wall_ms: &[(u64, u64)]) -> BenchReport {
+        // (wall_ms, cycles) pairs become synthetic cells.
+        BenchReport {
+            scale: BENCH_SCALE,
+            iters: 1,
+            cells: wall_ms
+                .iter()
+                .enumerate()
+                .map(|(i, &(ms, cycles))| CellTiming {
+                    app: format!("A{i}"),
+                    config: "TD0".to_owned(),
+                    wall: Duration::from_millis(ms),
+                    cycles,
+                    kernels: 3,
+                })
+                .collect(),
+            peak_rss_kb: Some(1024),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = report(&[(100, 5000), (250, 7000)]);
+        let parsed = BenchReport::from_json(&r.to_json_pretty()).unwrap();
+        assert_eq!(parsed.cells.len(), 2);
+        assert_eq!(parsed.cells[1].cycles, 7000);
+        assert_eq!(parsed.peak_rss_kb, Some(1024));
+        assert!((parsed.cells_per_sec() - r.cells_per_sec()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rejects_foreign_schema() {
+        assert!(BenchReport::from_json("{\"schema\": \"other\"}").is_err());
+        assert!(BenchReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn regression_gate_passes_when_no_worse() {
+        let base = report(&[(100, 5000)]);
+        let same = report(&[(110, 5000)]); // 10% slower: within 25%
+        assert_eq!(
+            regression_failures(&same, &base, 25.0),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn regression_gate_fails_on_big_slowdown() {
+        let base = report(&[(100, 5000)]);
+        let slow = report(&[(200, 5000)]); // 2x slower
+        let failures = regression_failures(&slow, &base, 25.0);
+        assert!(
+            failures.iter().any(|f| f.contains("throughput regressed")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn regression_gate_fails_on_cycle_drift() {
+        let base = report(&[(100, 5000)]);
+        let drifted = report(&[(100, 5001)]);
+        let failures = regression_failures(&drifted, &base, 25.0);
+        assert!(
+            failures.iter().any(|f| f.contains("changed behavior")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(kb) = peak_rss_kb() {
+            assert!(kb > 0);
+        }
+    }
+
+    #[test]
+    fn slice_cells_are_supported_pairings() {
+        for (app, code) in SLICE {
+            let config: SystemConfig = code.parse().expect("valid code");
+            assert!(
+                app.supported_propagations().contains(&config.propagation),
+                "{app}/{code} is not a runnable cell"
+            );
+        }
+    }
+}

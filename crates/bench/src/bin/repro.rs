@@ -13,7 +13,18 @@
 //!             [--journal PATH] [--resume PATH] [--deadline-ms N]
 //!             [--max-kernels N] [--max-sim-cycles N] [--retries N]
 //!             [--inject-fault APP/GRAPH/CFG[=panic|hang|io]]...
+//! repro bench [--iters N] [--smoke] [--out PATH]
+//!             [--baseline PATH] [--threshold PCT]
 //! ```
+//!
+//! `repro bench` times the fixed nine-cell benchmark slice (see
+//! `ggs_bench::bench` and docs/performance.md) and writes the
+//! `BENCH_sim.json` perf-trajectory point. `--smoke` is the CI mode:
+//! best of at most three iterations per cell, compared against
+//! `--baseline` with a throughput-regression threshold (`--threshold`,
+//! default 25%); the
+//! process exits 1 when the gate fails. Simulated cycles are part of
+//! the baseline, so behavior drift is also caught.
 //!
 //! `repro study` runs the 36-workload study through the fault-tolerant
 //! runner (see docs/robustness.md): per-cell panic isolation, watchdog
@@ -76,6 +87,11 @@ fn main() {
     let mut max_sim_cycles: Option<u64> = None;
     let mut retries: Option<u32> = None;
     let mut inject_faults: Vec<String> = Vec::new();
+    let mut bench_iters = 3u32;
+    let mut bench_smoke = false;
+    let mut bench_out: Option<String> = None;
+    let mut bench_baseline: Option<String> = None;
+    let mut bench_threshold = 25.0f64;
     let mut sections: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -154,6 +170,32 @@ fn main() {
                         .unwrap_or_else(|| die("--retries needs a positive integer")),
                 );
             }
+            "--iters" => {
+                bench_iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&v: &u32| v > 0)
+                    .unwrap_or_else(|| die("--iters needs a positive integer"));
+            }
+            "--smoke" => {
+                bench_smoke = true;
+            }
+            "--out" => {
+                bench_out = Some(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--baseline" => {
+                bench_baseline = Some(
+                    args.next()
+                        .unwrap_or_else(|| die("--baseline needs a path")),
+                );
+            }
+            "--threshold" => {
+                bench_threshold = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                    .unwrap_or_else(|| die("--threshold needs a positive percentage"));
+            }
             "--inject-fault" => {
                 inject_faults.push(
                     args.next().unwrap_or_else(|| {
@@ -192,6 +234,16 @@ fn main() {
                      cells checkpoint to --journal and --resume skips them \
                      (docs/robustness.md)"
                 );
+                println!(
+                    "       repro bench [--iters N] [--smoke] [--out PATH] \
+                     [--baseline PATH] [--threshold PCT]"
+                );
+                println!(
+                    "  bench    time the fixed nine-cell benchmark slice and write the \
+                     BENCH_sim.json perf baseline; --smoke (CI) runs best-of-3 per \
+                     cell and --baseline gates throughput regressions beyond \
+                     --threshold percent (docs/performance.md)"
+                );
                 return;
             }
             s => sections.push(s.to_owned()),
@@ -208,6 +260,19 @@ fn main() {
             scale,
             trace_out.as_deref(),
             trace_stride,
+        );
+        return;
+    }
+    if sections.first().map(String::as_str) == Some("bench") {
+        if sections.len() > 1 {
+            die("bench takes no operands, only flags");
+        }
+        bench_cmd(
+            bench_iters,
+            bench_smoke,
+            bench_out.as_deref(),
+            bench_baseline.as_deref(),
+            bench_threshold,
         );
         return;
     }
@@ -532,12 +597,72 @@ fn study_cmd(cmd: &StudyCmd) {
     fig6(&outcome.study);
 }
 
+/// `repro bench`: times the fixed benchmark slice, writes/prints the
+/// `BENCH_sim.json` report, and optionally gates against a committed
+/// baseline (exit 1 on regression). See docs/performance.md.
+fn bench_cmd(
+    iters: u32,
+    smoke: bool,
+    out: Option<&str>,
+    baseline: Option<&str>,
+    threshold_pct: f64,
+) {
+    use ggs_bench::bench::{run_slice, BenchReport, BENCH_GRAPH, BENCH_SCALE, SLICE};
+
+    // Smoke caps at best-of-3: one iteration is too exposed to a busy
+    // CI runner for the throughput arm of the gate, and three keep the
+    // slice under a second of wall clock.
+    let iters = if smoke { iters.min(3) } else { iters };
+    eprintln!(
+        "[repro] benchmarking the {}-cell slice ({BENCH_GRAPH}, scale {BENCH_SCALE}), \
+         best of {iters} iteration(s) per cell…",
+        SLICE.len()
+    );
+    let report = run_slice(iters, &mut |line| eprintln!("[repro]   {line}"));
+    println!(
+        "bench: {} cells in {:.2} s wall — {:.3} cells/sec{}",
+        report.cells.len(),
+        report.total_wall().as_secs_f64(),
+        report.cells_per_sec(),
+        match report.peak_rss_kb {
+            Some(kb) => format!(", peak RSS {kb} KiB"),
+            None => String::new(),
+        }
+    );
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, report.to_json_pretty()) {
+            die(&format!("cannot write {path}: {e}"));
+        }
+        eprintln!("[repro] wrote {path}");
+    }
+    if let Some(path) = baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => die(&format!("cannot read baseline {path}: {e}")),
+        };
+        let base = match BenchReport::from_json(&text) {
+            Ok(b) => b,
+            Err(e) => die(&format!("cannot parse baseline {path}: {e}")),
+        };
+        let failures = ggs_bench::bench::regression_failures(&report, &base, threshold_pct);
+        if failures.is_empty() {
+            println!(
+                "bench: within {threshold_pct}% of the {path} baseline ({:.3} cells/sec)",
+                base.cells_per_sec()
+            );
+        } else {
+            for f in &failures {
+                eprintln!("repro: bench regression: {f}");
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Resolves a `repro trace` graph operand: a preset mnemonic, or
 /// `rmat<N>` for a power-law graph with 2^N vertices (before `--scale`
 /// is applied) and average degree 16.
 fn trace_graph(name: &str, scale: f64) -> ggs_graph::Csr {
-    use ggs_graph::synth::DegreeModel;
-
     if let Some(exp) = name
         .strip_prefix("rmat")
         .and_then(|s| s.parse::<u32>().ok())
@@ -545,10 +670,7 @@ fn trace_graph(name: &str, scale: f64) -> ggs_graph::Csr {
         if !(4..=28).contains(&exp) {
             die("rmat exponent must be between 4 and 28");
         }
-        let model = DegreeModel::log_normal(1.0).with_hubs(0.05, 256.0, 2048.0, 1.5);
-        return SynthConfig::custom(name, 1u32 << exp, 16.0, model, 0.5)
-            .scale(scale)
-            .generate();
+        return ggs_bench::bench::rmat_graph(exp, scale);
     }
     match name.parse::<GraphPreset>() {
         Ok(preset) => SynthConfig::preset(preset).scale(scale).generate(),

@@ -7,5 +7,6 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod render;
 pub mod svg;

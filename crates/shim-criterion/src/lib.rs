@@ -120,6 +120,20 @@ impl Bencher {
         self.mean = Some(start.elapsed() / MEASURED_ITERS);
     }
 
+    /// Measures with caller-controlled timing, as in upstream criterion:
+    /// `f` receives an iteration count and returns the wall-clock time
+    /// those iterations took. The shim requests a single iteration.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.mean = Some(f(1));
+    }
+
+    /// The mean wall-clock time of the last measurement, if any. Shim
+    /// extension (upstream criterion reports through its own analysis
+    /// pipeline); used by `repro bench` to build `BENCH_sim.json`.
+    pub fn mean(&self) -> Option<Duration> {
+        self.mean
+    }
+
     fn report(&self, name: &str) {
         match self.mean {
             Some(mean) => println!("bench {name:<48} {mean:>12.2?}/iter"),

@@ -2,6 +2,19 @@
 //!
 //! Tracks only tags and line states (contents are irrelevant to timing).
 //! Used for both the per-SM L1s and the shared banked L2.
+//!
+//! # Hot-path layout
+//!
+//! This type sits on the innermost loop of the simulator, so its state
+//! is stored as flat parallel arrays of packed bytes rather than
+//! `Option<LineState>` values, and flash self-invalidation is O(1): the
+//! cache keeps a monotonically increasing *epoch*, every `Valid` fill
+//! records the epoch it happened in, and [`Cache::invalidate_unowned`]
+//! simply bumps the epoch. A `Valid` way whose recorded epoch predates
+//! the current one is *stale* and treated exactly like an empty way
+//! everywhere (lookup miss, preferred eviction victim, not resident).
+//! `Owned` ways ignore the epoch, which is precisely the DeNovo
+//! exemption from self-invalidation.
 
 /// State of one cache line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -22,6 +35,30 @@ pub struct Eviction {
     pub line: u64,
     /// State the victim was in.
     pub state: LineState,
+}
+
+/// Packed per-way metadata: state in the low 2 bits, the fill epoch
+/// (for `VALID` ways) in the high 62. An `OWNED` way stores exactly
+/// `OWNED` (epoch bits zero), so residency is at most two full-word
+/// compares: `meta == OWNED || meta == (epoch << 2 | VALID)`.
+const EMPTY: u64 = 0;
+const VALID: u64 = 1;
+const OWNED: u64 = 2;
+const STATE_BITS: u32 = 2;
+
+/// The `meta` word of a live `VALID` way under `epoch`.
+#[inline]
+const fn valid_meta(epoch: u64) -> u64 {
+    (epoch << STATE_BITS) | VALID
+}
+
+/// A victim way reserved by a [`Cache::lookup_or_victim`] miss, to be
+/// redeemed with [`Cache::fill_victim`]. A zero stamp marks a dead way
+/// (no eviction on fill).
+#[derive(Debug, Clone, Copy)]
+pub struct VictimWay {
+    way: usize,
+    stamp: u64,
 }
 
 /// A set-associative tag array with LRU replacement.
@@ -45,9 +82,16 @@ pub struct Cache {
     sets: u64,
     ways: usize,
     tags: Vec<u64>,
-    states: Vec<Option<LineState>>,
+    /// Per-way packed state + fill epoch (see [`valid_meta`]); a
+    /// `VALID` way whose epoch predates `epoch` is stale.
+    meta: Vec<u64>,
     stamps: Vec<u64>,
     clock: u64,
+    /// Current flash-invalidation epoch.
+    epoch: u64,
+    /// Number of non-stale `VALID` ways (incremental, so flash
+    /// invalidation can report its count without scanning).
+    valid_count: u64,
 }
 
 impl Cache {
@@ -64,92 +108,221 @@ impl Cache {
             sets,
             ways,
             tags: vec![0; n],
-            states: vec![None; n],
+            meta: vec![EMPTY; n],
             stamps: vec![0; n],
             clock: 0,
+            epoch: 0,
+            valid_count: 0,
         }
     }
 
     /// Creates a cache sized from capacity in bytes.
     ///
+    /// The set count is the *largest* power of two that fits within the
+    /// requested capacity (minimum 1), so the modeled cache never holds
+    /// more lines than `capacity_bytes / line_bytes`. Rounding up here
+    /// would silently inflate capacity by up to 2x for non-power-of-two
+    /// geometries.
+    ///
     /// # Panics
     ///
-    /// Panics if the geometry does not divide evenly into a power-of-two
-    /// set count of at least 1.
+    /// Panics if `ways` is zero.
     pub fn with_geometry(capacity_bytes: u64, ways: usize, line_bytes: u64) -> Self {
         let lines = capacity_bytes / line_bytes;
-        let sets = (lines / ways as u64).max(1).next_power_of_two();
+        let raw = (lines / ways as u64).max(1);
+        // Previous power of two: 2^floor(log2(raw)).
+        let sets = 1u64 << (63 - raw.leading_zeros());
         Self::new(sets, ways)
     }
 
+    #[inline]
     fn set_range(&self, line: u64) -> std::ops::Range<usize> {
         let set = (line & (self.sets - 1)) as usize;
         set * self.ways..(set + 1) * self.ways
     }
 
-    /// Looks up a line, refreshing its LRU position on hit.
-    pub fn lookup(&mut self, line: u64) -> Option<LineState> {
-        self.clock += 1;
-        let range = self.set_range(line);
-        for i in range {
-            if self.states[i].is_some() && self.tags[i] == line {
-                self.stamps[i] = self.clock;
-                return self.states[i];
+    /// Whether way `i` holds a live line (an `OWNED` way, or a `VALID`
+    /// way filled in the current epoch).
+    #[inline]
+    fn resident(&self, i: usize) -> bool {
+        let m = self.meta[i];
+        m == OWNED || m == valid_meta(self.epoch)
+    }
+
+    #[inline]
+    fn state_of(&self, i: usize) -> LineState {
+        if self.meta[i] == OWNED {
+            LineState::Owned
+        } else {
+            LineState::Valid
+        }
+    }
+
+    /// Finds the way within `range` holding `line`, if it is resident.
+    /// Scans zipped subslices so the compiler drops per-way bounds
+    /// checks (this is the innermost loop of the whole simulator).
+    #[inline]
+    fn find_way(&self, range: &std::ops::Range<usize>, line: u64) -> Option<usize> {
+        let live = valid_meta(self.epoch);
+        let tags = &self.tags[range.clone()];
+        let metas = &self.meta[range.clone()];
+        for (w, (&t, &m)) in tags.iter().zip(metas).enumerate() {
+            if t == line && (m == OWNED || m == live) {
+                return Some(range.start + w);
             }
         }
         None
+    }
+
+    /// Looks up a line, refreshing its LRU position on hit.
+    #[inline]
+    pub fn lookup(&mut self, line: u64) -> Option<LineState> {
+        self.clock += 1;
+        let i = self.find_way(&self.set_range(line), line)?;
+        self.stamps[i] = self.clock;
+        Some(self.state_of(i))
     }
 
     /// Looks up a line without disturbing LRU state.
     pub fn peek(&self, line: u64) -> Option<LineState> {
-        let range = self.set_range(line);
-        for i in range {
-            if self.states[i].is_some() && self.tags[i] == line {
-                return self.states[i];
+        let i = self.find_way(&self.set_range(line), line)?;
+        Some(self.state_of(i))
+    }
+
+    /// Writes `state` into way `i`, keeping the valid-way count and
+    /// epoch tag coherent with the way's previous contents.
+    #[inline]
+    fn write_way(&mut self, i: usize, state: LineState) {
+        if self.meta[i] == valid_meta(self.epoch) {
+            self.valid_count -= 1;
+        }
+        match state {
+            LineState::Valid => {
+                self.meta[i] = valid_meta(self.epoch);
+                self.valid_count += 1;
+            }
+            LineState::Owned => self.meta[i] = OWNED,
+        }
+    }
+
+    /// One read-only pass over a set: the hit way for `line` if resident,
+    /// otherwise the LRU victim (first dead way in scan order wins; a
+    /// resident way always has a non-zero stamp, so `victim_stamp == 0`
+    /// marks a dead victim).
+    #[inline]
+    fn find_way_or_victim(
+        &self,
+        range: &std::ops::Range<usize>,
+        line: u64,
+    ) -> (Option<usize>, usize, u64) {
+        let live = valid_meta(self.epoch);
+        let tags = &self.tags[range.clone()];
+        let metas = &self.meta[range.clone()];
+        let stamps = &self.stamps[range.clone()];
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        let ways = tags.iter().zip(metas).zip(stamps).enumerate();
+        for (w, ((&t, &m), &st)) in ways {
+            let resident = m == OWNED || m == live;
+            if resident && t == line {
+                return (Some(range.start + w), 0, u64::MAX);
+            }
+            if !resident {
+                if victim_stamp != 0 {
+                    victim = w;
+                    victim_stamp = 0;
+                }
+            } else if st < victim_stamp {
+                victim = w;
+                victim_stamp = st;
             }
         }
-        None
+        (None, range.start + victim, victim_stamp)
     }
 
     /// Inserts (or updates) a line, returning the victim if a valid line
     /// had to be evicted.
+    #[inline]
     pub fn insert(&mut self, line: u64, state: LineState) -> Option<Eviction> {
         self.clock += 1;
-        let range = self.set_range(line);
-        let mut victim = range.start;
-        let mut victim_stamp = u64::MAX;
-        for i in range {
-            if self.states[i].is_some() && self.tags[i] == line {
-                self.states[i] = Some(state);
-                self.stamps[i] = self.clock;
-                return None;
-            }
-            if self.states[i].is_none() {
-                if victim_stamp != 0 {
-                    victim = i;
-                    victim_stamp = 0;
-                }
-            } else if self.stamps[i] < victim_stamp {
-                victim = i;
-                victim_stamp = self.stamps[i];
-            }
+        let (hit, victim, victim_stamp) = self.find_way_or_victim(&self.set_range(line), line);
+        if let Some(i) = hit {
+            self.write_way(i, state);
+            self.stamps[i] = self.clock;
+            return None;
         }
-        let evicted = self.states[victim].map(|s| Eviction {
+        let evicted = (victim_stamp != 0).then(|| Eviction {
             line: self.tags[victim],
-            state: s,
+            state: self.state_of(victim),
         });
         self.tags[victim] = line;
-        self.states[victim] = Some(state);
+        self.write_way(victim, state);
         self.stamps[victim] = self.clock;
         evicted
     }
 
+    /// Looks up a line, refreshing its LRU position on hit; on miss,
+    /// returns the victim way an immediate [`Cache::fill_victim`] would
+    /// use. Splitting "probe" from "fill" lets the miss path run
+    /// unrelated work (latency math, queue updates) in between without
+    /// paying a second set scan — but the reservation is only valid as
+    /// long as *this cache* is not otherwise mutated first.
+    #[inline]
+    pub fn lookup_or_victim(&mut self, line: u64) -> Result<LineState, VictimWay> {
+        self.clock += 1;
+        let (hit, victim, victim_stamp) = self.find_way_or_victim(&self.set_range(line), line);
+        if let Some(i) = hit {
+            self.stamps[i] = self.clock;
+            return Ok(self.state_of(i));
+        }
+        Err(VictimWay {
+            way: victim,
+            stamp: victim_stamp,
+        })
+    }
+
+    /// Fills `line` over the victim way reserved by a preceding
+    /// [`Cache::lookup_or_victim`] miss, returning the eviction exactly
+    /// as [`Cache::insert`] would.
+    #[inline]
+    pub fn fill_victim(&mut self, v: VictimWay, line: u64, state: LineState) -> Option<Eviction> {
+        self.clock += 1;
+        let evicted = (v.stamp != 0).then(|| Eviction {
+            line: self.tags[v.way],
+            state: self.state_of(v.way),
+        });
+        self.tags[v.way] = line;
+        self.write_way(v.way, state);
+        self.stamps[v.way] = self.clock;
+        evicted
+    }
+
+    /// Fused lookup-or-fill: returns `true` and refreshes LRU on hit;
+    /// on miss fills the line `Valid` over the standard LRU victim and
+    /// returns `false`. Behaviorally identical to a [`Cache::lookup`]
+    /// miss followed by [`Cache::insert`] (with the eviction dropped),
+    /// but scans the set once instead of twice — the L2 sits behind
+    /// every L1 miss, so this is one of the hottest loops in the
+    /// simulator.
+    #[inline]
+    pub fn probe_fill(&mut self, line: u64) -> bool {
+        self.clock += 1;
+        let (hit, victim, _) = self.find_way_or_victim(&self.set_range(line), line);
+        if let Some(i) = hit {
+            self.stamps[i] = self.clock;
+            return true;
+        }
+        self.tags[victim] = line;
+        self.write_way(victim, LineState::Valid);
+        self.stamps[victim] = self.clock;
+        false
+    }
+
     /// Changes the state of a resident line; no-op if absent.
     pub fn set_state(&mut self, line: u64, state: LineState) {
-        let range = self.set_range(line);
-        for i in range {
-            if self.states[i].is_some() && self.tags[i] == line {
-                self.states[i] = Some(state);
+        for i in self.set_range(line) {
+            if self.tags[i] == line && self.resident(i) {
+                self.write_way(i, state);
                 return;
             }
         }
@@ -157,27 +330,24 @@ impl Cache {
 
     /// Removes a specific line if present; returns its prior state.
     pub fn invalidate(&mut self, line: u64) -> Option<LineState> {
-        let range = self.set_range(line);
-        for i in range {
-            if self.states[i].is_some() && self.tags[i] == line {
-                return self.states[i].take();
-            }
+        let i = self.find_way(&self.set_range(line), line)?;
+        let prior = self.state_of(i);
+        if self.meta[i] != OWNED {
+            self.valid_count -= 1;
         }
-        None
+        self.meta[i] = EMPTY;
+        Some(prior)
     }
 
     /// Flash self-invalidation: drops every [`LineState::Valid`] line,
     /// keeping [`LineState::Owned`] lines (the DeNovo exemption; GPU
     /// coherence has no owned lines, so this drops everything). Returns
-    /// the number of lines invalidated.
+    /// the number of lines invalidated. O(1): bumps the epoch so every
+    /// `Valid` way goes stale at once.
     pub fn invalidate_unowned(&mut self) -> u64 {
-        let mut n = 0;
-        for s in &mut self.states {
-            if *s == Some(LineState::Valid) {
-                *s = None;
-                n += 1;
-            }
-        }
+        let n = self.valid_count;
+        self.valid_count = 0;
+        self.epoch += 1;
         n
     }
 
@@ -186,20 +356,19 @@ impl Cache {
     /// order. Used by the `check` feature's protocol auditor to scan L1
     /// contents without disturbing LRU state.
     pub fn resident_lines(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
-        self.tags
-            .iter()
-            .zip(&self.states)
-            .filter_map(|(&tag, s)| s.map(|state| (tag, state)))
+        (0..self.tags.len())
+            .filter(|&i| self.resident(i))
+            .map(|i| (self.tags[i], self.state_of(i)))
     }
 
     /// Number of resident lines (any state).
     pub fn occupancy(&self) -> usize {
-        self.states.iter().filter(|s| s.is_some()).count()
+        (0..self.meta.len()).filter(|&i| self.resident(i)).count()
     }
 
     /// Total capacity in lines.
     pub fn capacity_lines(&self) -> usize {
-        self.states.len()
+        self.meta.len()
     }
 }
 
@@ -279,6 +448,29 @@ mod tests {
     }
 
     #[test]
+    fn geometry_never_exceeds_requested_capacity() {
+        // Sweep power-of-two and awkward non-power-of-two geometries:
+        // modeled capacity must never exceed the requested byte budget.
+        for capacity in [4 * 1024u64, 24 * 1024, 48 * 1024, 96 * 1024, 512 * 1024] {
+            for ways in [1usize, 4, 8, 16] {
+                for line_bytes in [32u64, 64, 128] {
+                    let c = Cache::with_geometry(capacity, ways, line_bytes);
+                    let modeled = c.capacity_lines() as u64 * line_bytes;
+                    assert!(
+                        modeled <= capacity.max(ways as u64 * line_bytes),
+                        "{capacity} B / {ways} ways / {line_bytes} B lines \
+                         modeled {modeled} B"
+                    );
+                }
+            }
+        }
+        // A 96-set geometry (48 KiB, 8 ways, 64 B) rounds DOWN to 64
+        // sets, not up to 128.
+        let c = Cache::with_geometry(48 * 1024, 8, 64);
+        assert_eq!(c.capacity_lines(), 64 * 8);
+    }
+
+    #[test]
     fn distinct_sets_do_not_conflict() {
         let mut c = Cache::new(2, 1);
         c.insert(0, LineState::Valid); // set 0
@@ -291,5 +483,103 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two_sets() {
         let _ = Cache::new(3, 1);
+    }
+
+    #[test]
+    fn stale_ways_behave_exactly_like_empty_ways() {
+        let mut c = Cache::new(1, 2);
+        c.insert(0, LineState::Valid);
+        c.insert(2, LineState::Valid);
+        c.invalidate_unowned();
+        // Stale tags miss on lookup even though the tag bytes remain.
+        assert_eq!(c.lookup(0), None);
+        assert_eq!(c.peek(2), None);
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.resident_lines().count(), 0);
+        // Refilling prefers the first stale way and reports no eviction.
+        assert!(c.insert(4, LineState::Valid).is_none());
+        assert!(c.insert(6, LineState::Valid).is_none());
+        assert_eq!(c.occupancy(), 2);
+        // Re-invalidating an already-stale line is a no-op miss.
+        assert_eq!(c.invalidate(0), None);
+    }
+
+    #[test]
+    fn repeated_flash_invalidations_count_correctly() {
+        let mut c = Cache::new(2, 2);
+        c.insert(0, LineState::Valid);
+        c.insert(1, LineState::Valid);
+        assert_eq!(c.invalidate_unowned(), 2);
+        assert_eq!(c.invalidate_unowned(), 0, "second flash finds nothing");
+        c.insert(2, LineState::Valid);
+        c.invalidate(2);
+        assert_eq!(
+            c.invalidate_unowned(),
+            0,
+            "targeted invalidation already discounted the line"
+        );
+        c.insert(3, LineState::Owned);
+        assert_eq!(c.invalidate_unowned(), 0, "owned lines are exempt");
+        assert_eq!(c.peek(3), Some(LineState::Owned));
+    }
+
+    #[test]
+    fn lookup_or_victim_matches_lookup_then_insert() {
+        let mut fused = Cache::new(2, 2);
+        let mut split = Cache::new(2, 2);
+        let stream = [0u64, 2, 4, 0, 6, 2, 8, 0, 4, 10, 6, 0];
+        for (n, &line) in stream.iter().enumerate() {
+            if n == 7 {
+                fused.invalidate_unowned();
+                split.invalidate_unowned();
+            }
+            let fused_ev = match fused.lookup_or_victim(line) {
+                Ok(_) => None,
+                Err(v) => fused.fill_victim(v, line, LineState::Valid),
+            };
+            let split_ev = match split.lookup(line) {
+                Some(_) => None,
+                None => split.insert(line, LineState::Valid),
+            };
+            assert_eq!(fused_ev, split_ev, "access #{n} line {line}");
+            assert_eq!(fused.occupancy(), split.occupancy());
+        }
+    }
+
+    #[test]
+    fn probe_fill_matches_lookup_then_insert() {
+        // Drive both implementations through an address stream that
+        // exercises hits, dead-way fills, LRU evictions, and a flash
+        // invalidation; externally visible behavior must be identical.
+        let mut fused = Cache::new(2, 2);
+        let mut split = Cache::new(2, 2);
+        let stream = [0u64, 2, 4, 0, 6, 2, 8, 0, 4, 10, 6, 0];
+        for (n, &line) in stream.iter().enumerate() {
+            if n == 7 {
+                fused.invalidate_unowned();
+                split.invalidate_unowned();
+            }
+            let hit = fused.probe_fill(line);
+            let split_hit = split.lookup(line).is_some();
+            if !split_hit {
+                split.insert(line, LineState::Valid);
+            }
+            assert_eq!(hit, split_hit, "access #{n} line {line}");
+            assert_eq!(fused.occupancy(), split.occupancy());
+            let mut a: Vec<_> = fused.resident_lines().collect();
+            let mut b: Vec<_> = split.resident_lines().collect();
+            a.sort_unstable_by_key(|&(l, _)| l);
+            b.sort_unstable_by_key(|&(l, _)| l);
+            assert_eq!(a, b, "contents diverged after access #{n}");
+        }
+    }
+
+    #[test]
+    fn owned_downgrade_then_flash() {
+        let mut c = Cache::new(1, 1);
+        c.insert(7, LineState::Owned);
+        c.set_state(7, LineState::Valid);
+        assert_eq!(c.invalidate_unowned(), 1, "downgraded line is flashable");
+        assert_eq!(c.peek(7), None);
     }
 }

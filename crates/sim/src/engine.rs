@@ -265,17 +265,14 @@ impl<'t> Simulation<'t> {
             });
         }
         let tb = kernel.tb_size() as u64;
-        let threads: Vec<&[std::vec::Vec<crate::trace::MicroOp>]> = {
-            // Pre-slice blocks to hand to SMs.
-            let all = (0..num_blocks)
-                .map(|b| {
-                    let lo = (b * tb) as usize;
-                    let hi = ((b + 1) * tb).min(kernel.num_threads()) as usize;
-                    kernel.threads_slice(lo, hi)
-                })
-                .collect::<Vec<_>>();
-            all
-        };
+        // Pre-slice blocks to hand to SMs.
+        let threads: Vec<crate::trace::ThreadsSlice<'_>> = (0..num_blocks)
+            .map(|b| {
+                let lo = (b * tb) as usize;
+                let hi = ((b + 1) * tb).min(kernel.num_threads()) as usize;
+                kernel.threads_slice(lo, hi)
+            })
+            .collect();
 
         let mut sms: Vec<Sm<'_>> = (0..self.params.num_sms)
             .map(|id| {

@@ -13,6 +13,10 @@ use crate::params::SystemParams;
 pub const FLIT_BYTES: u32 = 16;
 
 /// The 4×4 mesh topology and its latency model.
+///
+/// The three round-trip latency functions are pure in the node pair, so
+/// they are precomputed over all 16×16 node pairs at construction and
+/// served from flat lookup tables on the access hot path.
 #[derive(Debug, Clone)]
 pub struct Mesh {
     side: u32,
@@ -23,12 +27,18 @@ pub struct Mesh {
     remote_base: u64,
     remote_hop: u64,
     line_flits: u64,
+    /// `l2_lat[sm_node * 16 + bank_node]`: SM-to-L2-bank round trip.
+    l2_lat: [u64; 256],
+    /// `mem_pen[bank_node]`: added miss penalty to the nearest MC.
+    mem_pen: [u64; 16],
+    /// `remote_lat[requester_node * 16 + owner_node]`: L1-to-L1 trip.
+    remote_lat: [u64; 256],
 }
 
 impl Mesh {
     /// Builds the mesh from system parameters.
     pub fn new(params: &SystemParams) -> Self {
-        Self {
+        let mut mesh = Self {
             side: 4,
             l2_base: params.l2_base_cycles,
             l2_hop: params.l2_hop_cycles,
@@ -37,7 +47,20 @@ impl Mesh {
             remote_base: params.remote_l1_base_cycles,
             remote_hop: params.remote_l1_hop_cycles,
             line_flits: (params.line_bytes.div_ceil(FLIT_BYTES) + 1) as u64,
+            l2_lat: [0; 256],
+            mem_pen: [0; 16],
+            remote_lat: [0; 256],
+        };
+        for a in 0..mesh.nodes() {
+            mesh.mem_pen[a as usize] =
+                mesh.mem_base - mesh.l2_base + mesh.mem_hop * mesh.hops(a, mesh.nearest_mc(a));
+            for b in 0..mesh.nodes() {
+                let i = (a * mesh.nodes() + b) as usize;
+                mesh.l2_lat[i] = mesh.l2_base + mesh.l2_hop * mesh.hops(a, b);
+                mesh.remote_lat[i] = mesh.remote_base + mesh.remote_hop * mesh.hops(a, b);
+            }
         }
+        mesh
     }
 
     /// Flits needed to move one cache-line payload: one head/control
@@ -96,24 +119,25 @@ impl Mesh {
     }
 
     /// Round-trip latency for SM `sm` to reach L2 bank `bank` and hit.
+    #[inline]
     pub fn l2_latency(&self, sm: u32, bank: u32) -> u64 {
-        self.l2_base + self.l2_hop * self.hops(self.sm_node(sm), self.bank_node(bank))
+        self.l2_lat[(self.sm_node(sm) * self.nodes() + self.bank_node(bank)) as usize]
     }
 
     /// Additional latency when the L2 misses and bank `bank` must fetch
     /// the line from its nearest memory controller. The *total* memory
     /// latency seen by the SM is `l2_latency + mem_penalty`, which spans
     /// the paper's 197–261 cycle range.
+    #[inline]
     pub fn mem_penalty(&self, bank: u32) -> u64 {
-        let bank_node = self.bank_node(bank);
-        self.mem_base - self.l2_base
-            + self.mem_hop * self.hops(bank_node, self.nearest_mc(bank_node))
+        self.mem_pen[self.bank_node(bank) as usize]
     }
 
     /// Round-trip latency for transferring ownership of a line from SM
     /// `owner`'s L1 to SM `requester`'s L1 (DeNovo remote L1 hit).
+    #[inline]
     pub fn remote_l1_latency(&self, requester: u32, owner: u32) -> u64 {
-        self.remote_base + self.remote_hop * self.hops(self.sm_node(requester), self.sm_node(owner))
+        self.remote_lat[(self.sm_node(requester) * self.nodes() + self.sm_node(owner)) as usize]
     }
 }
 
@@ -182,6 +206,39 @@ mod tests {
         let m = mesh();
         assert!(m.l2_latency(0, 15) > m.l2_latency(0, 0));
         assert!(m.remote_l1_latency(0, 14) > m.remote_l1_latency(0, 1));
+    }
+
+    #[test]
+    fn latency_tables_match_hop_formula() {
+        // The precomputed tables must agree with the base + hop * hops
+        // formulas they replaced, for every reachable (node, node) pair.
+        let m = mesh();
+        let p = SystemParams::default();
+        for sm in 0..15 {
+            for bank in 0..16 {
+                assert_eq!(
+                    m.l2_latency(sm, bank),
+                    p.l2_base_cycles + p.l2_hop_cycles * m.hops(m.sm_node(sm), m.bank_node(bank))
+                );
+            }
+        }
+        for bank in 0..16 {
+            let bn = m.bank_node(bank);
+            assert_eq!(
+                m.mem_penalty(bank),
+                p.mem_base_cycles - p.l2_base_cycles
+                    + p.mem_hop_cycles * m.hops(bn, m.nearest_mc(bn))
+            );
+        }
+        for a in 0..15 {
+            for b in 0..15 {
+                assert_eq!(
+                    m.remote_l1_latency(a, b),
+                    p.remote_l1_base_cycles
+                        + p.remote_l1_hop_cycles * m.hops(m.sm_node(a), m.sm_node(b))
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,14 +6,14 @@ use crate::config::ConsistencyModel;
 use crate::mem::MemorySystem;
 use crate::params::SchedulerPolicy;
 use crate::stats::{StallBreakdown, StallClass};
-use crate::trace::MicroOp;
+use crate::trace::{MicroOp, ThreadsSlice};
 use ggs_trace::{TraceEvent, Tracer};
 
 /// One 32-lane warp executing its lanes' micro-op streams in lockstep
 /// slots.
 #[derive(Debug)]
 struct Warp<'k> {
-    lanes: Vec<&'k [MicroOp]>,
+    lanes: ThreadsSlice<'k>,
     block: usize,
     slot: usize,
     max_len: usize,
@@ -28,7 +28,7 @@ struct Warp<'k> {
 }
 
 impl<'k> Warp<'k> {
-    fn new(lanes: Vec<&'k [MicroOp]>, block: usize, at: u64) -> Self {
+    fn new(lanes: ThreadsSlice<'k>, block: usize, at: u64) -> Self {
         let max_len = lanes.iter().map(|l| l.len()).max().unwrap_or(0);
         Self {
             finished: max_len == 0,
@@ -57,6 +57,14 @@ pub struct Sm<'k> {
     pub now: u64,
     lsu_free: u64,
     warps: Vec<Warp<'k>>,
+    /// Flat mirror of each warp's `ready_at`, with finished warps pinned
+    /// to `u64::MAX`. The scheduler scan in [`Sm::step`] runs every
+    /// simulated cycle and only needs (ready, index); keeping those in a
+    /// dense array avoids striding over the full `Warp` structs.
+    ready: Vec<u64>,
+    /// Count of unfinished resident warps (`ready` entries below
+    /// `u64::MAX`).
+    live: usize,
     blocks: Vec<BlockState>,
     resident_blocks: u32,
     max_blocks: u32,
@@ -77,6 +85,12 @@ pub struct Sm<'k> {
     tracer: Tracer<'k>,
     /// Start cycle of the last stall sample emitted (stride sampling).
     last_sample: u64,
+    /// Reusable per-issue gather buffers (taken out for the duration of
+    /// each [`Sm::issue`] call so no allocation happens per
+    /// instruction).
+    scratch_loads: Vec<u64>,
+    scratch_stores: Vec<u64>,
+    scratch_atomics: Vec<(u64, bool)>,
 }
 
 /// Result of one scheduler step.
@@ -109,6 +123,8 @@ impl<'k> Sm<'k> {
             now: start,
             lsu_free: 0,
             warps: Vec::new(),
+            ready: Vec::new(),
+            live: 0,
             blocks: Vec::new(),
             resident_blocks: 0,
             max_blocks,
@@ -122,6 +138,9 @@ impl<'k> Sm<'k> {
             tail: 0,
             tracer: Tracer::off(),
             last_sample: 0,
+            scratch_loads: Vec::new(),
+            scratch_stores: Vec::new(),
+            scratch_atomics: Vec::new(),
         }
     }
 
@@ -144,7 +163,7 @@ impl<'k> Sm<'k> {
 
     /// Number of unfinished resident warps.
     pub fn live_warps(&self) -> usize {
-        self.warps.iter().filter(|w| !w.finished).count()
+        self.live
     }
 
     /// Makes a thread block resident, splitting its threads into warps.
@@ -152,15 +171,23 @@ impl<'k> Sm<'k> {
     /// # Panics
     ///
     /// Panics if the SM has no block capacity left.
-    pub fn assign_block(&mut self, threads: &'k [Vec<MicroOp>]) {
+    pub fn assign_block(&mut self, threads: ThreadsSlice<'k>) {
         assert!(self.has_capacity(), "SM {} has no block capacity", self.id);
         let block_idx = self.blocks.len();
         let mut warps_in_block = 0;
-        for chunk in threads.chunks(self.warp_size as usize) {
-            let lanes: Vec<&[MicroOp]> = chunk.iter().map(|t| t.as_slice()).collect();
-            let w = Warp::new(lanes, block_idx, self.now);
-            if !w.finished {
+        let n = threads.len();
+        let ws = self.warp_size as usize;
+        let mut lo = 0;
+        while lo < n {
+            let hi = (lo + ws).min(n);
+            let w = Warp::new(threads.slice(lo, hi), block_idx, self.now);
+            lo = hi;
+            if w.finished {
+                self.ready.push(u64::MAX);
+            } else {
                 warps_in_block += 1;
+                self.live += 1;
+                self.ready.push(w.ready_at);
             }
             self.warps.push(w);
         }
@@ -174,54 +201,60 @@ impl<'k> Sm<'k> {
 
     /// Runs one scheduler step against the shared memory system.
     pub fn step(&mut self, mem: &mut MemorySystem) -> Step {
-        let n = self.warps.len();
-        if n == 0 {
+        if self.live == 0 {
             return Step::Drained;
         }
-        // Scan for a ready warp starting from the scheduler cursor.
-        for i in 0..n {
-            let idx = (self.rr + i) % n;
-            if !self.warps[idx].finished && self.warps[idx].ready_at <= self.now {
-                // Greedy-then-oldest keeps the cursor on the issuing warp
-                // (issue again next cycle while it stays ready); round
-                // robin rotates past it.
-                self.rr = match self.scheduler {
-                    SchedulerPolicy::GreedyThenOldest => idx,
-                    SchedulerPolicy::RoundRobin => (idx + 1) % n,
-                };
-                self.issue(idx, mem);
-                self.stats.record(StallClass::Busy, 1);
-                self.now += 1;
-                return Step::Issued;
+        let n = self.ready.len();
+        let now = self.now;
+        // Issue scan over the flat ready mirror: the first warp at or
+        // past the scheduler cursor whose `ready_at` has arrived wins.
+        // Finished warps sit at `u64::MAX`, so they skip naturally.
+        let start = self.rr % n;
+        let hit = self.ready[start..]
+            .iter()
+            .position(|&t| t <= now)
+            .map(|p| start + p)
+            .or_else(|| self.ready[..start].iter().position(|&t| t <= now));
+        if let Some(idx) = hit {
+            // Greedy-then-oldest keeps the cursor on the issuing warp
+            // (issue again next cycle while it stays ready); round robin
+            // rotates past it.
+            self.rr = match self.scheduler {
+                SchedulerPolicy::GreedyThenOldest => idx,
+                SchedulerPolicy::RoundRobin => (idx + 1) % n,
+            };
+            self.issue(idx, mem);
+            self.stats.record(StallClass::Busy, 1);
+            self.now += 1;
+            return Step::Issued;
+        }
+        // Nothing ready: jump to the earliest unfinished warp. The
+        // tie-break is on *array* index (lexicographic `(ready_at, idx)`
+        // min — a forward scan keeping strict improvements), so the
+        // chosen stall class is independent of the cursor position.
+        let (mut t, mut i) = (self.ready[0], 0);
+        for (idx, &r) in self.ready.iter().enumerate().skip(1) {
+            if r < t {
+                t = r;
+                i = idx;
             }
         }
-        // No ready warp: jump to the earliest and classify the gap.
-        let mut best: Option<(u64, StallClass)> = None;
-        for w in &self.warps {
-            if !w.finished && best.is_none_or(|(t, _)| w.ready_at < t) {
-                best = Some((w.ready_at, w.blocked));
-            }
+        let class = self.warps[i].blocked;
+        debug_assert!(t > self.now);
+        self.stats.record(class, t - self.now);
+        // Sampled stall-transition event: at most one per stride window
+        // per SM, so hot stalls stay bounded in the trace.
+        if self.tracer.enabled() && self.now >= self.last_sample + self.tracer.stride() {
+            self.last_sample = self.now;
+            self.tracer.emit(&TraceEvent::StallSample {
+                sm: self.id,
+                cycle: self.now,
+                class: class.name(),
+                cycles: t - self.now,
+            });
         }
-        match best {
-            Some((t, class)) => {
-                debug_assert!(t > self.now);
-                self.stats.record(class, t - self.now);
-                // Sampled stall-transition event: at most one per stride
-                // window per SM, so hot stalls stay bounded in the trace.
-                if self.tracer.enabled() && self.now >= self.last_sample + self.tracer.stride() {
-                    self.last_sample = self.now;
-                    self.tracer.emit(&TraceEvent::StallSample {
-                        sm: self.id,
-                        cycle: self.now,
-                        class: class.name(),
-                        cycles: t - self.now,
-                    });
-                }
-                self.now = t;
-                Step::Waited
-            }
-            None => Step::Drained,
-        }
+        self.now = t;
+        Step::Waited
     }
 
     /// Executes the next slot of warp `idx`.
@@ -229,12 +262,16 @@ impl<'k> Sm<'k> {
         let slot = self.warps[idx].slot;
         let now = self.now;
 
-        // Gather this slot's per-lane ops.
-        let mut load_lines: Vec<u64> = Vec::new();
-        let mut store_lines: Vec<u64> = Vec::new();
-        let mut atomics: Vec<(u64, bool)> = Vec::new();
+        // Gather this slot's per-lane ops into the reusable scratch
+        // buffers (taken out so the warp borrow below stays legal).
+        let mut load_lines = std::mem::take(&mut self.scratch_loads);
+        let mut store_lines = std::mem::take(&mut self.scratch_stores);
+        let mut atomics = std::mem::take(&mut self.scratch_atomics);
+        load_lines.clear();
+        store_lines.clear();
+        atomics.clear();
         let mut comp_cycles: u64 = 0;
-        for lane in &self.warps[idx].lanes {
+        for lane in self.warps[idx].lanes.iter() {
             if let Some(op) = lane.get(slot) {
                 match *op {
                     MicroOp::Load { addr } => load_lines.push(addr & self.line_mask),
@@ -248,9 +285,15 @@ impl<'k> Sm<'k> {
             }
         }
         // Coalesce data accesses: one transaction per unique line.
-        load_lines.sort_unstable();
+        // Lanes walk mostly-ascending addresses, so the gathered lines
+        // are usually already sorted — check before paying for a sort.
+        if !load_lines.is_sorted() {
+            load_lines.sort_unstable();
+        }
         load_lines.dedup();
-        store_lines.sort_unstable();
+        if !store_lines.is_sorted() {
+            store_lines.sort_unstable();
+        }
         store_lines.dedup();
 
         let mut ready = now + 1;
@@ -301,6 +344,10 @@ impl<'k> Sm<'k> {
             self.issue_atomics(idx, &atomics, &mut ready, &mut blocked, mem);
         }
 
+        self.scratch_loads = load_lines;
+        self.scratch_stores = store_lines;
+        self.scratch_atomics = atomics;
+
         let w = &mut self.warps[idx];
         w.ready_at = ready;
         w.blocked = blocked;
@@ -309,11 +356,15 @@ impl<'k> Sm<'k> {
             w.finished = true;
             let tail = w.ready_at;
             let b = w.block;
+            self.ready[idx] = u64::MAX;
+            self.live -= 1;
             self.tail = self.tail.max(tail);
             self.blocks[b].warps_left -= 1;
             if self.blocks[b].warps_left == 0 {
                 self.resident_blocks -= 1;
             }
+        } else {
+            self.ready[idx] = ready;
         }
     }
 
@@ -404,6 +455,14 @@ mod tests {
     use super::*;
     use crate::config::{CoherenceKind, HwConfig};
     use crate::params::SystemParams;
+    use crate::trace::KernelTrace;
+
+    /// Leaks `threads` as a block view with a `'static` lifetime (test
+    /// convenience standing in for the engine's borrow of a kernel).
+    fn leak_block(threads: Vec<Vec<MicroOp>>) -> ThreadsSlice<'static> {
+        let kt: &'static KernelTrace = Box::leak(Box::new(KernelTrace::new(threads, 256)));
+        kt.threads_slice(0, kt.num_threads() as usize)
+    }
 
     fn setup(consistency: ConsistencyModel) -> (MemorySystem<'static>, Sm<'static>) {
         let params = SystemParams::default();
@@ -439,7 +498,7 @@ mod tests {
     fn compute_only_warp_is_comp_bound() {
         let threads: Vec<Vec<MicroOp>> = vec![vec![MicroOp::compute(10); 4]; 32];
         let (mut mem, mut sm) = setup(ConsistencyModel::Drf1);
-        let threads_static: &'static [Vec<MicroOp>] = Box::leak(threads.into_boxed_slice());
+        let threads_static = leak_block(threads);
         sm.assign_block(threads_static);
         let t = run_to_completion(&mut sm, &mut mem);
         assert!(t >= 40, "4 slots x 10 cycles");
@@ -452,7 +511,7 @@ mod tests {
         // All 32 lanes load consecutive words in one line.
         let threads: Vec<Vec<MicroOp>> = (0..32).map(|i| vec![MicroOp::load(i * 4)]).collect();
         let (mut mem, mut sm) = setup(ConsistencyModel::Drf1);
-        let threads_static: &'static [Vec<MicroOp>] = Box::leak(threads.into_boxed_slice());
+        let threads_static = leak_block(threads);
         sm.assign_block(threads_static);
         run_to_completion(&mut sm, &mut mem);
         assert_eq!(
@@ -466,7 +525,7 @@ mod tests {
         let threads: Vec<Vec<MicroOp>> =
             (0..32u64).map(|i| vec![MicroOp::load(i * 4096)]).collect();
         let (mut mem, mut sm) = setup(ConsistencyModel::Drf1);
-        let threads_static: &'static [Vec<MicroOp>] = Box::leak(threads.into_boxed_slice());
+        let threads_static = leak_block(threads);
         sm.assign_block(threads_static);
         run_to_completion(&mut sm, &mut mem);
         assert_eq!(mem.counters.l1_misses, 32);
@@ -475,10 +534,10 @@ mod tests {
     #[test]
     fn drf1_serializes_atomics_drfrlx_overlaps() {
         // One lane issuing 8 atomics to different lines.
-        let mk = || -> &'static [Vec<MicroOp>] {
+        let mk = || -> ThreadsSlice<'static> {
             let threads: Vec<Vec<MicroOp>> =
                 vec![(0..8u64).map(|i| MicroOp::atomic(i * 4096)).collect()];
-            Box::leak(threads.into_boxed_slice())
+            leak_block(threads)
         };
         let (mut mem1, mut sm1) = setup(ConsistencyModel::Drf1);
         sm1.assign_block(mk());
@@ -497,11 +556,11 @@ mod tests {
 
     #[test]
     fn drf0_is_slower_than_drf1_for_atomics() {
-        let mk = || -> &'static [Vec<MicroOp>] {
+        let mk = || -> ThreadsSlice<'static> {
             let threads: Vec<Vec<MicroOp>> = vec![(0..8u64)
                 .flat_map(|i| [MicroOp::load(0x100000), MicroOp::atomic(i * 4096)])
                 .collect()];
-            Box::leak(threads.into_boxed_slice())
+            leak_block(threads)
         };
         let (mut mem0, mut sm0) = setup(ConsistencyModel::Drf0);
         sm0.assign_block(mk());
@@ -518,7 +577,7 @@ mod tests {
 
     #[test]
     fn returning_atomics_block_even_under_drfrlx() {
-        let mk = |returns: bool| -> &'static [Vec<MicroOp>] {
+        let mk = |returns: bool| -> ThreadsSlice<'static> {
             let op = |i: u64| {
                 if returns {
                     MicroOp::atomic_returning(i * 4096)
@@ -527,7 +586,7 @@ mod tests {
                 }
             };
             let threads: Vec<Vec<MicroOp>> = vec![(0..8u64).map(op).collect()];
-            Box::leak(threads.into_boxed_slice())
+            leak_block(threads)
         };
         let (mut mem_a, mut sm_a) = setup(ConsistencyModel::DrfRlx);
         sm_a.assign_block(mk(true));
@@ -546,7 +605,7 @@ mod tests {
     #[test]
     fn block_capacity_tracking() {
         let threads: Vec<Vec<MicroOp>> = vec![vec![MicroOp::compute(1)]; 256];
-        let threads_static: &'static [Vec<MicroOp>] = Box::leak(threads.into_boxed_slice());
+        let threads_static = leak_block(threads);
         let (mut mem, mut sm) = setup(ConsistencyModel::Drf1);
         for _ in 0..8 {
             assert!(sm.has_capacity());
@@ -562,7 +621,7 @@ mod tests {
         // Lane 0 has 100 ops; others 1 op. Warp finishes at slot 100.
         let mut threads: Vec<Vec<MicroOp>> = vec![vec![MicroOp::compute(1)]; 32];
         threads[0] = vec![MicroOp::compute(1); 100];
-        let threads_static: &'static [Vec<MicroOp>] = Box::leak(threads.into_boxed_slice());
+        let threads_static = leak_block(threads);
         let (mut mem, mut sm) = setup(ConsistencyModel::Drf1);
         sm.assign_block(threads_static);
         let t = run_to_completion(&mut sm, &mut mem);

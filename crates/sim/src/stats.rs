@@ -179,6 +179,12 @@ pub struct RegionStats {
     pub atomics: u64,
     /// L1 hits among the loads.
     pub l1_hits: u64,
+    /// Stores satisfied locally (DeNovo owned-line writes; write-through
+    /// GPU stores never hit).
+    pub store_hits: u64,
+    /// Atomics satisfied locally (DeNovo owned-line atomics; GPU atomics
+    /// always execute at the L2).
+    pub atomic_hits: u64,
     /// Summed completion latency (cycles) of all accesses to the
     /// region; divide by the access count for the average.
     pub total_latency: u64,

@@ -90,6 +90,11 @@ impl MicroOp {
 /// Thread `i` belongs to thread block `i / tb_size`; blocks are
 /// dispatched to SMs in order as resources free up.
 ///
+/// Internally the streams live in one flat op arena plus a cumulative
+/// offset table (thread `i` is `ops[offsets[i]..offsets[i + 1]]`), so a
+/// trace costs two allocations regardless of thread count and the
+/// simulator walks contiguous memory.
+///
 /// # Example
 ///
 /// ```
@@ -102,7 +107,10 @@ impl MicroOp {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct KernelTrace {
-    threads: Vec<Vec<MicroOp>>,
+    /// Every thread's ops, concatenated in thread order.
+    ops: Vec<MicroOp>,
+    /// `num_threads + 1` cumulative offsets into `ops`.
+    offsets: Vec<u32>,
     tb_size: u32,
 }
 
@@ -126,13 +134,49 @@ impl KernelTrace {
         if tb_size == 0 {
             return Err(crate::params::ParamsError::NonPositive("tb_size"));
         }
-        Ok(Self { threads, tb_size })
+        let total: usize = threads.iter().map(|t| t.len()).sum();
+        let mut ops = Vec::with_capacity(total);
+        let mut offsets = Vec::with_capacity(threads.len() + 1);
+        offsets.push(0);
+        for t in &threads {
+            ops.extend_from_slice(t);
+            offsets.push(u32::try_from(ops.len()).expect("trace exceeds u32 op capacity"));
+        }
+        Ok(Self {
+            ops,
+            offsets,
+            tb_size,
+        })
+    }
+
+    /// Creates a kernel trace directly from a flat op arena and its
+    /// cumulative offset table (`num_threads + 1` entries starting at 0
+    /// and ending at `ops.len()`). This is the allocation-free path for
+    /// trace generators that append thread streams in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tb_size` is zero or the offset table is malformed.
+    pub fn from_flat(ops: Vec<MicroOp>, offsets: Vec<u32>, tb_size: u32) -> Self {
+        assert!(tb_size > 0, "tb_size must be positive");
+        assert_eq!(offsets.first(), Some(&0), "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("offsets non-empty") as usize,
+            ops.len(),
+            "offsets must end at ops.len()"
+        );
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            ops,
+            offsets,
+            tb_size,
+        }
     }
 
     /// Number of threads (may be less than `num_blocks * tb_size` in the
     /// final block).
     pub fn num_threads(&self) -> u64 {
-        self.threads.len() as u64
+        (self.offsets.len() - 1) as u64
     }
 
     /// Thread block size this kernel was generated for.
@@ -142,7 +186,7 @@ impl KernelTrace {
 
     /// Number of thread blocks.
     pub fn num_blocks(&self) -> u64 {
-        (self.threads.len() as u64).div_ceil(self.tb_size as u64)
+        self.num_threads().div_ceil(self.tb_size as u64)
     }
 
     /// The micro-op stream of one thread.
@@ -151,22 +195,78 @@ impl KernelTrace {
     ///
     /// Panics if `thread` is out of range.
     pub fn thread(&self, thread: u64) -> &[MicroOp] {
-        &self.threads[thread as usize]
+        let t = thread as usize;
+        &self.ops[self.offsets[t] as usize..self.offsets[t + 1] as usize]
     }
 
-    /// A contiguous slice of thread streams (used by the engine to hand
-    /// a thread block's threads to an SM).
+    /// A contiguous view of thread streams `lo..hi` (used by the engine
+    /// to hand a thread block's threads to an SM).
     ///
     /// # Panics
     ///
     /// Panics if the range is out of bounds.
-    pub fn threads_slice(&self, lo: usize, hi: usize) -> &[Vec<MicroOp>] {
-        &self.threads[lo..hi]
+    pub fn threads_slice(&self, lo: usize, hi: usize) -> ThreadsSlice<'_> {
+        ThreadsSlice {
+            ops: &self.ops,
+            offsets: &self.offsets[lo..=hi],
+        }
     }
 
     /// Total number of micro-ops across all threads.
     pub fn total_ops(&self) -> u64 {
-        self.threads.iter().map(|t| t.len() as u64).sum()
+        self.ops.len() as u64
+    }
+}
+
+/// A borrowed, copyable view of a contiguous range of a kernel's thread
+/// streams (a thread block, or a warp's lanes within one). Threads index
+/// into the kernel's shared flat op arena, so slicing never allocates.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadsSlice<'k> {
+    ops: &'k [MicroOp],
+    /// `len() + 1` cumulative offsets into `ops` for this view's
+    /// threads.
+    offsets: &'k [u32],
+}
+
+impl<'k> ThreadsSlice<'k> {
+    /// Number of threads in the view.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` if the view holds no threads.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The micro-op stream of thread `i` of the view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn thread(&self, i: usize) -> &'k [MicroOp] {
+        &self.ops[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Sub-view of threads `lo..hi` (e.g. one warp's lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, lo: usize, hi: usize) -> ThreadsSlice<'k> {
+        ThreadsSlice {
+            ops: self.ops,
+            offsets: &self.offsets[lo..=hi],
+        }
+    }
+
+    /// Iterates over the view's thread streams in order.
+    pub fn iter(&self) -> impl Iterator<Item = &'k [MicroOp]> + '_ {
+        let ops = self.ops;
+        self.offsets
+            .windows(2)
+            .map(move |w| &ops[w[0] as usize..w[1] as usize])
     }
 }
 
