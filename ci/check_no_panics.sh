@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Panic hygiene gate for the library crates.
 #
-# Scans the non-test portion of every source file in ggs-graph, ggs-sim,
-# ggs-model, and ggs-core for panic sites (`.unwrap()`, `.expect(`,
-# `panic!(`, `unreachable!(`). Scanning stops at the first `#[cfg(test`
-# in each file, so unit tests may panic freely. Lines that are pure
-# `//` comments are ignored, as is anything matching a substring in
+# Scans the non-test portion of every source file in the workspace's
+# library crates (ggs-graph, ggs-sim, ggs-model, ggs-core, ggs-trace,
+# ggs-check, ggs-apps, ggs-verify, ggs-bench) for panic sites
+# (`.unwrap()`, `.expect(`, `panic!(`, `unreachable!(`) and for
+# unfinished-code markers (`todo!(`, `unimplemented!(`), which are never
+# acceptable outside tests. Scanning stops at the first `#[cfg(test` in
+# each file, so unit tests may panic freely. Lines that are pure `//`
+# comments are ignored, as is anything matching a substring in
 # ci/panic-allowlist.txt (internal invariants with descriptive messages
 # and the documented panicking wrappers — see docs/api.md).
+#
+# The vendored shim crates (shim-criterion, shim-proptest, shim-rand)
+# are test infrastructure by definition and are not scanned.
 #
 # Bare `assert!`/`assert_eq!` are deliberately allowed: they express
 # internal invariants, and converting them would hide bugs, not report
@@ -16,14 +22,15 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 allowlist=ci/panic-allowlist.txt
+crates="graph sim model core trace check apps verify bench"
 
 fail=0
-for crate in graph sim model core; do
+for crate in $crates; do
     for file in $(find "crates/$crate/src" -name '*.rs' | sort); do
         hits=$(awk '
             /#\[cfg\(test/ { exit }
             /^[[:space:]]*\/\// { next }
-            /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(/ {
+            /\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\(|unimplemented!\(/ {
                 printf "%s:%d: %s\n", FILENAME, FNR, $0
             }
         ' "$file")
@@ -47,7 +54,8 @@ if [ "$fail" -ne 0 ]; then
     echo "Panic sites found outside ci/panic-allowlist.txt." >&2
     echo "Convert them to GgsError (see docs/api.md) or, for genuine" >&2
     echo "internal invariants, add the line's distinctive substring to" >&2
-    echo "the allowlist with a justification comment." >&2
+    echo "the allowlist with a justification comment. todo!() and" >&2
+    echo "unimplemented!() are never allowed outside tests." >&2
     exit 1
 fi
-echo "panic check: clean (crates: graph sim model core)"
+echo "panic check: clean (crates: $crates)"

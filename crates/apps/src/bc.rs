@@ -177,7 +177,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                     ops.push(MicroOp::store(sigma_arr.addr(t as u64)));
                 }
             }),
-            Propagation::PushPull => unreachable!(),
+            Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
         };
         run(&kernel);
 

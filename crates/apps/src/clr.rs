@@ -178,7 +178,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                 });
                 run(&kernel);
             }
-            Propagation::PushPull => unreachable!(),
+            Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
         }
         before.clone_from(after);
     }

@@ -201,7 +201,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                 });
                 run(&gather);
             }
-            Propagation::PushPull => unreachable!(),
+            Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
         }
         before.clone_from(after);
     }

@@ -15,6 +15,7 @@
 //!             [--inject-fault APP/GRAPH/CFG[=panic|hang|io]]...
 //! repro bench [--iters N] [--smoke] [--out PATH]
 //!             [--baseline PATH] [--threshold PCT]
+//! repro verify [--cell CODE]... [--smoke] [--mutations]
 //! ```
 //!
 //! `repro bench` times the fixed nine-cell benchmark slice (see
@@ -54,6 +55,19 @@
 //! simulation study (fig5/fig6/summary/table5-empirical) is run once and
 //! shared between sections.
 //!
+//! `repro verify` is the static companion to `check`: it model-checks
+//! the coherence × consistency grid exhaustively (see `ggs-verify` and
+//! the "Model checking" section of docs/checking.md). Every reachable
+//! state of a small bounded configuration is enumerated per cell and the
+//! protocol invariants are checked on each; the litmus suite enumerates
+//! every interleaving of the classic message-passing / store-buffering /
+//! CoRR / RMW-chain / release-acquire programs against per-model
+//! forbidden and required outcome sets. `--cell G0` (repeatable)
+//! restricts the grid, `--smoke` uses the smaller CI bounds, and
+//! `--mutations` runs the self-test: ≥ 6 seeded protocol bugs that must
+//! each be caught with a minimized, bridge-replayed counterexample.
+//! Exits 1 on any violation, missed mutation, or truncated run.
+//!
 //! The `check` section is the CI gate (see `docs/checking.md`): it runs
 //! the `ggs-check` static DRF/Table I certification over every
 //! application × direction × consistency model, then the dynamic
@@ -61,6 +75,8 @@
 //! hardware grid, and exits nonzero if anything is violated. `--all`
 //! additionally certifies the extended application set (BFS). It is not
 //! part of the `all` section (which reproduces the paper's artifacts).
+
+#![forbid(unsafe_code)]
 
 use std::collections::BTreeMap;
 
@@ -92,6 +108,8 @@ fn main() {
     let mut bench_out: Option<String> = None;
     let mut bench_baseline: Option<String> = None;
     let mut bench_threshold = 25.0f64;
+    let mut verify_cells: Vec<String> = Vec::new();
+    let mut verify_mutations = false;
     let mut sections: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -196,6 +214,15 @@ fn main() {
                     .filter(|v: &f64| v.is_finite() && *v > 0.0)
                     .unwrap_or_else(|| die("--threshold needs a positive percentage"));
             }
+            "--cell" => {
+                verify_cells.push(
+                    args.next()
+                        .unwrap_or_else(|| die("--cell needs a config code like G0 or DR")),
+                );
+            }
+            "--mutations" => {
+                verify_mutations = true;
+            }
             "--inject-fault" => {
                 inject_faults.push(
                     args.next().unwrap_or_else(|| {
@@ -244,6 +271,15 @@ fn main() {
                      cell and --baseline gates throughput regressions beyond \
                      --threshold percent (docs/performance.md)"
                 );
+                println!("       repro verify [--cell CODE]... [--smoke] [--mutations]");
+                println!(
+                    "  verify   exhaustively model-check the coherence x consistency \
+                     grid (ggs-verify): per-cell reachability with protocol \
+                     invariants plus the all-interleavings litmus suite; --cell \
+                     restricts to named cells (G0, D1, GR, ...), --smoke uses the CI \
+                     bounds, --mutations runs the seeded-bug self-test with \
+                     bridge-replayed counterexamples (docs/checking.md)"
+                );
                 return;
             }
             s => sections.push(s.to_owned()),
@@ -274,6 +310,13 @@ fn main() {
             bench_baseline.as_deref(),
             bench_threshold,
         );
+        return;
+    }
+    if sections.first().map(String::as_str) == Some("verify") {
+        if sections.len() > 1 {
+            die("verify takes no operands, only flags");
+        }
+        verify_cmd(&verify_cells, bench_smoke, verify_mutations);
         return;
     }
     if sections.first().map(String::as_str) == Some("study") {
@@ -656,6 +699,51 @@ fn bench_cmd(
             }
             std::process::exit(1);
         }
+    }
+}
+
+/// `repro verify`: exhaustive explicit-state model checking of the
+/// coherence × consistency grid (see `ggs-verify` and the "Model
+/// checking" section of docs/checking.md). Exits 1 on any invariant
+/// violation, forbidden litmus outcome, missing required outcome,
+/// truncated run, or missed mutation.
+fn verify_cmd(cells: &[String], smoke: bool, mutations: bool) {
+    use ggs_sim::config::HwConfig;
+
+    let cells: Vec<HwConfig> = cells
+        .iter()
+        .map(|c| {
+            c.parse()
+                .unwrap_or_else(|e| die(&format!("{e} (expected a cell code like G0 or DR)")))
+        })
+        .collect();
+    eprintln!(
+        "[repro] model-checking {} with {} bounds{}…",
+        if cells.is_empty() {
+            "the full coherence x consistency grid".to_owned()
+        } else {
+            format!("{} cell(s)", cells.len())
+        },
+        if smoke { "smoke" } else { "full" },
+        if mutations {
+            ", then hunting the seeded mutations"
+        } else {
+            ""
+        },
+    );
+    let start = std::time::Instant::now();
+    let report = ggs_verify::run_verify(&ggs_verify::VerifyOptions {
+        cells,
+        smoke,
+        mutations,
+    });
+    eprintln!(
+        "[repro] model check finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    print!("{report}");
+    if !report.passed() {
+        std::process::exit(1);
     }
 }
 

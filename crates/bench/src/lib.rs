@@ -5,6 +5,7 @@
 //! the Criterion benches. See the `repro` binary (`src/bin/repro.rs`)
 //! and `benches/` for the entry points.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bench;

@@ -123,8 +123,11 @@ pub fn check_kernel_contract(
             region: region_of(race.addr),
             kind: ViolationKind::Race,
             detail: format!(
-                "threads {:?}: {} plain writes, {} plain reads",
-                race.threads, race.plain_writes, race.plain_reads
+                "{} ({} plain writes, {} plain reads; threads {:?})",
+                race.conflict_line(),
+                race.plain_writes,
+                race.plain_reads,
+                race.threads
             ),
         });
     }

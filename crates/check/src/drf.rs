@@ -34,6 +34,7 @@ use std::fmt;
 
 use ggs_sim::config::ConsistencyModel;
 use ggs_sim::trace::{KernelTrace, MicroOp};
+use ggs_verify::AccessSite;
 
 /// Sharing classification of one address within one kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -189,6 +190,55 @@ pub struct Race {
     pub plain_writes: u64,
     /// Plain reads to the address in this kernel.
     pub plain_reads: u64,
+    /// The first concrete conflicting access pair: the earliest plain
+    /// write to the address (threads scanned in id order) and the
+    /// earliest plain access to it from a different thread.  Rendered
+    /// with the same [`AccessSite`] vocabulary ggs-verify uses for
+    /// witness schedules.
+    pub pair: Option<(AccessSite, AccessSite)>,
+}
+
+impl Race {
+    /// `thread 0 store @0x40 conflicts with thread 1 load @0x40`, or a
+    /// thread-list fallback if the pair could not be reconstructed.
+    pub fn conflict_line(&self) -> String {
+        match &self.pair {
+            Some((a, b)) => format!("{a} conflicts with {b}"),
+            None => format!("threads {:?} race", self.threads),
+        }
+    }
+}
+
+/// Finds the first concrete conflicting access pair at `addr`: the
+/// earliest plain write (threads in id order, ops in program order) and
+/// the earliest plain access from a *different* thread.  By the race
+/// rule one of the pair is always a write, so any other-thread plain
+/// access conflicts.
+fn first_conflicting_pair(kernel: &KernelTrace, addr: u64) -> Option<(AccessSite, AccessSite)> {
+    let mut writer: Option<u64> = None;
+    'outer: for t in 0..kernel.num_threads() {
+        for op in kernel.thread(t) {
+            if matches!(*op, MicroOp::Store { addr: a } if a == addr) {
+                writer = Some(t);
+                break 'outer;
+            }
+        }
+    }
+    let wt = writer?;
+    for t in 0..kernel.num_threads() {
+        if t == wt {
+            continue;
+        }
+        for op in kernel.thread(t) {
+            let other = match *op {
+                MicroOp::Load { addr: a } if a == addr => AccessSite::thread(t, "load", addr),
+                MicroOp::Store { addr: a } if a == addr => AccessSite::thread(t, "store", addr),
+                _ => continue,
+            };
+            return Some((AccessSite::thread(wt, "store", addr), other));
+        }
+    }
+    None
 }
 
 /// Which per-direction contract (or the DRF rule itself) was broken.
@@ -348,6 +398,7 @@ pub fn analyze_kernel(kernel: &KernelTrace, consistency: ConsistencyModel) -> Ke
                 threads: stat.sample_threads(),
                 plain_writes: stat.plain_writes,
                 plain_reads: stat.plain_reads,
+                pair: first_conflicting_pair(kernel, addr),
             });
         } else if stat.plain_writes > 0 {
             if stat.accessors() >= 2 {
@@ -392,6 +443,10 @@ mod tests {
         assert_eq!(a.races.len(), 1);
         assert_eq!(a.races[0].threads, vec![0, 1]);
         assert_eq!(a.class_counts[AccessClass::Racy.index()], 1);
+        assert_eq!(
+            a.races[0].conflict_line(),
+            "thread 0 store @0x40 conflicts with thread 1 store @0x40"
+        );
     }
 
     #[test]
@@ -400,6 +455,25 @@ mod tests {
         assert_eq!(a.races.len(), 1);
         assert_eq!(a.races[0].plain_writes, 1);
         assert_eq!(a.races[0].plain_reads, 1);
+        let (w, r) = a.races[0].pair.expect("pair reconstructed");
+        assert_eq!(w, AccessSite::thread(0, "store", 64));
+        assert_eq!(r, AccessSite::thread(1, "load", 64));
+    }
+
+    #[test]
+    fn pair_picks_earliest_writer_even_when_a_reader_comes_first() {
+        // Thread 0 only reads; the first plain *writer* is thread 2, and
+        // the conflicting partner is the earliest other-thread access
+        // (thread 0's load), not another writer.
+        let a = analyze(vec![
+            vec![MicroOp::load(64)],
+            vec![MicroOp::load(128)],
+            vec![MicroOp::compute(1), MicroOp::store(64)],
+        ]);
+        let race = a.races.iter().find(|r| r.addr == 64).expect("race at 0x40");
+        let (w, o) = race.pair.expect("pair reconstructed");
+        assert_eq!(w, AccessSite::thread(2, "store", 64));
+        assert_eq!(o, AccessSite::thread(0, "load", 64));
     }
 
     #[test]

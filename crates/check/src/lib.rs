@@ -27,15 +27,33 @@
 //!   [`certify::run_protocol_checked`] drives a workload through the
 //!   simulator with that observer on and returns any invariant
 //!   violations.
+//! * the **static model checker** lives in [`ggs_verify`], re-exported
+//!   here as [`verify`]: each coherence protocol as a pure transition
+//!   system, exhaustive per-cell reachability over the protocol
+//!   invariants, an all-interleavings litmus suite per consistency
+//!   model, minimized counterexample witnesses, and a conformance
+//!   bridge replaying them through the real `mem.rs`.  Where the
+//!   dynamic checker watches whichever schedule a simulation happens to
+//!   take, the model checker quantifies over *all* schedules of a small
+//!   bounded configuration.  Race reports in [`drf`] and witness
+//!   schedules share one conflict renderer
+//!   ([`verify::AccessSite`]), so both read the same way.
 //!
-//! The `repro check` subcommand of the bench crate wires both passes
-//! into CI; see `docs/checking.md` for the contracts in prose.
+//! The `repro check` and `repro verify` subcommands of the bench crate
+//! wire all three passes into CI; see `docs/checking.md` for the
+//! contracts in prose and its "Model checking" section for the static
+//! layer.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod certify;
 pub mod drf;
+
+/// The static model-checking layer (`ggs-verify`), re-exported so that
+/// checker users can reach every checking mode through one crate.
+pub use ggs_verify as verify;
 
 pub use certify::{certify_matrix, certify_workload, run_protocol_checked, AppReport};
 pub use drf::{analyze_kernel, AccessClass, KernelAnalysis, Race, Violation, ViolationKind};

@@ -37,6 +37,7 @@
 //! # Ok::<(), ggs_model::decision::ParseConfigError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

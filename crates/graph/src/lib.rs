@@ -30,6 +30,7 @@
 //! assert!(amz.num_vertices() > 1000);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -38,6 +38,7 @@
 //! assert_eq!(cfg.propagation, taxonomy::Propagation::Push);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

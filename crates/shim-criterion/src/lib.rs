@@ -9,6 +9,8 @@
 //! There is no statistical analysis, HTML report, or CLI filtering —
 //! this is a smoke-bench harness, not a measurement instrument.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -12,6 +12,8 @@
 //! reported **without shrinking** (the generated input is printed
 //! as-is).
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Debug;
 use std::ops::{Range, RangeInclusive};
 

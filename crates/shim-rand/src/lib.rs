@@ -13,6 +13,8 @@
 //! original dependency produced, keeping every golden expectation in
 //! the test suite valid.
 
+#![forbid(unsafe_code)]
+
 /// A random number generator core: the two raw word sources.
 pub trait RngCore {
     /// Next 32 random bits.

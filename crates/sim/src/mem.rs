@@ -945,6 +945,33 @@ impl MemorySystem<'_> {
         }
     }
 
+    /// Structural view of `sm`'s L1 state for the line containing
+    /// `addr` (`None` when not resident). Used by the ggs-verify
+    /// conformance bridge to compare the implementation against the
+    /// timing-free protocol model step by step.
+    pub fn probe_l1_state(&self, sm: u32, addr: u64) -> Option<LineState> {
+        self.l1[sm as usize].peek(self.line_of(addr))
+    }
+
+    /// Raw ownership-registry entry for the line containing `addr`,
+    /// ignoring the active protocol (GPU runs always report `None`).
+    pub fn probe_owner(&self, addr: u64) -> Option<u32> {
+        self.registered_owner(self.line_of(addr))
+    }
+
+    /// Forces the line containing `addr` out of `sm`'s L1 as if it were
+    /// chosen as a capacity victim at cycle `at`: an Owned victim
+    /// writes back (ownership returns to the L2 directory) exactly like
+    /// a real eviction. No-op when the line is not resident. Lets the
+    /// ggs-verify bridge replay witness schedules containing explicit
+    /// evictions.
+    pub fn debug_evict(&mut self, sm: u32, addr: u64, at: u64) {
+        let line = self.line_of(addr);
+        if let Some(state) = self.l1[sm as usize].invalidate(line) {
+            self.l1_evict(Some(Eviction { line, state }), at);
+        }
+    }
+
     /// Checks every per-line invariant for `line` after an access at
     /// cycle `at`: SWMR, ownership-registry consistency (DeNovo), and
     /// no-owned-lines (GPU coherence). The disabled-checker case must

@@ -36,6 +36,7 @@
 //! assert!(String::from_utf8(bytes).unwrap().starts_with("{\"traceEvents\":["));
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod event;

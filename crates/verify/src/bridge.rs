@@ -1,0 +1,227 @@
+//! Conformance bridge: replay a witness schedule through the real
+//! `ggs_sim::mem::MemorySystem` and pin model ↔ implementation
+//! agreement.
+//!
+//! The protocol model in this crate is only worth trusting if it is the
+//! *same protocol* `mem.rs` implements.  The bridge closes that loop:
+//! given any action schedule (a minimized counterexample from a mutated
+//! model, or a random legal schedule from the differential test), it
+//! replays the schedule simultaneously through
+//!
+//! 1. the **clean** `GridModel` (the mutation, if any, stays out), and
+//! 2. a real [`MemorySystem`] with the dynamic protocol checker enabled,
+//!
+//! and after every step compares the complete structural state both
+//! sides expose: each SM's L1 line state (Invalid/Valid/Owned) and the
+//! ownership registry.  Timing-only machinery (MSHRs, bank queues,
+//! latencies) is exactly what the model erased, so it is excluded by
+//! construction; everything the two sides share must agree exactly.
+//!
+//! For a mutant's witness the interesting step is where the schedule
+//! needs the *bug* to proceed: the clean model refuses the transition
+//! (`diverged_at`), demonstrating that the real implementation — which
+//! agrees with the clean model up to that point and reports zero
+//! dynamic violations — does not contain the seeded bug.
+
+use ggs_sim::cache::LineState;
+use ggs_sim::config::ConsistencyModel;
+use ggs_sim::mem::MemorySystem;
+use ggs_sim::params::SystemParams;
+
+use crate::model::{Action, GridModel, ModelConfig, ProtocolModel, L1, NO_OWNER};
+
+/// Byte stride between model lines when mapped onto the implementation's
+/// address space (larger than any configured line size, so model lines
+/// never alias).
+const LINE_STRIDE: u64 = 4096;
+
+/// Outcome of replaying one schedule through model and implementation.
+#[derive(Debug)]
+pub struct BridgeReport {
+    /// Steps replayed with both sides in agreement.
+    pub steps_replayed: usize,
+    /// Step index at which the schedule required a transition the clean
+    /// model refuses (only happens for schedules produced by a mutated
+    /// model — the refusal is the point: the real protocol does not
+    /// take the buggy step).
+    pub diverged_at: Option<usize>,
+    /// First structural disagreement between model and implementation,
+    /// if any.  `Some` here means the bridge FAILED.
+    pub mismatch: Option<String>,
+    /// Violations the implementation's own dynamic checker recorded
+    /// during the replay.  Non-zero means the bridge FAILED.
+    pub impl_violations: usize,
+}
+
+impl BridgeReport {
+    /// Did model and implementation agree on every replayed step?
+    pub fn agreed(&self) -> bool {
+        self.mismatch.is_none() && self.impl_violations == 0
+    }
+}
+
+fn addr_of(line: u8) -> u64 {
+    line as u64 * LINE_STRIDE
+}
+
+/// Compare every structural fact the model and the implementation both
+/// expose; `None` means exact agreement.
+fn compare(
+    cfg: &ModelConfig,
+    model: &crate::model::State,
+    mem: &MemorySystem<'_>,
+) -> Option<String> {
+    for sm in 0..cfg.sms {
+        for line in 0..cfg.lines {
+            let want = model.l1[sm as usize * cfg.lines as usize + line as usize];
+            let got = mem.probe_l1_state(sm as u32, addr_of(line));
+            let ok = matches!(
+                (want, got),
+                (L1::Invalid, None)
+                    | (L1::Valid(_), Some(LineState::Valid))
+                    | (L1::Owned(_), Some(LineState::Owned))
+            );
+            if !ok {
+                return Some(format!(
+                    "SM {sm} line {line}: model says {want:?}, implementation says {got:?}"
+                ));
+            }
+        }
+    }
+    for line in 0..cfg.lines {
+        let want = model.owner[line as usize];
+        let got = mem.probe_owner(addr_of(line));
+        let ok = match (want, got) {
+            (NO_OWNER, None) => true,
+            (w, Some(g)) => w as u32 == g,
+            _ => false,
+        };
+        if !ok {
+            return Some(format!(
+                "line {line}: model owner {want:?}, implementation owner {got:?}"
+            ));
+        }
+    }
+    None
+}
+
+/// Replay `actions` through the clean model of `cfg`'s cell and a real
+/// `MemorySystem`, comparing structural state after every step.
+pub fn replay(cfg: &ModelConfig, actions: &[Action]) -> BridgeReport {
+    let model = GridModel::new(*cfg);
+    let params = SystemParams::default();
+    let mut mem = MemorySystem::new(&params, cfg.hw);
+    mem.enable_protocol_checker();
+
+    let mut state = model.initial();
+    let mut diverged_at = None;
+    let mut mismatch = None;
+    let mut steps = 0usize;
+    let drf0 = cfg.hw.consistency == ConsistencyModel::Drf0;
+
+    for (i, &a) in actions.iter().enumerate() {
+        let out = match model.step(&state, a) {
+            Some(o) => o,
+            None => {
+                // The schedule needs the seeded bug to continue; the
+                // clean protocol refuses right here.
+                diverged_at = Some(i);
+                break;
+            }
+        };
+        // Mirror the action into the implementation.  Times only need
+        // to increase; latency does not affect structural state.
+        let at = (i as u64 + 1) * 1000;
+        match a {
+            Action::Load { sm, line } => {
+                // Residency (= hit/miss) was compared after the previous
+                // step, so the load's observable hit/miss agrees too.
+                mem.load(sm as u32, addr_of(line), at);
+            }
+            Action::Store { sm, line } => {
+                mem.store(sm as u32, addr_of(line), at);
+            }
+            Action::AtomicRet { sm, line } | Action::AtomicNr { sm, line } if drf0 => {
+                // A DRF0 atomic is fence-paired: `sm.rs` performs the
+                // release drain (timing only) and the acquire
+                // invalidation before the RMW.
+                mem.acquire(sm as u32);
+                mem.atomic(sm as u32, addr_of(line), at);
+            }
+            Action::AtomicRet { sm, line } => {
+                mem.atomic(sm as u32, addr_of(line), at);
+            }
+            Action::AtomicNr { .. } => {
+                // Issue only; the RMW lands at the matching ApplyAtomic.
+            }
+            Action::ApplyAtomic { sm, slot } => {
+                // The target line is recorded in the pre-step state.
+                let line = state.ab[sm as usize][slot as usize];
+                mem.atomic(sm as u32, addr_of(line), at);
+            }
+            Action::DrainStore { .. } | Action::Release { .. } => {
+                // Timing-only in the implementation (the store buffer
+                // and `release_drain` never change structural state).
+            }
+            Action::Acquire { sm } => {
+                mem.acquire(sm as u32);
+            }
+            Action::Evict { sm, line } => {
+                mem.debug_evict(sm as u32, addr_of(line), at);
+            }
+        }
+        state = out.state;
+        steps = i + 1;
+        if let Some(m) = compare(cfg, &state, &mem) {
+            mismatch = Some(format!("after step {}: {m}", i + 1));
+            break;
+        }
+    }
+
+    let impl_violations = mem.take_protocol_violations().len();
+    BridgeReport {
+        steps_replayed: steps,
+        diverged_at,
+        mismatch,
+        impl_violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggs_sim::config::{CoherenceKind as Coh, ConsistencyModel as Con, HwConfig};
+
+    #[test]
+    fn denovo_ownership_schedule_agrees() {
+        let cfg = ModelConfig::smoke(HwConfig::new(Coh::DeNovo, Con::Drf1));
+        let schedule = [
+            Action::Store { sm: 0, line: 0 },
+            Action::Load { sm: 1, line: 0 },
+            Action::Store { sm: 1, line: 0 },
+            Action::Acquire { sm: 0 },
+            Action::Evict { sm: 1, line: 0 },
+            Action::Load { sm: 0, line: 0 },
+        ];
+        let r = replay(&cfg, &schedule);
+        assert!(r.agreed(), "bridge disagreement: {r:?}");
+        assert_eq!(r.steps_replayed, schedule.len());
+        assert_eq!(r.diverged_at, None);
+    }
+
+    #[test]
+    fn gpu_write_through_schedule_agrees() {
+        let cfg = ModelConfig::smoke(HwConfig::new(Coh::Gpu, Con::Drf0));
+        let schedule = [
+            Action::Load { sm: 0, line: 0 },
+            Action::Store { sm: 0, line: 0 },
+            Action::DrainStore { sm: 0 },
+            Action::AtomicRet { sm: 0, line: 1 },
+            Action::Load { sm: 1, line: 1 },
+            Action::Acquire { sm: 1 },
+        ];
+        let r = replay(&cfg, &schedule);
+        assert!(r.agreed(), "bridge disagreement: {r:?}");
+        assert_eq!(r.steps_replayed, schedule.len());
+    }
+}

@@ -1,0 +1,585 @@
+//! Exhaustive reachability: DFS enumeration, protocol invariants, and
+//! BFS counterexample minimization.
+//!
+//! The explorer walks *every* reachable state of a [`GridModel`] (depth
+//! first, with FNV-hashed state dedup over a compact byte encoding) and
+//! checks the protocol invariants on each state and transition:
+//!
+//! * **SWMR** — at most one Owned copy of a line, ever;
+//! * **owner-map agreement** — the registry names an SM iff that SM's L1
+//!   holds the line Owned;
+//! * **GPU-no-ownership** — GPU coherence never produces Owned lines or
+//!   registry entries;
+//! * **stale-after-acquire** — immediately after an acquire (including
+//!   the acquire half of a DRF0 fence-paired atomic), no surviving copy
+//!   is older than the coherent backing value;
+//! * **stale-fill** — a load miss always fills the current coherent
+//!   value (the owner's copy under DeNovo, else the L2);
+//! * **writeback-lost** — under DeNovo, once a line is unowned with no
+//!   atomic in flight, the L2 holds the newest written version.
+//!
+//! When a violation is found, a second breadth-first pass computes the
+//! *shortest* action prefix from reset that exhibits it, which becomes
+//! the [`Witness`] schedule.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+
+use ggs_sim::config::{CoherenceKind, ConsistencyModel};
+
+use crate::model::{
+    Action, GridModel, ModelConfig, ProtocolModel, State, StepOutcome, L1, NO_OWNER,
+};
+use crate::witness::{Witness, WitnessKind};
+
+/// 64-bit FNV-1a, used for state-dedup hashing (stable, allocation-free,
+/// and fast on the short byte keys the encoder produces).
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+/// Hash-set/map builders keyed by FNV-1a.
+pub type FnvBuild = BuildHasherDefault<Fnv64>;
+
+/// Injective compact encoding of `s` with SM indices renamed through
+/// `sm_new_of_old` and line indices through `line_new_of_old` (both are
+/// old → new maps).  Used as the dedup key so the visited set stores
+/// ~40 bytes per state instead of six `Vec`s.
+fn encode_renamed(
+    cfg: &ModelConfig,
+    s: &State,
+    sm_new_of_old: &[u8],
+    line_new_of_old: &[u8],
+) -> Vec<u8> {
+    let sms = cfg.sms as usize;
+    let lines = cfg.lines as usize;
+    let mut out = vec![0u8; sms * lines];
+    // l1[new_sm][new_line] = old cell, laid out row-major by new ids.
+    for (old_sm, &new_sm) in sm_new_of_old.iter().enumerate() {
+        for (old_line, &new_line) in line_new_of_old.iter().enumerate() {
+            out[new_sm as usize * lines + new_line as usize] = match s.l1[old_sm * lines + old_line]
+            {
+                L1::Invalid => 0,
+                L1::Valid(v) => 0x40 | v,
+                L1::Owned(v) => 0x80 | v,
+            };
+        }
+    }
+    let mut per_line = vec![0u8; lines * 3];
+    for (old_line, &new_line) in line_new_of_old.iter().enumerate() {
+        let o = s.owner[old_line];
+        per_line[new_line as usize] = if o == NO_OWNER {
+            NO_OWNER
+        } else {
+            sm_new_of_old[o as usize]
+        };
+        per_line[lines + new_line as usize] = s.l2v[old_line];
+        per_line[2 * lines + new_line as usize] = s.nextv[old_line];
+    }
+    out.extend_from_slice(&per_line);
+    // Per-SM buffers in new-SM order; FIFO order inside each preserved.
+    for &old_sm in sm_order(sm_new_of_old) {
+        let buf = &s.sb[old_sm as usize];
+        out.push(buf.len() as u8);
+        for e in buf {
+            out.push((line_new_of_old[e.line as usize] << 1) | e.registration as u8);
+            out.push(e.version);
+        }
+    }
+    for &old_sm in sm_order(sm_new_of_old) {
+        let buf = &s.ab[old_sm as usize];
+        out.push(buf.len() as u8);
+        for &l in buf {
+            out.push(line_new_of_old[l as usize]);
+        }
+    }
+    out
+}
+
+/// Old-SM ids in ascending new-id order (the inverse permutation).
+fn sm_order(sm_new_of_old: &[u8]) -> &'static [u8] {
+    // Permutations are drawn from PERMS below, whose inverses are also
+    // members; precomputing the inverse avoids allocation.
+    const INV1: [&[u8]; 1] = [&[0]];
+    const INV2: [&[u8]; 2] = [&[0, 1], &[1, 0]];
+    const INV3: [&[u8]; 6] = [
+        &[0, 1, 2],
+        &[0, 2, 1],
+        &[1, 0, 2],
+        &[2, 0, 1], // inverse of [1, 2, 0]
+        &[1, 2, 0], // inverse of [2, 0, 1]
+        &[2, 1, 0],
+    ];
+    let table: &[&[u8]] = match sm_new_of_old.len() {
+        1 => &INV1,
+        2 => &INV2,
+        _ => &INV3,
+    };
+    table
+        .iter()
+        .copied()
+        .find(|inv| {
+            inv.iter()
+                .enumerate()
+                .all(|(n, &o)| sm_new_of_old[o as usize] == n as u8)
+        })
+        .expect("permutation has an inverse in the table")
+}
+
+/// All permutations of `0..n` (old → new), for n ∈ {1, 2, 3}.
+fn perms(n: u8) -> &'static [&'static [u8]] {
+    const P1: [&[u8]; 1] = [&[0]];
+    const P2: [&[u8]; 2] = [&[0, 1], &[1, 0]];
+    const P3: [&[u8]; 6] = [
+        &[0, 1, 2],
+        &[0, 2, 1],
+        &[1, 0, 2],
+        &[1, 2, 0],
+        &[2, 0, 1],
+        &[2, 1, 0],
+    ];
+    match n {
+        1 => &P1,
+        2 => &P2,
+        3 => &P3,
+        _ => unreachable!("model configs use at most 3 SMs / lines"),
+    }
+}
+
+/// Canonical dedup key of `s` under the model's symmetry group: SMs are
+/// interchangeable and so are lines (the transition relation and every
+/// invariant are equivariant under renaming), so states that differ
+/// only by a renaming are explored once.  The canonical form is the
+/// lexicographically smallest renamed encoding.
+fn encode(cfg: &ModelConfig, s: &State) -> Box<[u8]> {
+    let mut best: Option<Vec<u8>> = None;
+    for &sp in perms(cfg.sms) {
+        for &lp in perms(cfg.lines) {
+            let enc = encode_renamed(cfg, s, sp, lp);
+            if best.as_ref().is_none_or(|b| enc < *b) {
+                best = Some(enc);
+            }
+        }
+    }
+    best.expect("at least the identity renaming")
+        .into_boxed_slice()
+}
+
+/// A violated invariant plus its concrete detail.
+#[derive(Debug, Clone)]
+pub struct InvariantViolation {
+    /// Invariant name (aligned with `ggs_sim::check::InvariantKind`
+    /// display names where the invariant exists dynamically too).
+    pub invariant: &'static str,
+    /// Which SM/line and what was expected.
+    pub detail: String,
+}
+
+/// Coherent backing version of `line`: the owner's copy, else the L2.
+fn backing(cfg: &ModelConfig, s: &State, line: u8) -> u8 {
+    match s.owner[line as usize] {
+        NO_OWNER => s.l2v[line as usize],
+        o => s.l1[o as usize * cfg.lines as usize + line as usize]
+            .version()
+            .unwrap_or(s.l2v[line as usize]),
+    }
+}
+
+/// Check the per-state structural invariants.
+pub fn check_state(cfg: &ModelConfig, s: &State) -> Option<InvariantViolation> {
+    for line in 0..cfg.lines {
+        let mut owners = Vec::new();
+        for sm in 0..cfg.sms {
+            let c = s.l1[sm as usize * cfg.lines as usize + line as usize];
+            if matches!(c, L1::Owned(_)) {
+                owners.push(sm);
+            }
+        }
+        // SWMR: at most one writable (Owned) copy per line.
+        if owners.len() > 1 {
+            return Some(InvariantViolation {
+                invariant: "SWMR",
+                detail: format!("line {line} is Owned by SMs {owners:?} simultaneously"),
+            });
+        }
+        // Owner-map agreement, both directions.
+        let reg = s.owner[line as usize];
+        match (reg, owners.first().copied()) {
+            (NO_OWNER, None) => {}
+            (NO_OWNER, Some(sm)) => {
+                return Some(InvariantViolation {
+                    invariant: "owner-map-mismatch",
+                    detail: format!(
+                        "SM {sm} holds line {line} Owned but the registry has no owner"
+                    ),
+                })
+            }
+            (r, None) => {
+                return Some(InvariantViolation {
+                    invariant: "owner-map-mismatch",
+                    detail: format!(
+                        "registry names SM {r} for line {line} but its L1 copy is not Owned"
+                    ),
+                })
+            }
+            (r, Some(sm)) if r != sm => {
+                return Some(InvariantViolation {
+                    invariant: "owner-map-mismatch",
+                    detail: format!(
+                        "registry names SM {r} for line {line} but SM {sm} holds it Owned"
+                    ),
+                })
+            }
+            _ => {}
+        }
+        match cfg.hw.coherence {
+            // GPU coherence has no ownership at all.
+            CoherenceKind::Gpu => {
+                if reg != NO_OWNER || !owners.is_empty() {
+                    return Some(InvariantViolation {
+                        invariant: "gpu-owned-line",
+                        detail: format!(
+                            "line {line} has ownership state under GPU coherence \
+                             (registry {reg:?}, owned copies {owners:?})"
+                        ),
+                    });
+                }
+            }
+            // DeNovo never loses the newest write: once a line is
+            // unowned (and no issued atomic is still waiting to apply),
+            // the L2 must hold the latest version handed out.
+            CoherenceKind::DeNovo => {
+                let pending_atomic = s.ab.iter().any(|buf| buf.contains(&line));
+                let latest = s.nextv[line as usize] - 1;
+                if reg == NO_OWNER
+                    && !pending_atomic
+                    && latest > 0
+                    && s.l2v[line as usize] != latest
+                {
+                    return Some(InvariantViolation {
+                        invariant: "writeback-lost",
+                        detail: format!(
+                            "line {line} is unowned but the L2 holds version {} (latest \
+                             written is {latest})",
+                            s.l2v[line as usize]
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Check the transition-scoped invariants for `a` applied from `prev`.
+pub fn check_transition(
+    cfg: &ModelConfig,
+    prev: &State,
+    a: Action,
+    out: &StepOutcome,
+) -> Option<InvariantViolation> {
+    // Fill freshness: a load miss must observe the coherent value as of
+    // the pre-state (the owner's copy under DeNovo, else the L2).
+    if let (Action::Load { sm, line }, Some(false)) = (a, out.l1_hit) {
+        let expect = backing(cfg, prev, line);
+        let got = out.observed.unwrap_or(expect);
+        if got != expect {
+            return Some(InvariantViolation {
+                invariant: "stale-fill",
+                detail: format!(
+                    "SM {sm} load miss on line {line} filled version {got}, but the \
+                     coherent value was {expect}"
+                ),
+            });
+        }
+    }
+    // Acquire freshness: after the flash, no surviving copy of the
+    // fencing SM may be older than the coherent backing value.
+    let acq_sm = match a {
+        Action::Acquire { sm } => Some(sm),
+        Action::AtomicRet { sm, .. } | Action::AtomicNr { sm, .. }
+            if cfg.hw.consistency == ConsistencyModel::Drf0 =>
+        {
+            Some(sm)
+        }
+        _ => None,
+    };
+    if let Some(sm) = acq_sm {
+        for line in 0..cfg.lines {
+            let c = out.state.l1[sm as usize * cfg.lines as usize + line as usize];
+            if let L1::Valid(v) = c {
+                let fresh = backing(cfg, &out.state, line);
+                if v != fresh {
+                    return Some(InvariantViolation {
+                        invariant: "stale-after-acquire",
+                        detail: format!(
+                            "after SM {sm}'s acquire, line {line} is still cached at \
+                             version {v} while the coherent value is {fresh}"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Search bounds (a safety net, not a tuning knob: exhaustive runs must
+/// finish below them or the run is reported truncated and fails).
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreLimits {
+    /// Hard cap on distinct states.
+    pub max_states: u64,
+}
+
+impl Default for ExploreLimits {
+    fn default() -> Self {
+        ExploreLimits {
+            max_states: 20_000_000,
+        }
+    }
+}
+
+/// Result of one exhaustive pass over a cell.
+#[derive(Debug)]
+pub struct Exploration {
+    /// Distinct reachable states.
+    pub states: u64,
+    /// Transitions taken (enabled actions summed over all states).
+    pub transitions: u64,
+    /// First violation found, minimized to the shortest prefix.
+    pub violation: Option<Witness>,
+    /// True if `max_states` stopped the search early.
+    pub truncated: bool,
+}
+
+/// Exhaustively enumerate every reachable state of `model` (DFS with
+/// FNV-hashed dedup), checking all invariants.  On a violation, a BFS
+/// pass minimizes the counterexample to the shortest action prefix.
+pub fn explore(model: &GridModel, limits: ExploreLimits) -> Exploration {
+    let cfg = *model.config();
+    let init = model.initial();
+    let mut visited: HashSet<Box<[u8]>, FnvBuild> = HashSet::default();
+    visited.insert(encode(&cfg, &init));
+    let mut stack = vec![init];
+    let mut actions = Vec::new();
+    let mut states = 1u64;
+    let mut transitions = 0u64;
+    let mut truncated = false;
+
+    'dfs: while let Some(s) = stack.pop() {
+        actions.clear();
+        model.enabled_actions(&s, &mut actions);
+        for &a in &actions {
+            let out = match model.step(&s, a) {
+                Some(o) => o,
+                None => continue,
+            };
+            transitions += 1;
+            if check_transition(&cfg, &s, a, &out).is_some()
+                || check_state(&cfg, &out.state).is_some()
+            {
+                // Found: stop the DFS and re-search breadth-first for
+                // the shortest prefix.
+                let witness = minimize(model).expect("violation reachable, BFS must refind it");
+                return Exploration {
+                    states,
+                    transitions,
+                    violation: Some(witness),
+                    truncated,
+                };
+            }
+            let key = encode(&cfg, &out.state);
+            if visited.insert(key) {
+                states += 1;
+                if states >= limits.max_states {
+                    truncated = true;
+                    break 'dfs;
+                }
+                stack.push(out.state);
+            }
+        }
+    }
+    Exploration {
+        states,
+        transitions,
+        violation: None,
+        truncated,
+    }
+}
+
+/// Breadth-first search for the *shortest* action prefix from reset that
+/// violates any invariant.  Returns `None` when the space is clean.
+pub fn minimize(model: &GridModel) -> Option<Witness> {
+    let cfg = *model.config();
+    // Arena of discovered states plus parent links for path rebuilding.
+    let mut arena: Vec<State> = vec![model.initial()];
+    let mut parent: Vec<(usize, Option<Action>)> = vec![(0, None)];
+    let mut seen: HashMap<Box<[u8]>, usize, FnvBuild> = HashMap::default();
+    seen.insert(encode(&cfg, &arena[0]), 0);
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    let mut actions = Vec::new();
+
+    let rebuild =
+        |arena: &[State], parent: &[(usize, Option<Action>)], mut i: usize, last: Action| {
+            let _ = arena;
+            let mut path = vec![last];
+            while let (p, Some(a)) = parent[i] {
+                path.push(a);
+                i = p;
+            }
+            path.reverse();
+            path
+        };
+
+    while let Some(i) = queue.pop_front() {
+        let s = arena[i].clone();
+        actions.clear();
+        model.enabled_actions(&s, &mut actions);
+        for &a in &actions {
+            let out = match model.step(&s, a) {
+                Some(o) => o,
+                None => continue,
+            };
+            let viol =
+                check_transition(&cfg, &s, a, &out).or_else(|| check_state(&cfg, &out.state));
+            if let Some(v) = viol {
+                return Some(Witness {
+                    cell: cfg.hw,
+                    actions: rebuild(&arena, &parent, i, a),
+                    kind: WitnessKind::Invariant {
+                        invariant: v.invariant,
+                        detail: v.detail,
+                    },
+                });
+            }
+            let key = encode(&cfg, &out.state);
+            if let std::collections::hash_map::Entry::Vacant(e) = seen.entry(key) {
+                let idx = arena.len();
+                arena.push(out.state);
+                parent.push((i, Some(a)));
+                e.insert(idx);
+                queue.push_back(idx);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutate::Mutation;
+    use ggs_sim::config::{CoherenceKind as Coh, ConsistencyModel as Con, HwConfig};
+
+    fn smoke(coh: Coh, con: Con) -> ModelConfig {
+        ModelConfig::smoke(HwConfig::new(coh, con))
+    }
+
+    #[test]
+    fn clean_smoke_cells_have_no_violations() {
+        for coh in [Coh::Gpu, Coh::DeNovo] {
+            for con in [Con::Drf0, Con::Drf1, Con::DrfRlx] {
+                let model = GridModel::new(smoke(coh, con));
+                let r = explore(&model, ExploreLimits::default());
+                assert!(
+                    !r.truncated,
+                    "{coh:?}/{con:?} truncated at {} states",
+                    r.states
+                );
+                assert!(
+                    r.violation.is_none(),
+                    "{coh:?}/{con:?} violated:\n{}",
+                    r.violation.unwrap()
+                );
+                assert!(
+                    r.states > 100,
+                    "{coh:?}/{con:?} suspiciously small: {}",
+                    r.states
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skip_revoke_breaks_swmr_with_short_witness() {
+        let model = GridModel::mutated(smoke(Coh::DeNovo, Con::Drf1), Mutation::SkipRevoke);
+        let r = explore(&model, ExploreLimits::default());
+        let w = r.violation.expect("SkipRevoke must be caught");
+        match &w.kind {
+            WitnessKind::Invariant { invariant, .. } => assert_eq!(*invariant, "SWMR"),
+            other => panic!("unexpected witness kind {other:?}"),
+        }
+        // Two stores from different SMs are necessary and sufficient.
+        assert_eq!(w.actions.len(), 2, "witness not minimal:\n{w}");
+    }
+
+    #[test]
+    fn drop_invalidation_breaks_acquire_freshness() {
+        let model = GridModel::mutated(smoke(Coh::Gpu, Con::Drf0), Mutation::DropInvalidation);
+        let r = explore(&model, ExploreLimits::default());
+        let w = r.violation.expect("DropInvalidation must be caught");
+        match &w.kind {
+            WitnessKind::Invariant { invariant, .. } => {
+                assert_eq!(*invariant, "stale-after-acquire")
+            }
+            other => panic!("unexpected witness kind {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod probe_tests {
+    use super::*;
+    use crate::model::{GridModel, ModelConfig};
+    use ggs_sim::config::{CoherenceKind as Coh, ConsistencyModel as Con, HwConfig};
+
+    #[test]
+    #[ignore]
+    fn probe_state_space() {
+        for (label, mk) in [
+            ("smoke", ModelConfig::smoke as fn(HwConfig) -> ModelConfig),
+            ("full", ModelConfig::full),
+        ] {
+            for coh in [Coh::Gpu, Coh::DeNovo] {
+                for con in [Con::Drf0, Con::Drf1, Con::DrfRlx] {
+                    let cfg = mk(HwConfig::new(coh, con));
+                    let t = std::time::Instant::now();
+                    let r = explore(
+                        &GridModel::new(cfg),
+                        ExploreLimits {
+                            max_states: 2_000_000,
+                        },
+                    );
+                    eprintln!(
+                        "{label} {coh:?}/{con:?}: states={} transitions={} truncated={} in {:?}",
+                        r.states,
+                        r.transitions,
+                        r.truncated,
+                        t.elapsed()
+                    );
+                }
+            }
+        }
+    }
+}

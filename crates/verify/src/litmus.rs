@@ -1,0 +1,410 @@
+//! Litmus harness: small concurrent programs, all interleavings, and
+//! per-consistency allowed/forbidden outcome sets.
+//!
+//! Each [`Litmus`] is a fixed per-thread program over at most two lines
+//! (thread *i* runs on SM *i*).  The executor enumerates **every**
+//! interleaving of thread steps and environment steps (store-buffer
+//! drains, buffered-atomic completions) under the given grid cell and
+//! collects the set of terminal observation tuples.  The spec then
+//! asserts two things:
+//!
+//! * no **forbidden** outcome is reachable — the consistency model's
+//!   guarantee actually holds in the protocol model;
+//! * every **required** outcome is reachable — the weak behaviours the
+//!   model is supposed to permit really show up, so a vacuous model (or
+//!   a harness bug) cannot silently pass.
+//!
+//! Values are write versions (see `model.rs`): observation `v` means
+//! "this read returned the `v`-th write to that line" and `0` means the
+//! initial value.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use ggs_sim::config::{CoherenceKind, ConsistencyModel, HwConfig};
+
+use crate::explore::FnvBuild;
+use crate::model::{Action, GridModel, ModelConfig, ProtocolModel, State};
+use crate::witness::{Witness, WitnessKind};
+
+/// One instruction of a litmus thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LitOp {
+    /// Plain load (observing).
+    Load(u8),
+    /// Plain store.
+    Store(u8),
+    /// Value-returning atomic RMW (observing; the observation is the
+    /// pre-RMW version).
+    AtomicRet(u8),
+    /// Non-returning atomic RMW.
+    AtomicNr(u8),
+    /// Acquire fence.
+    Acquire,
+    /// Release fence (waits for the store buffer to drain).
+    Release,
+}
+
+impl LitOp {
+    fn action(self, sm: u8) -> Action {
+        match self {
+            LitOp::Load(line) => Action::Load { sm, line },
+            LitOp::Store(line) => Action::Store { sm, line },
+            LitOp::AtomicRet(line) => Action::AtomicRet { sm, line },
+            LitOp::AtomicNr(line) => Action::AtomicNr { sm, line },
+            LitOp::Acquire => Action::Acquire { sm },
+            LitOp::Release => Action::Release { sm },
+        }
+    }
+
+    fn observes(self) -> bool {
+        matches!(self, LitOp::Load(_) | LitOp::AtomicRet(_))
+    }
+}
+
+/// A litmus test: named per-thread programs plus the outcome contract.
+#[derive(Debug, Clone, Copy)]
+pub struct Litmus {
+    /// Test name (stable, used in reports and docs).
+    pub name: &'static str,
+    /// What the test pins down.
+    pub about: &'static str,
+    /// Per-thread programs; thread *i* runs on SM *i*.
+    pub threads: &'static [&'static [LitOp]],
+    /// Distinct lines touched (sizes the model).
+    pub lines: u8,
+    /// Is this terminal observation tuple forbidden under `hw`?
+    pub forbidden: fn(HwConfig, &[u8]) -> bool,
+    /// Outcomes that must be reachable under `hw` (non-vacuity).
+    pub required: fn(HwConfig) -> Vec<Vec<u8>>,
+}
+
+/// The litmus suite: message passing (plain and synchronized),
+/// store buffering, CoRR, atomic RMW chains, release/acquire handoff,
+/// and same-thread atomic ordering.
+pub fn suite() -> Vec<Litmus> {
+    use ConsistencyModel::*;
+    use LitOp::*;
+    vec![
+        Litmus {
+            name: "mp_plain",
+            about: "message passing with plain ops: stale data is legal without sync",
+            // t1 warms a data copy, then polls flag, then re-reads data.
+            threads: &[&[Store(0), Store(1)], &[Load(0), Load(1), Load(0)]],
+            lines: 2,
+            forbidden: |_, _| false,
+            // The racy (0,1,0) outcome must be exhibited: seeing the flag
+            // while still reading stale data from the warmed copy.
+            required: |_| vec![vec![0, 1, 0]],
+        },
+        Litmus {
+            name: "mp_paired",
+            about: "message passing through an atomic flag: DRF0 forbids stale data",
+            threads: &[&[Store(0), AtomicNr(1)], &[Load(0), AtomicRet(1), Load(0)]],
+            lines: 2,
+            // Under DRF0 the flag atomic is fence-paired on both sides:
+            // observing the flag write implies fresh data.
+            forbidden: |hw, o| hw.consistency == Drf0 && o[1] == 1 && o[2] == 0,
+            required: |hw| match hw.consistency {
+                Drf0 => vec![vec![0, 1, 1], vec![0, 0, 0]],
+                // Unpaired atomics don't invalidate: the stale read is
+                // not just allowed but reachable.
+                Drf1 | DrfRlx => vec![vec![0, 1, 0]],
+            },
+        },
+        Litmus {
+            name: "sb",
+            about: "store buffering with plain ops: both loads may miss both stores",
+            threads: &[&[Store(0), Load(1)], &[Store(1), Load(0)]],
+            lines: 2,
+            forbidden: |_, _| false,
+            required: |hw| match hw.coherence {
+                // Write-through buffering exposes the classic (0,0).
+                CoherenceKind::Gpu => vec![vec![0, 0]],
+                // DeNovo registration is synchronous: a store is visible
+                // to coherent readers immediately, so (0,0) vanishes but
+                // (1,1) remains.
+                CoherenceKind::DeNovo => vec![vec![1, 1]],
+            },
+        },
+        Litmus {
+            name: "corr",
+            about: "coherent read-read: reads of one line never go backwards",
+            threads: &[&[Store(0), Store(0)], &[Load(0), Acquire, Load(0)]],
+            lines: 1,
+            forbidden: |_, o| o[1] < o[0],
+            required: |_| vec![vec![0, 0], vec![2, 2]],
+        },
+        Litmus {
+            name: "atomic_chain",
+            about: "atomic RMW chain: concurrent RMWs serialize, no lost update",
+            threads: &[&[Load(0), AtomicRet(0)], &[AtomicRet(0)]],
+            lines: 1,
+            // Two RMWs observing the same pre-version read the same
+            // write twice: a lost update.
+            forbidden: |_, o| o[1] == o[2],
+            required: |_| vec![vec![0, 0, 1], vec![0, 1, 0]],
+        },
+        Litmus {
+            name: "rel_acq",
+            about: "release/acquire handoff: flag observed implies data fresh, every cell",
+            threads: &[
+                &[Store(0), Release, AtomicNr(1)],
+                &[AtomicRet(1), Acquire, Load(0)],
+            ],
+            lines: 2,
+            // The flag atomic is issued only past the release point, so
+            // observing it implies the data write is visible — under
+            // every consistency model.
+            forbidden: |_, o| o[0] >= 1 && o[1] == 0,
+            required: |_| vec![vec![1, 1], vec![0, 0]],
+        },
+        Litmus {
+            name: "atomic_pair",
+            about: "same-thread atomics: program order holds up to DRF1, relaxes under DRFrlx",
+            threads: &[&[AtomicNr(0), AtomicNr(1)], &[AtomicRet(1), AtomicRet(0)]],
+            lines: 2,
+            // Seeing the younger atomic's effect without the older's.
+            forbidden: |hw, o| hw.consistency != DrfRlx && o == [1, 0],
+            required: |hw| match hw.consistency {
+                Drf0 | Drf1 => vec![vec![1, 1], vec![0, 0]],
+                // Relaxed atomics may complete out of order: (1,0) must
+                // actually be exhibited.
+                DrfRlx => vec![vec![1, 1], vec![0, 0], vec![1, 0]],
+            },
+        },
+    ]
+}
+
+/// Result of enumerating one litmus test under one cell.
+#[derive(Debug)]
+pub struct LitmusRun {
+    /// Test name.
+    pub name: &'static str,
+    /// All reachable terminal observation tuples.
+    pub outcomes: BTreeSet<Vec<u8>>,
+    /// A reachable forbidden outcome, with its minimized schedule.
+    pub forbidden_hit: Option<Witness>,
+    /// Required outcomes that never showed up.
+    pub missing_required: Vec<Vec<u8>>,
+    /// Interleavings explored (distinct (state, pc, obs) nodes).
+    pub nodes: u64,
+}
+
+impl LitmusRun {
+    /// Did the test uphold its contract?
+    pub fn passed(&self) -> bool {
+        self.forbidden_hit.is_none() && self.missing_required.is_empty()
+    }
+}
+
+/// Executor node: machine state plus per-thread program counters and the
+/// observations accumulated so far.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Node {
+    state: State,
+    pc: Vec<u8>,
+    obs: Vec<u8>,
+}
+
+/// Model sized for a litmus program under `hw`.
+pub fn litmus_model(test: &Litmus, hw: HwConfig) -> GridModel {
+    GridModel::new(ModelConfig::litmus(
+        hw,
+        test.threads.len() as u8,
+        test.lines.max(1),
+    ))
+}
+
+/// Enumerate all interleavings of `test` on `model` (which may carry a
+/// mutation) and check the outcome contract for `model`'s cell.
+pub fn run_litmus(test: &Litmus, model: &GridModel) -> LitmusRun {
+    let hw = model.config().hw;
+    // Observation slots are fixed by (thread, program position) so that
+    // outcome tuples are comparable across interleavings; slot values
+    // start as a sentinel and are filled as the observing ops execute.
+    const UNSET: u8 = 0xff;
+    let mut slot_of: Vec<Vec<Option<usize>>> = Vec::new();
+    let mut n_obs = 0usize;
+    for prog in test.threads {
+        let mut slots = Vec::with_capacity(prog.len());
+        for op in *prog {
+            if op.observes() {
+                slots.push(Some(n_obs));
+                n_obs += 1;
+            } else {
+                slots.push(None);
+            }
+        }
+        slot_of.push(slots);
+    }
+    // BFS over interleaving nodes with parent links, so the first
+    // forbidden outcome found is already a shortest schedule.
+    let init = Node {
+        state: model.initial(),
+        pc: vec![0; test.threads.len()],
+        obs: vec![UNSET; n_obs],
+    };
+    let mut arena: Vec<Node> = vec![init.clone()];
+    let mut parent: Vec<(usize, Option<Action>)> = vec![(0, None)];
+    let mut seen: HashMap<Node, usize, FnvBuild> = HashMap::default();
+    seen.insert(init, 0);
+    let mut queue: VecDeque<usize> = VecDeque::from([0]);
+    let mut outcomes = BTreeSet::new();
+    let mut forbidden_hit: Option<Witness> = None;
+
+    while let Some(i) = queue.pop_front() {
+        let node = arena[i].clone();
+        let done = node
+            .pc
+            .iter()
+            .enumerate()
+            .all(|(t, &pc)| pc as usize >= test.threads[t].len());
+        if done {
+            if forbidden_hit.is_none() && (test.forbidden)(hw, &node.obs) {
+                let mut path = Vec::new();
+                let mut j = i;
+                while let (p, Some(a)) = parent[j] {
+                    path.push(a);
+                    j = p;
+                }
+                path.reverse();
+                forbidden_hit = Some(Witness {
+                    cell: hw,
+                    actions: path,
+                    kind: WitnessKind::Litmus {
+                        test: test.name,
+                        outcome: node.obs.clone(),
+                    },
+                });
+            }
+            outcomes.insert(node.obs.clone());
+            // Terminal for the program; environment steps can no longer
+            // change what was observed.
+            continue;
+        }
+        // Successors: one instruction from any ready thread...
+        let mut succ: Vec<(Action, Node)> = Vec::new();
+        for (t, prog) in test.threads.iter().enumerate() {
+            let pc = node.pc[t] as usize;
+            if pc >= prog.len() {
+                continue;
+            }
+            let op = prog[pc];
+            let a = op.action(t as u8);
+            if let Some(out) = model.step(&node.state, a) {
+                let mut n = node.clone();
+                n.state = out.state;
+                n.pc[t] += 1;
+                if let Some(slot) = slot_of[t][pc] {
+                    n.obs[slot] = out.observed.expect("observing op yields a version");
+                }
+                succ.push((a, n));
+            }
+        }
+        // ...or one environment step (drain / buffered-atomic apply).
+        for sm in 0..model.config().sms {
+            if !node.state.sb[sm as usize].is_empty() {
+                let a = Action::DrainStore { sm };
+                if let Some(out) = model.step(&node.state, a) {
+                    let mut n = node.clone();
+                    n.state = out.state;
+                    succ.push((a, n));
+                }
+            }
+            for slot in 0..node.state.ab[sm as usize].len() as u8 {
+                let a = Action::ApplyAtomic { sm, slot };
+                if let Some(out) = model.step(&node.state, a) {
+                    let mut n = node.clone();
+                    n.state = out.state;
+                    succ.push((a, n));
+                }
+            }
+        }
+        for (a, n) in succ {
+            if !seen.contains_key(&n) {
+                let idx = arena.len();
+                seen.insert(n.clone(), idx);
+                arena.push(n);
+                parent.push((i, Some(a)));
+                queue.push_back(idx);
+            }
+        }
+    }
+
+    let missing_required = (test.required)(hw)
+        .into_iter()
+        .filter(|want| !outcomes.contains(want))
+        .collect();
+    LitmusRun {
+        name: test.name,
+        outcomes,
+        forbidden_hit,
+        missing_required,
+        nodes: arena.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutate::Mutation;
+    use ggs_sim::config::{CoherenceKind as Coh, ConsistencyModel as Con};
+
+    #[test]
+    fn clean_suite_passes_every_cell() {
+        for test in suite() {
+            for coh in [Coh::Gpu, Coh::DeNovo] {
+                for con in [Con::Drf0, Con::Drf1, Con::DrfRlx] {
+                    let hw = HwConfig::new(coh, con);
+                    let run = run_litmus(&test, &litmus_model(&test, hw));
+                    assert!(
+                        run.passed(),
+                        "{} under {hw}: forbidden={:?} missing={:?} outcomes={:?}",
+                        test.name,
+                        run.forbidden_hit.as_ref().map(|w| w.to_string()),
+                        run.missing_required,
+                        run.outcomes,
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn release_bug_is_caught_by_handoff_litmus() {
+        let test = suite().into_iter().find(|t| t.name == "rel_acq").unwrap();
+        let hw = HwConfig::new(Coh::Gpu, Con::Drf0);
+        let model = GridModel::mutated(
+            ModelConfig::litmus(hw, 2, 2),
+            Mutation::ReleaseIgnoresPending,
+        );
+        let run = run_litmus(&test, &model);
+        let w = run
+            .forbidden_hit
+            .expect("forbidden outcome must be reachable");
+        match &w.kind {
+            WitnessKind::Litmus { outcome, .. } => {
+                assert!(
+                    outcome[0] >= 1 && outcome[1] == 0,
+                    "wrong outcome {outcome:?}"
+                )
+            }
+            other => panic!("unexpected witness kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_atomic_bug_is_caught_by_chain_litmus() {
+        let test = suite()
+            .into_iter()
+            .find(|t| t.name == "atomic_chain")
+            .unwrap();
+        let hw = HwConfig::new(Coh::DeNovo, Con::Drf1);
+        let model = GridModel::mutated(ModelConfig::litmus(hw, 2, 1), Mutation::AtomicOnStaleCopy);
+        let run = run_litmus(&test, &model);
+        assert!(
+            run.forbidden_hit.is_some(),
+            "lost update must be observable"
+        );
+    }
+}

@@ -1,0 +1,791 @@
+//! Pure, timing-free transition systems for the coherence × consistency grid.
+//!
+//! Each protocol in `ggs_sim::mem` is re-expressed here as a small-step
+//! state machine whose state is fully explicit and hashable: per-SM L1
+//! line states, the L2 backing value per line, the DeNovo owner registry,
+//! and the in-flight messages (store-buffer entries and unapplied
+//! non-returning atomics).  Timing is erased; what remains is exactly the
+//! structure the protocol invariants quantify over, which makes the state
+//! space finite and small enough to enumerate exhaustively.
+//!
+//! Data values are modelled as *versions*: every store or atomic to a
+//! line draws the next version number for that line, so a load observing
+//! version `v` identifies precisely which write it read.  This is enough
+//! to decide every litmus outcome without modelling arithmetic.
+
+use ggs_sim::config::{CoherenceKind, ConsistencyModel, HwConfig};
+
+use crate::mutate::Mutation;
+
+/// Owner-registry sentinel: no SM owns the line.
+pub const NO_OWNER: u8 = 0xff;
+
+/// L1 state of one line in one SM, mirroring `ggs_sim::cache::LineState`
+/// plus the absent case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum L1 {
+    /// Not resident.
+    Invalid,
+    /// Resident, readable, discarded by self-invalidation; carries the
+    /// version it holds.
+    Valid(u8),
+    /// DeNovo-registered: resident, survives self-invalidation, is the
+    /// unique up-to-date copy; carries the version it holds.
+    Owned(u8),
+}
+
+impl L1 {
+    /// Version held by a resident copy.
+    pub fn version(self) -> Option<u8> {
+        match self {
+            L1::Invalid => None,
+            L1::Valid(v) | L1::Owned(v) => Some(v),
+        }
+    }
+
+    /// Is the line resident (a load would hit)?
+    pub fn resident(self) -> bool {
+        !matches!(self, L1::Invalid)
+    }
+}
+
+/// One in-flight store-buffer entry.
+///
+/// Under GPU coherence an entry is a pending write-through: the L2 copy
+/// is updated only when the entry drains.  Under DeNovo an entry records
+/// an ownership-registration round trip; the registry and L1 were updated
+/// synchronously at issue, so draining it has no structural effect — it
+/// only gates the release point, exactly as the timed model's store
+/// buffer gates `release_drain`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SbEntry {
+    /// Target line.
+    pub line: u8,
+    /// Version the store produced.
+    pub version: u8,
+    /// True for a DeNovo registration entry, false for a write-through.
+    pub registration: bool,
+}
+
+/// Complete explicit state of the modelled machine.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct State {
+    /// `l1[sm * lines + line]`.
+    pub l1: Vec<L1>,
+    /// DeNovo owner registry per line (`NO_OWNER` if unowned).
+    pub owner: Vec<u8>,
+    /// Version currently stored at the L2 per line.
+    pub l2v: Vec<u8>,
+    /// Next version number to hand out per line (starts at 1; version 0
+    /// is the initial value).
+    pub nextv: Vec<u8>,
+    /// Per-SM store buffer, FIFO order.
+    pub sb: Vec<Vec<SbEntry>>,
+    /// Per-SM issued-but-unapplied non-returning atomics (target lines),
+    /// issue order.
+    pub ab: Vec<Vec<u8>>,
+}
+
+/// One protocol action; `sm` and `line` index the small config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Plain load by `sm` from `line`.
+    Load {
+        /// Issuing SM.
+        sm: u8,
+        /// Target line.
+        line: u8,
+    },
+    /// Plain store by `sm` to `line`.
+    Store {
+        /// Issuing SM.
+        sm: u8,
+        /// Target line.
+        line: u8,
+    },
+    /// Value-returning atomic RMW (applies synchronously in all models).
+    AtomicRet {
+        /// Issuing SM.
+        sm: u8,
+        /// Target line.
+        line: u8,
+    },
+    /// Non-returning atomic RMW.  Under DRF0 it is fence-paired and
+    /// applies synchronously like [`Action::AtomicRet`]; under DRF1/DRFrlx
+    /// it is issued into the atomic buffer and applied later by
+    /// [`Action::ApplyAtomic`].
+    AtomicNr {
+        /// Issuing SM.
+        sm: u8,
+        /// Target line.
+        line: u8,
+    },
+    /// Apply the buffered non-returning atomic at `slot` of `sm`'s atomic
+    /// buffer.  Under DRF1 only slot 0 is eligible (atomics stay
+    /// program-ordered); under DRFrlx any slot may complete first.
+    ApplyAtomic {
+        /// Issuing SM.
+        sm: u8,
+        /// Buffer slot to apply.
+        slot: u8,
+    },
+    /// Drain the oldest store-buffer entry of `sm` to the L2.
+    DrainStore {
+        /// Draining SM.
+        sm: u8,
+    },
+    /// Acquire fence by `sm`: flash self-invalidation of unowned lines.
+    Acquire {
+        /// Fencing SM.
+        sm: u8,
+    },
+    /// Release fence by `sm`: the release point, reached once the store
+    /// buffer has drained.  No structural effect of its own.
+    Release {
+        /// Fencing SM.
+        sm: u8,
+    },
+    /// Evict `line` from `sm`'s L1 (capacity/conflict victim).  An Owned
+    /// victim writes back to the L2 and unregisters.
+    Evict {
+        /// Evicting SM.
+        sm: u8,
+        /// Victim line.
+        line: u8,
+    },
+}
+
+impl Action {
+    /// SM performing the action.
+    pub fn sm(self) -> u8 {
+        match self {
+            Action::Load { sm, .. }
+            | Action::Store { sm, .. }
+            | Action::AtomicRet { sm, .. }
+            | Action::AtomicNr { sm, .. }
+            | Action::ApplyAtomic { sm, .. }
+            | Action::DrainStore { sm }
+            | Action::Acquire { sm }
+            | Action::Release { sm }
+            | Action::Evict { sm, .. } => sm,
+        }
+    }
+}
+
+/// Size bounds for a model instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelConfig {
+    /// (coherence, consistency) cell being modelled.
+    pub hw: HwConfig,
+    /// Number of SMs (2–3 for exhaustive runs).
+    pub sms: u8,
+    /// Number of cache lines (2–3 for exhaustive runs).
+    pub lines: u8,
+    /// Maximum number of writes (stores + atomics) per line; bounds the
+    /// version counter and hence the state space.
+    pub writes_per_line: u8,
+    /// Store-buffer capacity per SM.
+    pub sb_cap: u8,
+}
+
+impl ModelConfig {
+    /// Bounds for the exhaustive full run (default `repro verify`).
+    pub fn full(hw: HwConfig) -> Self {
+        ModelConfig {
+            hw,
+            sms: 3,
+            lines: 2,
+            writes_per_line: 2,
+            sb_cap: 2,
+        }
+    }
+
+    /// Smaller bounds for the CI smoke run.
+    pub fn smoke(hw: HwConfig) -> Self {
+        ModelConfig {
+            hw,
+            sms: 2,
+            lines: 2,
+            writes_per_line: 2,
+            sb_cap: 1,
+        }
+    }
+
+    /// Bounds for litmus execution: sized by the program, with the write
+    /// budget high enough that no program op is ever capped out.
+    pub fn litmus(hw: HwConfig, sms: u8, lines: u8) -> Self {
+        ModelConfig {
+            hw,
+            sms,
+            lines,
+            writes_per_line: 16,
+            sb_cap: 4,
+        }
+    }
+
+    /// Atomic-buffer capacity implied by the consistency model: DRF0
+    /// atomics are synchronous (no buffer), DRF1 permits one outstanding
+    /// unpaired atomic per SM, DRFrlx lets relaxed atomics overlap each
+    /// other (bounded here at two, enough to expose reordering).
+    pub fn ab_cap(&self) -> u8 {
+        match self.hw.consistency {
+            ConsistencyModel::Drf0 => 0,
+            ConsistencyModel::Drf1 => 1,
+            ConsistencyModel::DrfRlx => 2,
+        }
+    }
+}
+
+/// Result of one small step: the successor state plus the version
+/// observed by a load or value-returning atomic, if the action observes.
+#[derive(Debug, Clone)]
+pub struct StepOutcome {
+    /// Successor state.
+    pub state: State,
+    /// Version read by a `Load` (the value it returned) or the
+    /// pre-RMW version read by an `AtomicRet`.
+    pub observed: Option<u8>,
+    /// Whether a `Load` hit in the L1 (for conformance with the
+    /// implementation's hit/miss counters).
+    pub l1_hit: Option<bool>,
+}
+
+/// A small-step protocol model: enumerate enabled actions and apply them.
+///
+/// Implementations must be pure: `step` depends only on the given state,
+/// never on hidden mutable state, so the explorer may memoise freely.
+pub trait ProtocolModel {
+    /// Size bounds and grid cell.
+    fn config(&self) -> &ModelConfig;
+
+    /// The initial (reset) state.
+    fn initial(&self) -> State;
+
+    /// Append every action enabled in `s` to `out`.
+    fn enabled_actions(&self, s: &State, out: &mut Vec<Action>);
+
+    /// Apply `a` to `s`; `None` when `a` is not enabled in `s`.
+    fn step(&self, s: &State, a: Action) -> Option<StepOutcome>;
+}
+
+/// The modelled grid cell: both coherence protocols and all three
+/// consistency models, selected by [`ModelConfig::hw`], with an optional
+/// seeded [`Mutation`] for the self-test.
+#[derive(Debug, Clone)]
+pub struct GridModel {
+    cfg: ModelConfig,
+    mutation: Option<Mutation>,
+}
+
+impl GridModel {
+    /// Clean (unmutated) model of a cell.
+    pub fn new(cfg: ModelConfig) -> Self {
+        GridModel {
+            cfg,
+            mutation: None,
+        }
+    }
+
+    /// Model with a seeded protocol bug for the mutation self-test.
+    pub fn mutated(cfg: ModelConfig, mutation: Mutation) -> Self {
+        GridModel {
+            cfg,
+            mutation: Some(mutation),
+        }
+    }
+
+    /// The seeded mutation, if any.
+    pub fn mutation(&self) -> Option<Mutation> {
+        self.mutation
+    }
+
+    fn coh(&self) -> CoherenceKind {
+        self.cfg.hw.coherence
+    }
+
+    fn con(&self) -> ConsistencyModel {
+        self.cfg.hw.consistency
+    }
+
+    fn has(&self, m: Mutation) -> bool {
+        self.mutation == Some(m)
+    }
+
+    fn idx(&self, sm: u8, line: u8) -> usize {
+        sm as usize * self.cfg.lines as usize + line as usize
+    }
+
+    /// Current value of `line` as seen by a coherent reader: the owner's
+    /// copy if the line is registered, else the L2 copy.
+    fn backing_version(&self, s: &State, line: u8) -> u8 {
+        match s.owner[line as usize] {
+            NO_OWNER => s.l2v[line as usize],
+            o => {
+                let v = s.l1[self.idx(o, line)].version();
+                // Owner-registry agreement guarantees residency; fall back
+                // to the L2 copy defensively so a mutated model cannot
+                // wedge the explorer.
+                v.unwrap_or(s.l2v[line as usize])
+            }
+        }
+    }
+
+    /// Buffered atomics targeting `line` that have not applied yet; each
+    /// will draw a version when it does.
+    fn pending_writes(&self, s: &State, line: u8) -> u8 {
+        s.ab.iter()
+            .map(|b| b.iter().filter(|&&l| l == line).count() as u8)
+            .sum()
+    }
+
+    /// Version budget left on `line`?  In-flight buffered atomics count
+    /// against the budget so that no version ever exceeds
+    /// `writes_per_line`, keeping the version domain (and with it the
+    /// explored state space) strictly bounded.
+    fn can_write(&self, s: &State, line: u8) -> bool {
+        s.nextv[line as usize] + self.pending_writes(s, line) <= self.cfg.writes_per_line
+    }
+
+    fn take_version(&self, s: &mut State, line: u8) -> u8 {
+        let v = s.nextv[line as usize];
+        // Saturate rather than wrap: issue-time gating keeps us below the
+        // cap except when in-flight atomics race past it by one.
+        s.nextv[line as usize] = v.saturating_add(1);
+        v
+    }
+
+    /// Flash self-invalidation of `sm`'s unowned lines (the acquire
+    /// action of both protocols; Owned lines survive under DeNovo).
+    fn self_invalidate(&self, s: &mut State, sm: u8) {
+        if self.has(Mutation::DropInvalidation) {
+            return; // seeded bug: the acquire "forgets" to invalidate
+        }
+        for line in 0..self.cfg.lines {
+            let i = self.idx(sm, line);
+            if matches!(s.l1[i], L1::Valid(_)) {
+                s.l1[i] = L1::Invalid;
+            }
+        }
+    }
+
+    /// DeNovo ownership registration by `sm` for `line`: revoke the
+    /// previous owner, update the registry, and fill the line Owned with
+    /// version `v`.  Pushes the registration round trip into the store
+    /// buffer (it gates the release point, like the timed model).
+    fn register(&self, s: &mut State, sm: u8, line: u8, v: u8) {
+        let prev = s.owner[line as usize];
+        if prev != NO_OWNER && prev != sm && !self.has(Mutation::SkipRevoke) {
+            s.l1[self.idx(prev, line)] = L1::Invalid;
+        }
+        if !self.has(Mutation::SkipRegistration) {
+            s.owner[line as usize] = sm;
+        }
+        s.l1[self.idx(sm, line)] = L1::Owned(v);
+        s.sb[sm as usize].push(SbEntry {
+            line,
+            version: v,
+            registration: true,
+        });
+    }
+
+    /// Execute one atomic RMW by `sm` on `line`, returning the pre-RMW
+    /// version.  GPU coherence executes at the L2 and never touches the
+    /// L1; DeNovo registers ownership if needed and executes locally.
+    fn do_rmw(&self, s: &mut State, sm: u8, line: u8) -> u8 {
+        match self.coh() {
+            CoherenceKind::Gpu => {
+                let pre = s.l2v[line as usize];
+                let v = self.take_version(s, line);
+                s.l2v[line as usize] = v;
+                pre
+            }
+            CoherenceKind::DeNovo => {
+                let i = self.idx(sm, line);
+                if self.has(Mutation::AtomicOnStaleCopy) {
+                    // Seeded bug: an atomic on any resident copy executes
+                    // locally without checking ownership, losing the
+                    // L1-serialization point.
+                    if let Some(pre) = s.l1[i].version() {
+                        let v = self.take_version(s, line);
+                        match s.l1[i] {
+                            L1::Owned(_) => s.l1[i] = L1::Owned(v),
+                            _ => s.l1[i] = L1::Valid(v),
+                        }
+                        return pre;
+                    }
+                }
+                if s.owner[line as usize] == sm {
+                    let pre = s.l1[i].version().unwrap_or(s.l2v[line as usize]);
+                    let v = self.take_version(s, line);
+                    s.l1[i] = L1::Owned(v);
+                    pre
+                } else {
+                    let pre = self.backing_version(s, line);
+                    let v = self.take_version(s, line);
+                    self.register(s, sm, line, v);
+                    pre
+                }
+            }
+        }
+    }
+
+    /// Is a synchronous (DRF0 fence-paired) atomic by `sm` ready?  The
+    /// paired release must have drained the store buffer and no atomic
+    /// may still be in flight.
+    fn paired_atomic_ready(&self, s: &State, sm: u8) -> bool {
+        (s.sb[sm as usize].is_empty() || self.has(Mutation::ReleaseIgnoresPending))
+            && s.ab[sm as usize].is_empty()
+    }
+
+    fn atomic_enabled(&self, s: &State, sm: u8, line: u8, returns: bool) -> bool {
+        if !self.can_write(s, line) {
+            return false;
+        }
+        match self.con() {
+            // Every DRF0 atomic is fence-paired and synchronous.
+            ConsistencyModel::Drf0 => self.paired_atomic_ready(s, sm),
+            ConsistencyModel::Drf1 => {
+                if returns {
+                    // Blocks the warp; still ordered after earlier atomics.
+                    s.ab[sm as usize].is_empty()
+                } else {
+                    (s.ab[sm as usize].len() as u8) < self.cfg.ab_cap()
+                }
+            }
+            ConsistencyModel::DrfRlx => {
+                if returns {
+                    // A returning relaxed atomic blocks the warp but may
+                    // bypass earlier non-returning atomics still in flight.
+                    true
+                } else {
+                    (s.ab[sm as usize].len() as u8) < self.cfg.ab_cap()
+                }
+            }
+        }
+    }
+}
+
+impl ProtocolModel for GridModel {
+    fn config(&self) -> &ModelConfig {
+        &self.cfg
+    }
+
+    fn initial(&self) -> State {
+        let cfg = &self.cfg;
+        State {
+            l1: vec![L1::Invalid; cfg.sms as usize * cfg.lines as usize],
+            owner: vec![NO_OWNER; cfg.lines as usize],
+            l2v: vec![0; cfg.lines as usize],
+            nextv: vec![1; cfg.lines as usize],
+            sb: vec![Vec::new(); cfg.sms as usize],
+            ab: vec![Vec::new(); cfg.sms as usize],
+        }
+    }
+
+    fn enabled_actions(&self, s: &State, out: &mut Vec<Action>) {
+        let cfg = &self.cfg;
+        for sm in 0..cfg.sms {
+            for line in 0..cfg.lines {
+                out.push(Action::Load { sm, line });
+                if self.step(s, Action::Store { sm, line }).is_some() {
+                    out.push(Action::Store { sm, line });
+                }
+                if self.atomic_enabled(s, sm, line, true) {
+                    out.push(Action::AtomicRet { sm, line });
+                }
+                if self.atomic_enabled(s, sm, line, false) {
+                    out.push(Action::AtomicNr { sm, line });
+                }
+                if s.l1[self.idx(sm, line)].resident() {
+                    out.push(Action::Evict { sm, line });
+                }
+            }
+            for slot in 0..s.ab[sm as usize].len() as u8 {
+                if self.step(s, Action::ApplyAtomic { sm, slot }).is_some() {
+                    out.push(Action::ApplyAtomic { sm, slot });
+                }
+            }
+            if !s.sb[sm as usize].is_empty() {
+                out.push(Action::DrainStore { sm });
+            }
+            out.push(Action::Acquire { sm });
+            // `Release` is observationally inert (a marker for litmus
+            // programs), so the free explorer skips it.
+        }
+    }
+
+    fn step(&self, s: &State, a: Action) -> Option<StepOutcome> {
+        let cfg = &self.cfg;
+        let mut n = s.clone();
+        let mut observed = None;
+        let mut l1_hit = None;
+        match a {
+            Action::Load { sm, line } => {
+                let i = self.idx(sm, line);
+                match n.l1[i] {
+                    L1::Valid(v) | L1::Owned(v) => {
+                        observed = Some(v);
+                        l1_hit = Some(true);
+                    }
+                    L1::Invalid => {
+                        // Miss: fetch from the coherent backing copy (the
+                        // owner's L1 under DeNovo, else the L2) and fill
+                        // Valid.  The owner keeps ownership (DeNovo loads
+                        // take a shared copy).
+                        let v = if self.has(Mutation::StaleRemoteFill) {
+                            // Seeded bug: remote fetches bypass the owner
+                            // and read the (possibly stale) L2 copy.
+                            n.l2v[line as usize]
+                        } else {
+                            self.backing_version(&n, line)
+                        };
+                        n.l1[i] = L1::Valid(v);
+                        observed = Some(v);
+                        l1_hit = Some(false);
+                    }
+                }
+            }
+            Action::Store { sm, line } => {
+                if !self.can_write(s, line) {
+                    return None;
+                }
+                match self.coh() {
+                    CoherenceKind::Gpu => {
+                        if (s.sb[sm as usize].len() as u8) >= cfg.sb_cap {
+                            return None;
+                        }
+                        let v = self.take_version(&mut n, line);
+                        let i = self.idx(sm, line);
+                        // Write-through: update a resident copy in place
+                        // (it stays Valid); no allocation on a miss.
+                        if n.l1[i].resident() {
+                            n.l1[i] = if self.has(Mutation::GpuStoreAllocatesOwned) {
+                                L1::Owned(v)
+                            } else {
+                                L1::Valid(v)
+                            };
+                        } else if self.has(Mutation::GpuStoreAllocatesOwned) {
+                            n.l1[i] = L1::Owned(v);
+                        }
+                        n.sb[sm as usize].push(SbEntry {
+                            line,
+                            version: v,
+                            registration: false,
+                        });
+                    }
+                    CoherenceKind::DeNovo => {
+                        if s.owner[line as usize] == sm {
+                            // Already registered: pure local write.
+                            let v = self.take_version(&mut n, line);
+                            n.l1[self.idx(sm, line)] = L1::Owned(v);
+                        } else {
+                            if (s.sb[sm as usize].len() as u8) >= cfg.sb_cap {
+                                return None;
+                            }
+                            let v = self.take_version(&mut n, line);
+                            self.register(&mut n, sm, line, v);
+                        }
+                    }
+                }
+            }
+            Action::AtomicRet { sm, line } => {
+                if !self.atomic_enabled(s, sm, line, true) {
+                    return None;
+                }
+                if self.con() == ConsistencyModel::Drf0 {
+                    // Fence-paired: the acquire half self-invalidates
+                    // before the RMW executes (matching `sm.rs`, which
+                    // issues release-drain + acquire at the atomic).
+                    self.self_invalidate(&mut n, sm);
+                }
+                observed = Some(self.do_rmw(&mut n, sm, line));
+            }
+            Action::AtomicNr { sm, line } => {
+                if !self.atomic_enabled(s, sm, line, false) {
+                    return None;
+                }
+                match self.con() {
+                    ConsistencyModel::Drf0 => {
+                        self.self_invalidate(&mut n, sm);
+                        self.do_rmw(&mut n, sm, line);
+                    }
+                    _ => {
+                        // Issue into the atomic buffer; the RMW applies
+                        // later via `ApplyAtomic`.
+                        n.ab[sm as usize].push(line);
+                    }
+                }
+            }
+            Action::ApplyAtomic { sm, slot } => {
+                let buf = &s.ab[sm as usize];
+                if slot as usize >= buf.len() {
+                    return None;
+                }
+                // DRF1 keeps unpaired atomics program-ordered: only the
+                // oldest may complete.  DRFrlx lets any slot complete.
+                if self.con() != ConsistencyModel::DrfRlx && slot != 0 {
+                    return None;
+                }
+                let line = buf[slot as usize];
+                n.ab[sm as usize].remove(slot as usize);
+                self.do_rmw(&mut n, sm, line);
+            }
+            Action::DrainStore { sm } => {
+                if s.sb[sm as usize].is_empty() {
+                    return None;
+                }
+                let e = n.sb[sm as usize].remove(0);
+                if !e.registration {
+                    // Write-through reaches the L2.
+                    n.l2v[e.line as usize] = e.version;
+                }
+            }
+            Action::Acquire { sm } => {
+                self.self_invalidate(&mut n, sm);
+            }
+            Action::Release { sm } => {
+                // The release point: reached only once the store buffer
+                // has drained (or, with the seeded bug, regardless).
+                if !s.sb[sm as usize].is_empty() && !self.has(Mutation::ReleaseIgnoresPending) {
+                    return None;
+                }
+            }
+            Action::Evict { sm, line } => {
+                let i = self.idx(sm, line);
+                match s.l1[i] {
+                    L1::Invalid => return None,
+                    L1::Valid(_) => n.l1[i] = L1::Invalid,
+                    L1::Owned(v) => {
+                        // Owned victim: write back and unregister.
+                        if !self.has(Mutation::EvictDropsWriteback) {
+                            n.l2v[line as usize] = v;
+                        }
+                        if !self.has(Mutation::EvictKeepsRegistry) && s.owner[line as usize] == sm {
+                            n.owner[line as usize] = NO_OWNER;
+                        }
+                        n.l1[i] = L1::Invalid;
+                    }
+                }
+            }
+        }
+        Some(StepOutcome {
+            state: n,
+            observed,
+            l1_hit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ggs_sim::config::{CoherenceKind as Coh, ConsistencyModel as Con};
+
+    fn model(coh: Coh, con: Con) -> GridModel {
+        GridModel::new(ModelConfig::smoke(HwConfig::new(coh, con)))
+    }
+
+    #[test]
+    fn gpu_store_does_not_allocate() {
+        let m = model(Coh::Gpu, Con::Drf0);
+        let s0 = m.initial();
+        let s1 = m.step(&s0, Action::Store { sm: 0, line: 0 }).unwrap().state;
+        assert_eq!(s1.l1[0], L1::Invalid, "write-through must not allocate");
+        assert_eq!(s1.sb[0].len(), 1);
+        assert_eq!(s1.l2v[0], 0, "not visible until drained");
+        let s2 = m.step(&s1, Action::DrainStore { sm: 0 }).unwrap().state;
+        assert_eq!(s2.l2v[0], 1);
+    }
+
+    #[test]
+    fn denovo_store_registers_and_revokes() {
+        let m = model(Coh::DeNovo, Con::Drf1);
+        let s0 = m.initial();
+        let s1 = m.step(&s0, Action::Store { sm: 0, line: 0 }).unwrap().state;
+        assert_eq!(s1.owner[0], 0);
+        assert_eq!(s1.l1[m.idx(0, 0)], L1::Owned(1));
+        // A second writer steals ownership and invalidates the first.
+        let s2 = m.step(&s1, Action::Store { sm: 1, line: 0 }).unwrap().state;
+        assert_eq!(s2.owner[0], 1);
+        assert_eq!(s2.l1[m.idx(0, 0)], L1::Invalid);
+        assert_eq!(s2.l1[m.idx(1, 0)], L1::Owned(2));
+    }
+
+    #[test]
+    fn load_prefers_owner_copy() {
+        let m = model(Coh::DeNovo, Con::Drf1);
+        let s0 = m.initial();
+        let s1 = m.step(&s0, Action::Store { sm: 0, line: 0 }).unwrap().state;
+        // L2 still has version 0; the coherent read must see the owner's 1.
+        let out = m.step(&s1, Action::Load { sm: 1, line: 0 }).unwrap();
+        assert_eq!(out.observed, Some(1));
+        assert_eq!(out.l1_hit, Some(false));
+    }
+
+    #[test]
+    fn acquire_spares_owned_lines() {
+        let m = model(Coh::DeNovo, Con::Drf1);
+        let s0 = m.initial();
+        let s1 = m.step(&s0, Action::Store { sm: 0, line: 0 }).unwrap().state;
+        let s2 = m.step(&s1, Action::Load { sm: 0, line: 1 }).unwrap().state;
+        let s3 = m.step(&s2, Action::Acquire { sm: 0 }).unwrap().state;
+        assert_eq!(s3.l1[m.idx(0, 0)], L1::Owned(1), "owned survives");
+        assert_eq!(s3.l1[m.idx(0, 1)], L1::Invalid, "valid flashed");
+    }
+
+    #[test]
+    fn drf0_atomic_waits_for_drain() {
+        let m = model(Coh::Gpu, Con::Drf0);
+        let s0 = m.initial();
+        let s1 = m.step(&s0, Action::Store { sm: 0, line: 0 }).unwrap().state;
+        assert!(
+            m.step(&s1, Action::AtomicRet { sm: 0, line: 1 }).is_none(),
+            "paired atomic must wait for the release drain"
+        );
+        let s2 = m.step(&s1, Action::DrainStore { sm: 0 }).unwrap().state;
+        assert!(m.step(&s2, Action::AtomicRet { sm: 0, line: 1 }).is_some());
+    }
+
+    #[test]
+    fn drfrlx_applies_out_of_order() {
+        let m = model(Coh::Gpu, Con::DrfRlx);
+        let s0 = m.initial();
+        let s1 = m
+            .step(&s0, Action::AtomicNr { sm: 0, line: 0 })
+            .unwrap()
+            .state;
+        let s2 = m
+            .step(&s1, Action::AtomicNr { sm: 0, line: 1 })
+            .unwrap()
+            .state;
+        assert_eq!(s2.ab[0], vec![0, 1]);
+        // Relaxed: the younger atomic may complete first.
+        let s3 = m
+            .step(&s2, Action::ApplyAtomic { sm: 0, slot: 1 })
+            .unwrap()
+            .state;
+        assert_eq!(s3.l2v[1], 1);
+        assert_eq!(s3.l2v[0], 0);
+    }
+
+    #[test]
+    fn drf1_applies_in_order_only() {
+        let m = GridModel::new(ModelConfig {
+            hw: HwConfig::new(Coh::Gpu, Con::Drf1),
+            sms: 2,
+            lines: 2,
+            writes_per_line: 4,
+            sb_cap: 2,
+        });
+        let s0 = m.initial();
+        let s1 = m
+            .step(&s0, Action::AtomicNr { sm: 0, line: 0 })
+            .unwrap()
+            .state;
+        // Cap is 1 under DRF1: a second unpaired atomic cannot issue.
+        assert!(m.step(&s1, Action::AtomicNr { sm: 0, line: 1 }).is_none());
+        assert!(m
+            .step(&s1, Action::ApplyAtomic { sm: 0, slot: 0 })
+            .is_some());
+    }
+}

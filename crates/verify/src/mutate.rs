@@ -1,0 +1,137 @@
+//! Seeded protocol mutations for the checker self-test.
+//!
+//! Each variant plants one concrete protocol bug inside [`GridModel`]
+//! (see `model.rs` for where each hook fires).  The self-test demands
+//! that, for every mutation, at least one declared grid cell produces a
+//! counterexample — either an invariant violation found by the explorer
+//! or a forbidden litmus outcome — with a minimized witness schedule.
+//! A checker that cannot catch these bugs has no teeth.
+//!
+//! [`GridModel`]: crate::model::GridModel
+
+use ggs_sim::config::{CoherenceKind, ConsistencyModel, HwConfig};
+
+/// One seeded protocol bug.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mutation {
+    /// The acquire fence forgets to self-invalidate, leaving stale Valid
+    /// lines readable past the synchronization point.
+    DropInvalidation,
+    /// A DeNovo store fills its line Owned but never writes the owner
+    /// registry (a lost registration message).
+    SkipRegistration,
+    /// Ownership registration forgets to invalidate the previous owner's
+    /// copy, leaving two writable copies of the line.
+    SkipRevoke,
+    /// Evicting an Owned line writes the data back but the unregister
+    /// message is lost: the registry still names the evicting SM.
+    EvictKeepsRegistry,
+    /// Evicting an Owned line unregisters but the downgrade's data reply
+    /// is dropped: the L2 keeps its stale copy.
+    EvictDropsWriteback,
+    /// A GPU-coherence store allocates the line in Owned state, although
+    /// the protocol has no ownership (write-through, no-allocate).
+    GpuStoreAllocatesOwned,
+    /// The release point no longer waits for the store buffer to drain,
+    /// so a fence-paired atomic can publish before the data it guards.
+    ReleaseIgnoresPending,
+    /// A remote fetch is served from the (possibly stale) L2 copy instead
+    /// of the registered owner's L1.
+    StaleRemoteFill,
+    /// A DeNovo atomic executes on any resident copy without checking
+    /// ownership, losing the single-serialization-point guarantee.
+    AtomicOnStaleCopy,
+}
+
+impl Mutation {
+    /// Every seeded mutation, in catalog order.
+    pub const ALL: [Mutation; 9] = [
+        Mutation::DropInvalidation,
+        Mutation::SkipRegistration,
+        Mutation::SkipRevoke,
+        Mutation::EvictKeepsRegistry,
+        Mutation::EvictDropsWriteback,
+        Mutation::GpuStoreAllocatesOwned,
+        Mutation::ReleaseIgnoresPending,
+        Mutation::StaleRemoteFill,
+        Mutation::AtomicOnStaleCopy,
+    ];
+
+    /// Stable kebab-case name used in reports and witnesses.
+    pub fn name(self) -> &'static str {
+        match self {
+            Mutation::DropInvalidation => "drop-invalidation",
+            Mutation::SkipRegistration => "skip-registration",
+            Mutation::SkipRevoke => "skip-revoke",
+            Mutation::EvictKeepsRegistry => "evict-keeps-registry",
+            Mutation::EvictDropsWriteback => "evict-drops-writeback",
+            Mutation::GpuStoreAllocatesOwned => "gpu-store-allocates-owned",
+            Mutation::ReleaseIgnoresPending => "release-ignores-pending",
+            Mutation::StaleRemoteFill => "stale-remote-fill",
+            Mutation::AtomicOnStaleCopy => "atomic-on-stale-copy",
+        }
+    }
+
+    /// One-line description of the planted bug.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Mutation::DropInvalidation => "acquire skips flash self-invalidation",
+            Mutation::SkipRegistration => "store fills Owned without updating the registry",
+            Mutation::SkipRevoke => "registration leaves the previous owner's copy live",
+            Mutation::EvictKeepsRegistry => "owned eviction loses the unregister message",
+            Mutation::EvictDropsWriteback => "owned eviction loses the writeback data",
+            Mutation::GpuStoreAllocatesOwned => "GPU store allocates the line Owned",
+            Mutation::ReleaseIgnoresPending => "release proceeds with the store buffer full",
+            Mutation::StaleRemoteFill => "remote fetch served from stale L2, not the owner",
+            Mutation::AtomicOnStaleCopy => "atomic executes on an unowned resident copy",
+        }
+    }
+
+    /// Grid cells where detection is guaranteed (and demanded).  Each
+    /// mutation must be caught in *every* listed cell; cells where the
+    /// bug is masked by design (e.g. stale reads are legal between DRF1
+    /// synchronization points) are deliberately not listed.
+    pub fn cells(self) -> Vec<HwConfig> {
+        use CoherenceKind::*;
+        use ConsistencyModel::*;
+        let hw = HwConfig::new;
+        match self {
+            // Structural registry/ownership bugs: visible to the explorer
+            // under every consistency model of the affected protocol.
+            Mutation::SkipRegistration
+            | Mutation::SkipRevoke
+            | Mutation::EvictKeepsRegistry
+            | Mutation::EvictDropsWriteback => {
+                vec![hw(DeNovo, Drf0), hw(DeNovo, Drf1), hw(DeNovo, DrfRlx)]
+            }
+            Mutation::GpuStoreAllocatesOwned => {
+                vec![hw(Gpu, Drf0), hw(Gpu, Drf1), hw(Gpu, DrfRlx)]
+            }
+            // Acquire bugs: visible wherever an acquire fires, i.e. both
+            // protocols, any consistency model.
+            Mutation::DropInvalidation => vec![
+                hw(Gpu, Drf0),
+                hw(Gpu, Drf1),
+                hw(Gpu, DrfRlx),
+                hw(DeNovo, Drf0),
+                hw(DeNovo, Drf1),
+                hw(DeNovo, DrfRlx),
+            ],
+            // Ordering bugs: only a litmus test under a model that
+            // forbids the racy outcome can see them.
+            // Only GPU write-throughs have delayed visibility for the
+            // release to guard; DeNovo registration is structurally
+            // synchronous, so skipping the drain changes nothing
+            // observable in the timing-free model.
+            Mutation::ReleaseIgnoresPending => {
+                vec![hw(Gpu, Drf0), hw(Gpu, Drf1), hw(Gpu, DrfRlx)]
+            }
+            Mutation::StaleRemoteFill => {
+                vec![hw(DeNovo, Drf0), hw(DeNovo, Drf1), hw(DeNovo, DrfRlx)]
+            }
+            // Under DRF0 the fence-paired atomic self-invalidates before
+            // executing, which flushes the stale copy this bug needs.
+            Mutation::AtomicOnStaleCopy => vec![hw(DeNovo, Drf1), hw(DeNovo, DrfRlx)],
+        }
+    }
+}

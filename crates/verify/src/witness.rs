@@ -1,0 +1,162 @@
+//! Human-readable counterexample schedules.
+//!
+//! A [`Witness`] is the shortest action prefix (found by BFS, see
+//! `explore.rs`) that drives a model from reset into a state violating a
+//! protocol invariant, or through a litmus program to a forbidden
+//! outcome.  Rendering follows one rule: every line is something a
+//! person can replay by hand against `mem.rs`.
+//!
+//! The module also hosts [`AccessSite`], the shared "who touched what"
+//! renderer: `ggs-check`'s data-race reports use it to print the first
+//! concrete conflicting access pair, and witness schedules use it to
+//! print each step's actor/op/address triple in the same vocabulary.
+
+use std::fmt;
+
+use ggs_sim::config::HwConfig;
+
+use crate::model::Action;
+
+/// Who performed an access: a software thread (trace-level reports) or
+/// an SM (protocol-level witnesses).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Actor {
+    /// A software thread in a kernel trace.
+    Thread(u64),
+    /// A streaming multiprocessor in the protocol model.
+    Sm(u32),
+}
+
+/// One concrete memory access: actor, operation kind, and address (a
+/// byte address for trace reports, a line index for model witnesses).
+///
+/// This is the renderer shared between `ggs-check` race reports and
+/// ggs-verify witness schedules: both print conflicts as
+/// `thread 3 store @0x1a40` / `SM 1 load line 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AccessSite {
+    /// Who performed the access.
+    pub actor: Actor,
+    /// Operation kind (`"load"`, `"store"`, `"atomic"`, ...).
+    pub op: &'static str,
+    /// Byte address (threads) or line index (SMs).
+    pub addr: u64,
+}
+
+impl AccessSite {
+    /// Access by a kernel thread at a byte address.
+    pub fn thread(thread: u64, op: &'static str, addr: u64) -> Self {
+        AccessSite {
+            actor: Actor::Thread(thread),
+            op,
+            addr,
+        }
+    }
+
+    /// Access by an SM on a model line.
+    pub fn sm(sm: u32, op: &'static str, line: u64) -> Self {
+        AccessSite {
+            actor: Actor::Sm(sm),
+            op,
+            addr: line,
+        }
+    }
+}
+
+impl fmt::Display for AccessSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.actor {
+            Actor::Thread(t) => write!(f, "thread {t} {} @{:#x}", self.op, self.addr),
+            Actor::Sm(s) => write!(f, "SM {s} {} line {}", self.op, self.addr),
+        }
+    }
+}
+
+/// Render one model action as an [`AccessSite`]-flavoured step line.
+pub fn describe_action(a: Action) -> String {
+    match a {
+        Action::Load { sm, line } => AccessSite::sm(sm as u32, "load", line as u64).to_string(),
+        Action::Store { sm, line } => AccessSite::sm(sm as u32, "store", line as u64).to_string(),
+        Action::AtomicRet { sm, line } => {
+            AccessSite::sm(sm as u32, "atomic(ret)", line as u64).to_string()
+        }
+        Action::AtomicNr { sm, line } => {
+            AccessSite::sm(sm as u32, "atomic", line as u64).to_string()
+        }
+        Action::ApplyAtomic { sm, slot } => {
+            format!("SM {sm} apply buffered atomic [slot {slot}]")
+        }
+        Action::DrainStore { sm } => format!("SM {sm} drain store buffer (oldest entry)"),
+        Action::Acquire { sm } => format!("SM {sm} acquire (self-invalidate)"),
+        Action::Release { sm } => format!("SM {sm} release (store buffer drained)"),
+        Action::Evict { sm, line } => AccessSite::sm(sm as u32, "evict", line as u64).to_string(),
+    }
+}
+
+/// What a witness demonstrates.
+#[derive(Debug, Clone)]
+pub enum WitnessKind {
+    /// The final state violates a protocol invariant.
+    Invariant {
+        /// Invariant name (matches `ggs_sim::check::InvariantKind` names).
+        invariant: &'static str,
+        /// Concrete detail (which SM/line, what was expected).
+        detail: String,
+    },
+    /// A litmus program reached an outcome its consistency model forbids.
+    Litmus {
+        /// Litmus test name.
+        test: &'static str,
+        /// The forbidden observation tuple, in program order.
+        outcome: Vec<u8>,
+    },
+}
+
+/// A minimized counterexample: the shortest action schedule from reset
+/// that exhibits the violation, in a form the conformance bridge can
+/// replay against `mem.rs`.
+#[derive(Debug, Clone)]
+pub struct Witness {
+    /// Grid cell the schedule runs under.
+    pub cell: HwConfig,
+    /// The schedule, shortest-first by construction.
+    pub actions: Vec<Action>,
+    /// What the final state demonstrates.
+    pub kind: WitnessKind,
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            WitnessKind::Invariant { invariant, detail } => writeln!(
+                f,
+                "invariant `{invariant}` violated under {}: {detail}",
+                self.cell
+            )?,
+            WitnessKind::Litmus { test, outcome } => writeln!(
+                f,
+                "litmus `{test}` reached forbidden outcome {outcome:?} under {}",
+                self.cell
+            )?,
+        }
+        writeln!(f, "witness schedule ({} steps):", self.actions.len())?;
+        for (i, a) in self.actions.iter().enumerate() {
+            writeln!(f, "  {:>3}. {}", i + 1, describe_action(*a))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn site_renders_both_actor_kinds() {
+        assert_eq!(
+            AccessSite::thread(3, "store", 0x1a40).to_string(),
+            "thread 3 store @0x1a40"
+        );
+        assert_eq!(AccessSite::sm(1, "load", 0).to_string(), "SM 1 load line 0");
+    }
+}

@@ -1,0 +1,88 @@
+//! Randomized-schedule differential test (satellite of the ggs-verify
+//! tentpole): random *legal* schedules — action sequences in which every
+//! step is drawn from the clean model's enabled set — are replayed
+//! simultaneously through the [`ggs_verify::model::GridModel`] and the
+//! real `ggs_sim::mem::MemorySystem` via the conformance bridge, which
+//! compares every structural observable the two sides share (per-SM L1
+//! line states and the ownership registry) after every step and collects
+//! the implementation's own dynamic-checker verdicts.
+//!
+//! Where the exhaustive explorer proves the *model* safe within small
+//! bounds, this test continuously re-proves that the model and `mem.rs`
+//! are the *same protocol* on schedules nobody hand-picked.
+
+use proptest::prelude::*;
+
+use ggs_sim::config::HwConfig;
+use ggs_verify::bridge;
+use ggs_verify::model::{GridModel, ModelConfig, ProtocolModel};
+
+/// Walks the clean model from reset, resolving each random pick against
+/// the currently enabled action set, and returns the legal schedule it
+/// traced.
+fn legal_schedule(model: &GridModel, picks: &[u32]) -> Vec<ggs_verify::Action> {
+    let mut state = model.initial();
+    let mut schedule = Vec::with_capacity(picks.len());
+    let mut enabled = Vec::new();
+    for &p in picks {
+        enabled.clear();
+        model.enabled_actions(&state, &mut enabled);
+        if enabled.is_empty() {
+            break;
+        }
+        let a = enabled[p as usize % enabled.len()];
+        state = model
+            .step(&state, a)
+            .expect("enabled actions must step")
+            .state;
+        schedule.push(a);
+    }
+    schedule
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every cell of the grid: model and implementation agree on every
+    /// step of a random legal schedule, with zero dynamic-checker
+    /// violations and no divergence (divergence is only legitimate for
+    /// schedules minted by a *mutated* model).
+    #[test]
+    fn random_legal_schedules_agree_with_mem(
+        picks in prop::collection::vec(0u32..1_000_000, 1..48),
+    ) {
+        for hw in HwConfig::all() {
+            let cfg = ModelConfig::smoke(hw);
+            let schedule = legal_schedule(&GridModel::new(cfg), &picks);
+            let r = bridge::replay(&cfg, &schedule);
+            prop_assert!(
+                r.agreed(),
+                "cell {}: {r:?}\nschedule: {schedule:?}",
+                hw.code()
+            );
+            prop_assert_eq!(r.diverged_at, None);
+            prop_assert_eq!(r.steps_replayed, schedule.len());
+        }
+    }
+
+    /// The larger `full` bounds (3 SMs) agree too — this exercises
+    /// owner revocation between three parties, which the smoke bounds
+    /// cannot reach.
+    #[test]
+    fn random_three_sm_schedules_agree_with_mem(
+        picks in prop::collection::vec(0u32..1_000_000, 1..64),
+    ) {
+        for hw in HwConfig::all() {
+            let cfg = ModelConfig::full(hw);
+            let schedule = legal_schedule(&GridModel::new(cfg), &picks);
+            let r = bridge::replay(&cfg, &schedule);
+            prop_assert!(
+                r.agreed(),
+                "cell {}: {r:?}\nschedule: {schedule:?}",
+                hw.code()
+            );
+            prop_assert_eq!(r.diverged_at, None);
+            prop_assert_eq!(r.steps_replayed, schedule.len());
+        }
+    }
+}

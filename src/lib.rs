@@ -4,6 +4,8 @@
 //! types re-exported there; the per-crate modules remain available for
 //! everything else.
 
+#![forbid(unsafe_code)]
+
 pub use ggs_apps as apps;
 pub use ggs_core as core;
 pub use ggs_graph as graph;
