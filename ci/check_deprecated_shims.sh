@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Deprecation-shim gate for the Simulation builder API.
+#
+# `Simulation::with_tracer`, `Simulation::set_budget`, and
+# `Simulation::register_region` survive only as `#[deprecated]` shims
+# over `Simulation::builder` (see docs/api.md).  Clippy's `-D warnings`
+# already rejects *compiled* uses of deprecated items; this grep also
+# keeps them out of doc comments, markdown, and anything behind a
+# `#[allow(deprecated)]` that is not the shims' own coverage test.
+#
+# Allowed locations:
+#   - crates/sim/src/engine.rs        (the definitions and their test)
+#   - docs/api.md                     (the migration table)
+#   - this script
+#
+# `Sm::with_tracer` and `MemorySystem::with_tracer`/`register_region`/
+# `debug_*` are unrelated crate-internal constructors and plumbing the
+# DebugHooks handle delegates to, so only `Simulation::`-qualified paths
+# and `sim.`-receiver calls are matched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+pattern='Simulation::with_tracer|Simulation::set_budget|Simulation::register_region|Simulation::debug_force_owned|Simulation::debug_skip_next_invalidation|sim\.set_budget\(|sim\.register_region\(|sim\.debug_force_owned\(|sim\.debug_skip_next_invalidation\('
+
+hits=$(grep -rnE "$pattern" \
+        --include='*.rs' --include='*.md' \
+        crates src tests benches docs README.md DESIGN.md 2>/dev/null |
+    grep -v '^crates/sim/src/engine.rs:' |
+    grep -v '^docs/api.md:' || true)
+
+if [ -n "$hits" ]; then
+    echo "Deprecated Simulation shims referenced outside engine.rs / docs/api.md:"
+    echo "$hits"
+    echo
+    echo "Use Simulation::builder(params, hw).tracer(..).budget(..)" >&2
+    echo ".region(..).build() instead; fault injectors live on" >&2
+    echo "sim.debug_hooks() (check feature). See docs/api.md." >&2
+    exit 1
+fi
+echo "deprecated-shim check: clean"

@@ -187,7 +187,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
 /// The workload's address map: `(array name, base, bytes)` for every
 /// region its kernels touch, in the exact layout `generate` uses
 /// (deterministic). Feed these to
-/// [`ggs_sim::Simulation::register_region`] for per-data-structure
+/// [`ggs_sim::SimulationBuilder::region`] for per-data-structure
 /// attribution.
 pub fn memory_map(graph: &Csr) -> Vec<(String, u64, u64)> {
     let mut space = AddressSpace::new(64);

@@ -264,11 +264,11 @@ pub fn run_protocol_checked(
 ) -> Vec<ProtocolViolation> {
     let graph = with_weights(app, graph);
     let workload = Workload::new(app, &graph);
-    let mut sim = Simulation::new(params.clone(), hw);
-    sim.enable_protocol_checker();
+    let mut builder = Simulation::builder(params.clone(), hw).checker();
     for (name, base, bytes) in workload.memory_map() {
-        sim.register_region(name, base, bytes);
+        builder = builder.region(name, base, bytes);
     }
+    let mut sim = builder.build();
     workload.generate(prop, TB_SIZE, &mut |kernel| sim.run_kernel(kernel));
     sim.audit_protocol();
     sim.take_protocol_violations()

@@ -111,7 +111,7 @@ fn injected_broken_ownership_is_caught() {
 
     // Thread 0's store registered line 0x1000>>6 to SM 0; plant the
     // same line Owned in SM 1.
-    sim.debug_force_owned(1, 0x1000 >> 6);
+    sim.debug_hooks().force_owned(1, 0x1000 >> 6);
     sim.audit_protocol();
     let violations = sim.take_protocol_violations();
     assert!(
@@ -139,7 +139,7 @@ fn injected_skipped_invalidation_is_caught() {
     sim.run_kernel(&touch_kernel(8));
     assert_eq!(sim.take_protocol_violations(), Vec::new());
 
-    sim.debug_skip_next_invalidation();
+    sim.debug_hooks().skip_next_invalidation();
     sim.run_kernel(&touch_kernel(8));
     let violations = sim.take_protocol_violations();
     assert!(
@@ -162,7 +162,7 @@ fn injected_gpu_ownership_is_caught() {
         HwConfig::new(CoherenceKind::Gpu, ConsistencyModel::DrfRlx),
     );
     sim.enable_protocol_checker();
-    sim.debug_force_owned(3, 0x77);
+    sim.debug_hooks().force_owned(3, 0x77);
     sim.audit_protocol();
     let violations = sim.take_protocol_violations();
     assert!(

@@ -213,7 +213,9 @@ pub fn run_workload_traced(
     } else {
         graph
     };
-    let mut sim = Simulation::with_tracer(spec.params.clone(), config.hw(), tracer);
+    let mut sim = Simulation::builder(spec.params.clone(), config.hw())
+        .tracer(tracer)
+        .build();
     let tb = spec.params.tb_size;
     Workload::new(app, graph).generate(config.propagation, tb, &mut |kernel| {
         sim.run_kernel(kernel);
@@ -222,10 +224,11 @@ pub fn run_workload_traced(
 }
 
 /// Watchdog-guarded variant of [`run_workload_traced`]: the spec's
-/// [`SimBudget`] and an optional wall-clock `deadline` are enforced at
-/// kernel boundaries. Once either trips, remaining kernels are skipped
-/// (the generator itself cannot be interrupted mid-kernel) and the run
-/// is reported as [`GgsError::Budget`] / [`GgsError::Deadline`] instead
+/// [`SimBudget`] and an optional wall-clock `deadline` are enforced
+/// inside the engine — cycle limits at the exact breach cycle and the
+/// deadline mid-kernel, so even a single hung kernel is abandoned.
+/// Once either trips, remaining kernels are skipped and the run is
+/// reported as [`GgsError::Budget`] / [`GgsError::Deadline`] instead
 /// of returning partial statistics.
 pub fn run_workload_budgeted(
     app: AppKind,
@@ -243,33 +246,30 @@ pub fn run_workload_budgeted(
     } else {
         graph
     };
-    let mut sim = Simulation::with_tracer(spec.params.clone(), config.hw(), tracer);
-    sim.set_budget(spec.budget);
+    let mut budget = spec.budget;
+    budget.deadline = deadline.or(budget.deadline);
+    let mut sim = Simulation::builder(spec.params.clone(), config.hw())
+        .tracer(tracer)
+        .budget(budget)
+        .build();
     let started = Instant::now();
-    let mut deadline_hit = false;
     let tb = spec.params.tb_size;
     Workload::new(app, graph).generate(config.propagation, tb, &mut |kernel| {
-        if deadline_hit || sim.budget_exhausted() {
+        if sim.budget_exhausted() {
             return;
-        }
-        if let Some(d) = deadline {
-            if Instant::now() >= d {
-                deadline_hit = true;
-                return;
-            }
         }
         sim.run_kernel(kernel);
     });
-    if let Some(breach) = sim.budget_breach() {
-        return Err(GgsError::Budget(breach));
+    match sim.budget_breach() {
+        Some(ggs_sim::BudgetBreach::Deadline { .. }) => {
+            let limit_ms = deadline
+                .map(|d| d.saturating_duration_since(started).as_millis() as u64)
+                .unwrap_or(0);
+            Err(GgsError::Deadline { limit_ms })
+        }
+        Some(breach) => Err(GgsError::Budget(breach)),
+        None => Ok(sim.finish()),
     }
-    if deadline_hit {
-        let limit_ms = deadline
-            .map(|d| d.saturating_duration_since(started).as_millis() as u64)
-            .unwrap_or(0);
-        return Err(GgsError::Deadline { limit_ms });
-    }
-    Ok(sim.finish())
 }
 
 fn check_supported(app: AppKind, config: SystemConfig) -> Result<(), GgsError> {
@@ -318,11 +318,12 @@ pub fn run_workload_profiled_traced(
     } else {
         graph
     };
-    let mut sim = Simulation::with_tracer(spec.params.clone(), config.hw(), tracer);
     let workload = Workload::new(app, graph);
+    let mut builder = Simulation::builder(spec.params.clone(), config.hw()).tracer(tracer);
     for (name, base, bytes) in workload.memory_map() {
-        sim.register_region(name, base, bytes);
+        builder = builder.region(name, base, bytes);
     }
+    let mut sim = builder.build();
     workload.generate(config.propagation, spec.params.tb_size, &mut |kernel| {
         sim.run_kernel(kernel);
     });

@@ -842,8 +842,9 @@ fn run_hang(
     deadline: Option<Instant>,
 ) -> Result<ggs_sim::ExecStats, GgsError> {
     const FAILSAFE_KERNELS: u64 = 4096;
-    let mut sim = Simulation::with_tracer(spec.params.clone(), cell.config.hw(), Tracer::off());
-    sim.set_budget(spec.budget);
+    let mut sim = Simulation::builder(spec.params.clone(), cell.config.hw())
+        .budget(spec.budget)
+        .build();
     let started = Instant::now();
     let threads: Vec<Vec<MicroOp>> = (0..32).map(|_| vec![MicroOp::compute(64)]).collect();
     let kernel = KernelTrace::new(threads, spec.params.tb_size);

@@ -37,19 +37,42 @@ pub struct Eviction {
     pub state: LineState,
 }
 
-/// Packed per-way metadata: state in the low 2 bits, the fill epoch
-/// (for `VALID` ways) in the high 62. An `OWNED` way stores exactly
-/// `OWNED` (epoch bits zero), so residency is at most two full-word
-/// compares: `meta == OWNED || meta == (epoch << 2 | VALID)`.
+/// Packed per-way word: `tag << 24 | epoch << 2 | state`. The tag is
+/// the line number (40 bits — addresses below 2^46 with 64-byte
+/// lines), the epoch (22 bits, for `VALID` ways) is the flash-
+/// invalidation generation the way was filled in, and the state sits
+/// in the low 2 bits. An `OWNED` way stores epoch bits zero. Residency
+/// *and* the tag match are therefore two full-word compares against
+/// constants built once per probe — the whole set scan touches one
+/// 64-bit word per way, so an 8-way set is a single host cache line
+/// instead of the three parallel arrays it used to straddle.
 const EMPTY: u64 = 0;
 const VALID: u64 = 1;
 const OWNED: u64 = 2;
 const STATE_BITS: u32 = 2;
+const EPOCH_BITS: u32 = 22;
+const TAG_SHIFT: u32 = STATE_BITS + EPOCH_BITS;
+/// Epoch value at which [`Cache::rescrub`] renumbers in-place (leaving
+/// headroom so `epoch + 1` never overflows the field).
+const EPOCH_MAX: u64 = (1 << EPOCH_BITS) - 1;
+/// Largest representable line number (40 tag bits).
+const TAG_LIMIT: u64 = 1 << (64 - TAG_SHIFT);
 
-/// The `meta` word of a live `VALID` way under `epoch`.
+/// The packed word of a live way holding `line`: `VALID` under `epoch`,
+/// or `OWNED` (whose epoch bits are zero).
 #[inline]
-const fn valid_meta(epoch: u64) -> u64 {
-    (epoch << STATE_BITS) | VALID
+const fn valid_word(line: u64, epoch: u64) -> u64 {
+    (line << TAG_SHIFT) | (epoch << STATE_BITS) | VALID
+}
+
+#[inline]
+const fn owned_word(line: u64) -> u64 {
+    (line << TAG_SHIFT) | OWNED
+}
+
+#[inline]
+const fn tag_of(word: u64) -> u64 {
+    word >> TAG_SHIFT
 }
 
 /// A victim way reserved by a [`Cache::lookup_or_victim`] miss, to be
@@ -81,13 +104,13 @@ pub struct VictimWay {
 pub struct Cache {
     sets: u64,
     ways: usize,
-    tags: Vec<u64>,
-    /// Per-way packed state + fill epoch (see [`valid_meta`]); a
+    /// Per-way packed tag + epoch + state (see [`valid_word`]); a
     /// `VALID` way whose epoch predates `epoch` is stale.
-    meta: Vec<u64>,
+    words: Vec<u64>,
     stamps: Vec<u64>,
     clock: u64,
-    /// Current flash-invalidation epoch.
+    /// Current flash-invalidation epoch (starts at 1 so a live `VALID`
+    /// word is never all-zero-epoch like `EMPTY`).
     epoch: u64,
     /// Number of non-stale `VALID` ways (incremental, so flash
     /// invalidation can report its count without scanning).
@@ -107,11 +130,10 @@ impl Cache {
         Self {
             sets,
             ways,
-            tags: vec![0; n],
-            meta: vec![EMPTY; n],
+            words: vec![EMPTY; n],
             stamps: vec![0; n],
             clock: 0,
-            epoch: 0,
+            epoch: 1,
             valid_count: 0,
         }
     }
@@ -141,17 +163,32 @@ impl Cache {
         set * self.ways..(set + 1) * self.ways
     }
 
+    /// Panics on line numbers the 40-bit packed tag cannot represent;
+    /// every entry point taking a line number funnels through this so a
+    /// too-large line can never silently alias a resident tag.
+    #[inline]
+    fn check_line(line: u64) {
+        assert!(
+            line < TAG_LIMIT,
+            "line number {line:#x} exceeds 40 tag bits"
+        );
+    }
+
     /// Whether way `i` holds a live line (an `OWNED` way, or a `VALID`
     /// way filled in the current epoch).
     #[inline]
     fn resident(&self, i: usize) -> bool {
-        let m = self.meta[i];
-        m == OWNED || m == valid_meta(self.epoch)
+        let w = self.words[i];
+        match w & 0b11 {
+            OWNED => true,
+            VALID => w == valid_word(tag_of(w), self.epoch),
+            _ => false,
+        }
     }
 
     #[inline]
     fn state_of(&self, i: usize) -> LineState {
-        if self.meta[i] == OWNED {
+        if self.words[i] & 0b11 == OWNED {
             LineState::Owned
         } else {
             LineState::Valid
@@ -159,15 +196,18 @@ impl Cache {
     }
 
     /// Finds the way within `range` holding `line`, if it is resident.
-    /// Scans zipped subslices so the compiler drops per-way bounds
-    /// checks (this is the innermost loop of the whole simulator).
+    /// Scans a subslice of packed words so the compiler drops per-way
+    /// bounds checks and the whole probe is two compares per way
+    /// against one loaded word (this is the innermost loop of the whole
+    /// simulator).
     #[inline]
     fn find_way(&self, range: &std::ops::Range<usize>, line: u64) -> Option<usize> {
-        let live = valid_meta(self.epoch);
-        let tags = &self.tags[range.clone()];
-        let metas = &self.meta[range.clone()];
-        for (w, (&t, &m)) in tags.iter().zip(metas).enumerate() {
-            if t == line && (m == OWNED || m == live) {
+        Self::check_line(line);
+        let live = valid_word(line, self.epoch);
+        let owned = owned_word(line);
+        let words = &self.words[range.clone()];
+        for (w, &word) in words.iter().enumerate() {
+            if word == live || word == owned {
                 return Some(range.start + w);
             }
         }
@@ -189,44 +229,52 @@ impl Cache {
         Some(self.state_of(i))
     }
 
-    /// Writes `state` into way `i`, keeping the valid-way count and
-    /// epoch tag coherent with the way's previous contents.
+    /// Writes `line` in `state` into way `i`, keeping the valid-way
+    /// count and epoch tag coherent with the way's previous contents.
     #[inline]
-    fn write_way(&mut self, i: usize, state: LineState) {
-        if self.meta[i] == valid_meta(self.epoch) {
+    fn write_way(&mut self, i: usize, line: u64, state: LineState) {
+        let w = self.words[i];
+        if w & 0b11 == VALID && w == valid_word(tag_of(w), self.epoch) {
             self.valid_count -= 1;
         }
         match state {
             LineState::Valid => {
-                self.meta[i] = valid_meta(self.epoch);
+                self.words[i] = valid_word(line, self.epoch);
                 self.valid_count += 1;
             }
-            LineState::Owned => self.meta[i] = OWNED,
+            LineState::Owned => self.words[i] = owned_word(line),
         }
     }
 
-    /// One read-only pass over a set: the hit way for `line` if resident,
-    /// otherwise the LRU victim (first dead way in scan order wins; a
-    /// resident way always has a non-zero stamp, so `victim_stamp == 0`
-    /// marks a dead victim).
+    /// The hit way for `line` if resident, otherwise the LRU victim
+    /// (first dead way in scan order wins; a resident way always has a
+    /// non-zero stamp, so `victim_stamp == 0` marks a dead victim).
+    ///
+    /// The probe is two passes: a pure hit scan touching only the packed
+    /// words (the common case — the L2 hits ~95% of the time — pays for
+    /// no LRU stamps at all), then a victim scan over words + stamps
+    /// only when the hit scan came up empty. The victim chosen is
+    /// identical to a single fused pass: the hit check cannot match
+    /// during the second pass, so the victim fold sees the same
+    /// sequence either way.
     #[inline]
     fn find_way_or_victim(
         &self,
         range: &std::ops::Range<usize>,
         line: u64,
     ) -> (Option<usize>, usize, u64) {
-        let live = valid_meta(self.epoch);
-        let tags = &self.tags[range.clone()];
-        let metas = &self.meta[range.clone()];
+        if let Some(i) = self.find_way(range, line) {
+            return (Some(i), 0, u64::MAX);
+        }
+        let epoch_bits = self.epoch << STATE_BITS;
+        let words = &self.words[range.clone()];
         let stamps = &self.stamps[range.clone()];
         let mut victim = 0usize;
         let mut victim_stamp = u64::MAX;
-        let ways = tags.iter().zip(metas).zip(stamps).enumerate();
-        for (w, ((&t, &m), &st)) in ways {
-            let resident = m == OWNED || m == live;
-            if resident && t == line {
-                return (Some(range.start + w), 0, u64::MAX);
-            }
+        for (w, (&word, &st)) in words.iter().zip(stamps).enumerate() {
+            let resident = word & 0b11 == OWNED
+                || (word & 0b11 == VALID
+                    && word & ((EPOCH_MAX << STATE_BITS) | 0b11) == epoch_bits | VALID);
             if !resident {
                 if victim_stamp != 0 {
                     victim = w;
@@ -247,16 +295,15 @@ impl Cache {
         self.clock += 1;
         let (hit, victim, victim_stamp) = self.find_way_or_victim(&self.set_range(line), line);
         if let Some(i) = hit {
-            self.write_way(i, state);
+            self.write_way(i, line, state);
             self.stamps[i] = self.clock;
             return None;
         }
         let evicted = (victim_stamp != 0).then(|| Eviction {
-            line: self.tags[victim],
+            line: tag_of(self.words[victim]),
             state: self.state_of(victim),
         });
-        self.tags[victim] = line;
-        self.write_way(victim, state);
+        self.write_way(victim, line, state);
         self.stamps[victim] = self.clock;
         evicted
     }
@@ -288,11 +335,10 @@ impl Cache {
     pub fn fill_victim(&mut self, v: VictimWay, line: u64, state: LineState) -> Option<Eviction> {
         self.clock += 1;
         let evicted = (v.stamp != 0).then(|| Eviction {
-            line: self.tags[v.way],
+            line: tag_of(self.words[v.way]),
             state: self.state_of(v.way),
         });
-        self.tags[v.way] = line;
-        self.write_way(v.way, state);
+        self.write_way(v.way, line, state);
         self.stamps[v.way] = self.clock;
         evicted
     }
@@ -312,19 +358,15 @@ impl Cache {
             self.stamps[i] = self.clock;
             return true;
         }
-        self.tags[victim] = line;
-        self.write_way(victim, LineState::Valid);
+        self.write_way(victim, line, LineState::Valid);
         self.stamps[victim] = self.clock;
         false
     }
 
     /// Changes the state of a resident line; no-op if absent.
     pub fn set_state(&mut self, line: u64, state: LineState) {
-        for i in self.set_range(line) {
-            if self.tags[i] == line && self.resident(i) {
-                self.write_way(i, state);
-                return;
-            }
+        if let Some(i) = self.find_way(&self.set_range(line), line) {
+            self.write_way(i, line, state);
         }
     }
 
@@ -332,10 +374,10 @@ impl Cache {
     pub fn invalidate(&mut self, line: u64) -> Option<LineState> {
         let i = self.find_way(&self.set_range(line), line)?;
         let prior = self.state_of(i);
-        if self.meta[i] != OWNED {
+        if self.words[i] & 0b11 != OWNED {
             self.valid_count -= 1;
         }
-        self.meta[i] = EMPTY;
+        self.words[i] = EMPTY;
         Some(prior)
     }
 
@@ -348,7 +390,25 @@ impl Cache {
         let n = self.valid_count;
         self.valid_count = 0;
         self.epoch += 1;
+        if self.epoch == EPOCH_MAX {
+            self.rescrub();
+        }
         n
+    }
+
+    /// Epoch-space rollover (every `EPOCH_MAX - 1` flash
+    /// invalidations): immediately after the epoch bump every `VALID`
+    /// way is stale by definition, so clear them all and restart the
+    /// epoch clock. Amortized to nothing; keeps the 22-bit packed
+    /// epoch exact over arbitrarily long simulations.
+    #[cold]
+    fn rescrub(&mut self) {
+        for w in &mut self.words {
+            if *w & 0b11 == VALID {
+                *w = EMPTY;
+            }
+        }
+        self.epoch = 1;
     }
 
     /// Iterates over every resident line as `(line, state)` pairs. The
@@ -356,19 +416,19 @@ impl Cache {
     /// order. Used by the `check` feature's protocol auditor to scan L1
     /// contents without disturbing LRU state.
     pub fn resident_lines(&self) -> impl Iterator<Item = (u64, LineState)> + '_ {
-        (0..self.tags.len())
+        (0..self.words.len())
             .filter(|&i| self.resident(i))
-            .map(|i| (self.tags[i], self.state_of(i)))
+            .map(|i| (tag_of(self.words[i]), self.state_of(i)))
     }
 
     /// Number of resident lines (any state).
     pub fn occupancy(&self) -> usize {
-        (0..self.meta.len()).filter(|&i| self.resident(i)).count()
+        (0..self.words.len()).filter(|&i| self.resident(i)).count()
     }
 
     /// Total capacity in lines.
     pub fn capacity_lines(&self) -> usize {
-        self.meta.len()
+        self.words.len()
     }
 }
 

@@ -19,11 +19,11 @@
 //!
 //! The checker is compiled in only under the `check` feature and
 //! enabled at runtime ([`crate::Simulation::enable_protocol_checker`]),
-//! so ordinary timing runs pay nothing. Fault injectors
-//! ([`crate::Simulation::debug_force_owned`],
-//! [`crate::Simulation::debug_skip_next_invalidation`]) let tests prove
-//! the checker actually fires — a checker that cannot fail certifies
-//! nothing.
+//! so ordinary timing runs pay nothing. Fault injectors on the
+//! [`crate::DebugHooks`] handle ([`crate::DebugHooks::force_owned`],
+//! [`crate::DebugHooks::skip_next_invalidation`], obtained via
+//! [`crate::Simulation::debug_hooks`]) let tests prove the checker
+//! actually fires — a checker that cannot fail certifies nothing.
 
 use std::fmt;
 

@@ -1,52 +1,78 @@
-//! The whole-GPU simulation engine: block dispatch, interleaved SM
-//! execution, kernel sequencing, and statistics aggregation.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! The whole-GPU simulation engine: block dispatch, event-driven SM
+//! scheduling over a calendar wheel, kernel sequencing, and statistics
+//! aggregation.
+//!
+//! # Event-driven core
+//!
+//! The engine does not step every SM every cycle. Each SM runs ahead on
+//! its own local clock for up to `QUANTUM_CYCLES`, then *parks*: its
+//! next wake-up — the earliest `ready_at` of its warps, which is a
+//! memory/NoC completion time whenever every warp is memory-stalled —
+//! is scheduled on a [`CalendarWheel`] at an absolute cycle. Popping
+//! the wheel resumes the SM whose wake-up is earliest (ties by SM id),
+//! so when every SM is parked the global clock skips directly to the
+//! next ready event instead of idling through empty cycles. MSHR,
+//! store-buffer, and outstanding-atomic back-pressure is tracked by the
+//! [`crate::events::CompletionRing`]s inside [`MemorySystem`]; their
+//! completion times are what warp `ready_at` values (and therefore SM
+//! wake-ups) are made of. See `docs/performance.md` for why this
+//! reproduces the stepped loop's statistics bit-exactly.
 
 use crate::config::HwConfig;
+use crate::events::CalendarWheel;
 use crate::mem::MemorySystem;
 use crate::params::SystemParams;
 use crate::sm::{Sm, Step};
 use crate::stats::{ExecStats, StallClass};
 use crate::trace::KernelTrace;
 use ggs_trace::{TraceEvent, Tracer};
+use std::time::Instant;
 
 /// How far one SM may run ahead of the globally-earliest SM before
 /// yielding (keeps shared-state updates near global time order while
 /// amortizing scheduling overhead).
 const QUANTUM_CYCLES: u64 = 256;
 
-/// Watchdog limits on a simulation, enforced at kernel-launch
-/// boundaries.
+/// How many wheel events may elapse between wall-clock deadline checks
+/// (`Instant::now` is cheap but not free; a power of two keeps the
+/// check branch-predictable).
+const DEADLINE_CHECK_EVERY: u32 = 64;
+
+/// Watchdog limits on a simulation.
 ///
 /// Long-running sweeps (the 36-workload study) use budgets to bound
 /// non-converging dynamic workloads and oversized inputs: once a limit
-/// is breached the simulation refuses further kernels instead of
-/// running away, and the caller observes
-/// [`Simulation::budget_exhausted`]. `None` means unlimited (the
-/// default), so existing callers are unaffected.
+/// is breached the simulation stops *at the limit* and refuses further
+/// kernels, and the caller observes [`Simulation::budget_exhausted`].
+/// `None` means unlimited (the default), so existing callers are
+/// unaffected.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimBudget {
     /// Maximum number of kernels (≈ algorithm iterations for the
     /// level-synchronous graph apps) the simulation may execute.
     pub max_kernels: Option<u64>,
-    /// Maximum simulated GPU cycles. Checked before and after each
-    /// kernel; one kernel may overshoot the limit, but no further
-    /// kernel starts once it is reached.
+    /// Maximum simulated GPU cycles. Enforced *exactly*: SM clocks are
+    /// clamped to the limit, so the simulation stops at the breach
+    /// cycle itself even though the engine skips idle cycles.
     pub max_cycles: Option<u64>,
+    /// Wall-clock deadline. Checked inside the engine's event loop
+    /// (every `DEADLINE_CHECK_EVERY` wheel events) and at kernel
+    /// boundaries, so a hung kernel is abandoned mid-flight instead of
+    /// running to completion first.
+    pub deadline: Option<Instant>,
 }
 
 impl SimBudget {
-    /// The unlimited budget (both limits absent).
+    /// The unlimited budget (all limits absent).
     pub const UNLIMITED: SimBudget = SimBudget {
         max_kernels: None,
         max_cycles: None,
+        deadline: None,
     };
 
     /// Whether any limit is configured.
     pub fn is_limited(&self) -> bool {
-        self.max_kernels.is_some() || self.max_cycles.is_some()
+        self.max_kernels.is_some() || self.max_cycles.is_some() || self.deadline.is_some()
     }
 }
 
@@ -60,11 +86,17 @@ pub enum BudgetBreach {
         /// Kernels executed when the breach was detected.
         reached: u64,
     },
-    /// The simulated-cycle limit was reached.
+    /// The simulated-cycle limit was reached. The clock is clamped to
+    /// the limit, so `reached == limit` exactly.
     Cycles {
         /// Configured limit.
         limit: u64,
         /// Simulated clock when the breach was detected.
+        reached: u64,
+    },
+    /// The wall-clock deadline expired.
+    Deadline {
+        /// Simulated clock when the deadline was observed expired.
         reached: u64,
     },
 }
@@ -79,6 +111,97 @@ impl std::fmt::Display for BudgetBreach {
                 f,
                 "simulated-cycle budget exhausted: {reached} of at most {limit}"
             ),
+            BudgetBreach::Deadline { reached } => write!(
+                f,
+                "wall-clock deadline exhausted at simulated cycle {reached}"
+            ),
+        }
+    }
+}
+
+/// Fluent constructor for [`Simulation`]: tracer, budget, address
+/// regions, and (under the `check` feature) the protocol checker are
+/// all fixed before the first kernel runs, replacing the former
+/// construct-then-mutate sequence.
+///
+/// ```
+/// use ggs_sim::config::{CoherenceKind, ConsistencyModel, HwConfig};
+/// use ggs_sim::engine::{SimBudget, Simulation};
+/// use ggs_sim::params::SystemParams;
+///
+/// let hw = HwConfig::new(CoherenceKind::Gpu, ConsistencyModel::Drf0);
+/// let sim = Simulation::builder(SystemParams::default(), hw)
+///     .budget(SimBudget {
+///         max_kernels: Some(64),
+///         ..SimBudget::UNLIMITED
+///     })
+///     .region("ranks", 0x1000, 4096)
+///     .build();
+/// assert!(sim.budget().is_limited());
+/// ```
+#[derive(Debug)]
+pub struct SimulationBuilder<'t> {
+    params: SystemParams,
+    hw: HwConfig,
+    tracer: Tracer<'t>,
+    budget: SimBudget,
+    regions: Vec<(String, u64, u64)>,
+    #[cfg(feature = "check")]
+    checker: bool,
+}
+
+impl<'t> SimulationBuilder<'t> {
+    /// Injects a trace sink handle. The engine, every SM, and the
+    /// memory system emit structured events to it (see
+    /// [`ggs_trace::TraceEvent`] for the schema).
+    pub fn tracer(mut self, tracer: Tracer<'t>) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Installs a watchdog budget (see [`SimBudget`]). Limits apply to
+    /// the simulation's cumulative kernel count and clock, not per
+    /// kernel.
+    pub fn budget(mut self, budget: SimBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Registers a named address region for per-data-structure
+    /// attribution (GSI-style; see [`crate::stats::RegionStats`]).
+    /// May be called once per region.
+    pub fn region(mut self, name: impl Into<String>, base: u64, bytes: u64) -> Self {
+        self.regions.push((name.into(), base, bytes));
+        self
+    }
+
+    /// Enables the dynamic protocol invariant checker from the first
+    /// kernel (see [`crate::check`]).
+    #[cfg(feature = "check")]
+    pub fn checker(mut self) -> Self {
+        self.checker = true;
+        self
+    }
+
+    /// Builds the simulation.
+    pub fn build(self) -> Simulation<'t> {
+        let mut mem = MemorySystem::with_tracer(&self.params, self.hw, self.tracer);
+        for (name, base, bytes) in self.regions {
+            mem.register_region(name, base, bytes);
+        }
+        #[cfg(feature = "check")]
+        if self.checker {
+            mem.enable_protocol_checker();
+        }
+        Simulation {
+            params: self.params,
+            hw: self.hw,
+            mem,
+            stats: ExecStats::default(),
+            clock: 0,
+            tracer: self.tracer,
+            budget: self.budget,
+            breach: None,
         }
     }
 }
@@ -90,7 +213,9 @@ impl std::fmt::Display for BudgetBreach {
 /// [`Simulation::run_kernel`] calls, as they do on the simulated machine;
 /// call [`Simulation::finish`] to retrieve the final [`ExecStats`].
 ///
-/// See the crate-level documentation for an end-to-end example.
+/// Construct via [`Simulation::new`] (bare) or [`Simulation::builder`]
+/// (tracer, budget, regions, checker). See the crate-level
+/// documentation for an end-to-end example.
 ///
 /// The lifetime parameter is the borrow of an injected
 /// [`ggs_trace::TraceSink`]; [`Simulation::new`] leaves tracing off and
@@ -109,32 +234,43 @@ pub struct Simulation<'t> {
 
 impl<'t> Simulation<'t> {
     /// Creates a simulation of `params` hardware under configuration
-    /// `hw`, with tracing off.
+    /// `hw`, with tracing off and no budget — the same as
+    /// `Simulation::builder(params, hw).build()`.
     pub fn new(params: SystemParams, hw: HwConfig) -> Self {
-        Self::with_tracer(params, hw, Tracer::off())
+        Self::builder(params, hw).build()
     }
 
-    /// Creates a simulation with an injected trace sink handle. The
-    /// engine, every SM, and the memory system emit structured events to
-    /// it (see [`ggs_trace::TraceEvent`] for the schema).
-    pub fn with_tracer(params: SystemParams, hw: HwConfig, tracer: Tracer<'t>) -> Self {
-        let mem = MemorySystem::with_tracer(&params, hw, tracer);
-        Self {
+    /// Starts building a simulation of `params` hardware under
+    /// configuration `hw` (see [`SimulationBuilder`]).
+    pub fn builder(params: SystemParams, hw: HwConfig) -> SimulationBuilder<'t> {
+        SimulationBuilder {
             params,
             hw,
-            mem,
-            stats: ExecStats::default(),
-            clock: 0,
-            tracer,
+            tracer: Tracer::off(),
             budget: SimBudget::UNLIMITED,
-            breach: None,
+            regions: Vec::new(),
+            #[cfg(feature = "check")]
+            checker: false,
         }
+    }
+
+    /// Creates a simulation with an injected trace sink handle.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Simulation::builder(params, hw).tracer(tracer).build()`"
+    )]
+    pub fn with_tracer(params: SystemParams, hw: HwConfig, tracer: Tracer<'t>) -> Self {
+        Self::builder(params, hw).tracer(tracer).build()
     }
 
     /// Installs a watchdog budget. Limits apply to the simulation's
     /// cumulative kernel count and clock (not per kernel), take effect
     /// from the next [`Simulation::run_kernel`] call, and replace any
     /// previously-set budget (a previously-latched breach is kept).
+    #[deprecated(
+        since = "0.1.0",
+        note = "set the budget at construction: `Simulation::builder(params, hw).budget(b).build()`"
+    )]
     pub fn set_budget(&mut self, budget: SimBudget) {
         self.budget = budget;
     }
@@ -157,7 +293,9 @@ impl<'t> Simulation<'t> {
     }
 
     /// Latches a breach if the budget is exceeded at the current clock /
-    /// kernel count. Called at kernel boundaries.
+    /// kernel count / wall time. Called at kernel boundaries (the cycle
+    /// and deadline limits are additionally enforced inside the event
+    /// loop, so `reached` is exact under cycle-skipping).
     fn check_budget(&mut self) {
         if self.breach.is_some() {
             return;
@@ -177,12 +315,20 @@ impl<'t> Simulation<'t> {
                     limit,
                     reached: self.clock,
                 });
+                return;
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if Instant::now() >= deadline {
+                self.breach = Some(BudgetBreach::Deadline {
+                    reached: self.clock,
+                });
             }
         }
     }
 
-    /// The injected trace handle (off unless constructed via
-    /// [`Simulation::with_tracer`]).
+    /// The injected trace handle (off unless one was passed to
+    /// [`SimulationBuilder::tracer`]).
     pub fn tracer(&self) -> Tracer<'t> {
         self.tracer
     }
@@ -194,6 +340,10 @@ impl<'t> Simulation<'t> {
 
     /// Registers a named address region for per-data-structure
     /// attribution (GSI-style; see [`crate::stats::RegionStats`]).
+    #[deprecated(
+        since = "0.1.0",
+        note = "register regions at construction: `Simulation::builder(params, hw).region(..).build()`"
+    )]
     pub fn register_region(&mut self, name: impl Into<String>, base: u64, bytes: u64) {
         self.mem.register_region(name, base, bytes);
     }
@@ -219,7 +369,8 @@ impl<'t> Simulation<'t> {
         &self.params
     }
 
-    /// Executes one kernel launch to completion.
+    /// Executes one kernel launch to completion (or to the budget
+    /// boundary, whichever comes first).
     ///
     /// Empty kernels (no threads) are ignored entirely.
     pub fn run_kernel(&mut self, kernel: &KernelTrace) {
@@ -242,9 +393,23 @@ impl<'t> Simulation<'t> {
         }
         let counters_before = self.mem.counters;
         let flits_before = self.mem.noc_flit_total();
+        let hard_stop = self.budget.max_cycles;
 
-        // Kernel launch overhead: all SMs idle.
+        // Kernel launch overhead: all SMs idle. A cycle budget clamps
+        // the launch itself — the breach cycle can fall inside it.
         let launch = self.params.kernel_launch_cycles;
+        if let Some(limit) = hard_stop {
+            if self.clock + launch >= limit {
+                let idle = limit - self.clock;
+                self.clock = limit;
+                self.stats
+                    .breakdown
+                    .record(StallClass::Idle, idle * self.params.num_sms as u64);
+                self.stats.total_cycles = self.clock;
+                self.check_budget();
+                return;
+            }
+        }
         self.clock += launch;
         self.stats
             .breakdown
@@ -286,11 +451,11 @@ impl<'t> Simulation<'t> {
                     self.params.scheduler,
                 )
                 .with_tracer(self.tracer)
+                .with_hard_stop(hard_stop)
             })
             .collect();
 
         let mut next_block = 0usize;
-        let mut heap: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
 
         // Initial block distribution, round-robin over SMs.
         'fill: loop {
@@ -309,21 +474,37 @@ impl<'t> Simulation<'t> {
                 break;
             }
         }
+
+        // Event loop: every SM is parked on the wheel at the absolute
+        // cycle of its next wake-up; popping resumes the earliest one
+        // (ties by id, so the interleaving is deterministic).
+        let mut wheel = CalendarWheel::new(start);
         for sm in &sms {
-            heap.push(Reverse((sm.now, sm_id(sm))));
+            wheel.schedule(sm.now, sm.id());
         }
 
+        let deadline = self.budget.deadline;
+        let mut events: u32 = 0;
+        let mut deadline_hit: Option<u64> = None;
         let mut finish_times = vec![0u64; sms.len()];
         let mut done = vec![false; sms.len()];
-        while let Some(Reverse((t, id))) = heap.pop() {
+        while let Some((t, id)) = wheel.pop() {
+            if let Some(d) = deadline {
+                events = events.wrapping_add(1);
+                if events.is_multiple_of(DEADLINE_CHECK_EVERY) && Instant::now() >= d {
+                    deadline_hit = Some(t);
+                    break;
+                }
+            }
             let idx = id as usize;
             if done[idx] {
                 continue;
             }
             let sm = &mut sms[idx];
             if sm.now != t {
-                // Stale entry; re-queue at the true time.
-                heap.push(Reverse((sm.now, id)));
+                // Stale wake-up (the SM already ran past it inside an
+                // earlier quantum); park it again at the true time.
+                wheel.schedule(sm.now, id);
                 continue;
             }
             let horizon = t + QUANTUM_CYCLES;
@@ -336,9 +517,18 @@ impl<'t> Simulation<'t> {
                 match sm.step(&mut self.mem) {
                     Step::Issued | Step::Waited => {
                         if sm.now > horizon {
-                            heap.push(Reverse((sm.now, id)));
+                            // Quantum exhausted: park until the SM's
+                            // local clock, letting its peers catch up.
+                            wheel.schedule(sm.now, id);
                             break;
                         }
+                    }
+                    Step::Stopped => {
+                        // Cycle budget: the SM sits exactly on the
+                        // boundary and never resumes.
+                        finish_times[idx] = sm.now;
+                        done[idx] = true;
+                        break;
                     }
                     Step::Drained => {
                         if next_block < threads.len() {
@@ -352,13 +542,30 @@ impl<'t> Simulation<'t> {
             }
         }
 
-        let kernel_end = finish_times
+        if let Some(reached) = deadline_hit {
+            // Wall-clock abort mid-kernel: keep the statistics recorded
+            // so far, pin the clock at the abort cycle, and latch.
+            self.abort_kernel(&sms, reached, kernel_seq, &counters_before, flits_before);
+            self.breach = Some(BudgetBreach::Deadline { reached });
+            return;
+        }
+
+        let mut kernel_end = finish_times
             .iter()
             .copied()
             .max()
             .unwrap_or(start)
             .max(self.mem.global_drain())
             .max(start);
+        if let Some(limit) = hard_stop {
+            // The drain tail (outstanding memory completions) may lie
+            // past the budget boundary; the budget cuts it off so the
+            // breach is observed at exactly the limit.
+            kernel_end = kernel_end.min(limit);
+            for f in finish_times.iter_mut() {
+                *f = (*f).min(limit);
+            }
+        }
 
         // Aggregate per-SM breakdowns plus end-of-kernel idle time.
         for (i, sm) in sms.iter().enumerate() {
@@ -382,37 +589,70 @@ impl<'t> Simulation<'t> {
         self.stats.mem = self.mem.counters;
 
         if self.tracer.enabled() {
-            // Per-kernel counter deltas (the memory system accumulates
-            // across kernels) plus the end-of-kernel marker.
-            let d = self.mem.counters.delta(&counters_before);
-            self.tracer.emit(&TraceEvent::CacheCounters {
-                kernel: kernel_seq,
-                cycle: kernel_end,
-                l1_hits: d.l1_hits,
-                l1_misses: d.l1_misses,
-                l2_hits: d.l2_hits,
-                l2_misses: d.l2_misses,
-                l1_atomics: d.l1_atomics,
-                l2_atomics: d.l2_atomics,
-                registrations: d.registrations,
-                remote_transfers: d.remote_transfers,
-                invalidations: d.invalidations,
-            });
-            self.tracer.emit(&TraceEvent::NocTotals {
-                kernel: kernel_seq,
-                cycle: kernel_end,
-                line_transfers: d.noc_line_transfers,
-                control_messages: d.noc_control_messages,
-                flits: self.mem.noc_flit_total().saturating_sub(flits_before),
-            });
-            self.tracer.emit(&TraceEvent::KernelEnd {
-                kernel: kernel_seq,
-                cycle: kernel_end,
-            });
+            self.emit_kernel_end(kernel_seq, kernel_end, &counters_before, flits_before);
         }
-        // Re-check after the kernel so an overshoot is visible to the
+        // Re-check after the kernel so a breach (now at exactly the
+        // budget cycle, thanks to the clamping above) is visible to the
         // caller immediately, not only on the next launch attempt.
         self.check_budget();
+    }
+
+    /// Mid-kernel abort bookkeeping (wall-clock deadline): fold in the
+    /// partial per-SM statistics and close the kernel's trace span at
+    /// `reached`.
+    fn abort_kernel(
+        &mut self,
+        sms: &[Sm<'_>],
+        reached: u64,
+        kernel_seq: u64,
+        counters_before: &crate::stats::MemCounters,
+        flits_before: u64,
+    ) {
+        for sm in sms {
+            self.stats.breakdown += sm.stats;
+        }
+        self.clock = reached;
+        self.stats.total_cycles = reached;
+        self.stats.mem = self.mem.counters;
+        if self.tracer.enabled() {
+            self.emit_kernel_end(kernel_seq, reached, counters_before, flits_before);
+        }
+    }
+
+    /// Per-kernel counter deltas (the memory system accumulates across
+    /// kernels) plus the end-of-kernel marker.
+    fn emit_kernel_end(
+        &self,
+        kernel_seq: u64,
+        kernel_end: u64,
+        counters_before: &crate::stats::MemCounters,
+        flits_before: u64,
+    ) {
+        let d = self.mem.counters.delta(counters_before);
+        self.tracer.emit(&TraceEvent::CacheCounters {
+            kernel: kernel_seq,
+            cycle: kernel_end,
+            l1_hits: d.l1_hits,
+            l1_misses: d.l1_misses,
+            l2_hits: d.l2_hits,
+            l2_misses: d.l2_misses,
+            l1_atomics: d.l1_atomics,
+            l2_atomics: d.l2_atomics,
+            registrations: d.registrations,
+            remote_transfers: d.remote_transfers,
+            invalidations: d.invalidations,
+        });
+        self.tracer.emit(&TraceEvent::NocTotals {
+            kernel: kernel_seq,
+            cycle: kernel_end,
+            line_transfers: d.noc_line_transfers,
+            control_messages: d.noc_control_messages,
+            flits: self.mem.noc_flit_total().saturating_sub(flits_before),
+        });
+        self.tracer.emit(&TraceEvent::KernelEnd {
+            kernel: kernel_seq,
+            cycle: kernel_end,
+        });
     }
 
     /// Read-only view of the statistics accumulated so far.
@@ -430,9 +670,9 @@ impl<'t> Simulation<'t> {
 /// [`MemorySystem`]'s checker so tools never need the memory system
 /// directly. See [`crate::check`].
 #[cfg(feature = "check")]
-impl Simulation<'_> {
+impl<'t> Simulation<'t> {
     /// Enables the protocol invariant checker for all subsequent
-    /// kernels.
+    /// kernels (equivalent to [`SimulationBuilder::checker`]).
     pub fn enable_protocol_checker(&mut self) {
         self.mem.enable_protocol_checker();
     }
@@ -448,23 +688,35 @@ impl Simulation<'_> {
         self.mem.audit(self.clock);
     }
 
-    /// Fault injection for negative tests: see
-    /// [`MemorySystem::debug_force_owned`].
-    pub fn debug_force_owned(&mut self, sm: u32, line: u64) {
-        self.mem.debug_force_owned(sm, line);
-    }
-
-    /// Fault injection for negative tests: see
-    /// [`MemorySystem::debug_skip_next_invalidation`].
-    pub fn debug_skip_next_invalidation(&mut self) {
-        self.mem.debug_skip_next_invalidation();
+    /// Fault-injection hooks for negative tests (see [`DebugHooks`]).
+    pub fn debug_hooks(&mut self) -> DebugHooks<'_, 't> {
+        DebugHooks { mem: &mut self.mem }
     }
 }
 
-fn sm_id(sm: &Sm<'_>) -> u32 {
-    // Sm ids are assigned 0..num_sms in order; recover from stats-free
-    // accessor to avoid widening Sm's public API.
-    sm.id()
+/// Fault-injection handle for negative protocol-checker tests (`check`
+/// feature only): deliberately corrupt coherence state and assert the
+/// checker notices. Obtained via [`Simulation::debug_hooks`], so the
+/// injection surface stays off the plain simulation API.
+#[cfg(feature = "check")]
+#[derive(Debug)]
+pub struct DebugHooks<'a, 't> {
+    mem: &'a mut MemorySystem<'t>,
+}
+
+#[cfg(feature = "check")]
+impl DebugHooks<'_, '_> {
+    /// Plants `line` as Owned in SM `sm`'s L1 behind the ownership
+    /// registry's back: see [`MemorySystem::debug_force_owned`].
+    pub fn force_owned(&mut self, sm: u32, line: u64) {
+        self.mem.debug_force_owned(sm, line);
+    }
+
+    /// Makes the next acquire skip its self-invalidation: see
+    /// [`MemorySystem::debug_skip_next_invalidation`].
+    pub fn skip_next_invalidation(&mut self) {
+        self.mem.debug_skip_next_invalidation();
+    }
 }
 
 #[cfg(test)]
@@ -487,11 +739,12 @@ mod tests {
 
         let sink = JsonlSink::new(Vec::new());
         {
-            let mut sim = Simulation::with_tracer(
+            let mut sim = Simulation::builder(
                 SystemParams::default(),
                 hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
-                Tracer::new(&sink, 100),
-            );
+            )
+            .tracer(Tracer::new(&sink, 100))
+            .build();
             // Loads so the cache counters are non-trivial.
             let threads = (0..256u64)
                 .map(|t| vec![MicroOp::load(t * 4), MicroOp::compute(4)])
@@ -509,6 +762,42 @@ mod tests {
         ] {
             assert!(text.contains(kind), "missing event kind {kind}:\n{text}");
         }
+    }
+
+    #[test]
+    fn deprecated_constructor_shims_still_work() {
+        // The pre-builder API is kept as thin shims; behavior must be
+        // identical to the builder path.
+        #![allow(deprecated)]
+        let mut old = Simulation::with_tracer(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+            Tracer::off(),
+        );
+        old.set_budget(SimBudget {
+            max_kernels: Some(2),
+            ..SimBudget::UNLIMITED
+        });
+        old.register_region("a", 0, 4096);
+
+        let mut new = Simulation::builder(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+        )
+        .budget(SimBudget {
+            max_kernels: Some(2),
+            ..SimBudget::UNLIMITED
+        })
+        .region("a", 0, 4096)
+        .build();
+
+        for _ in 0..3 {
+            old.run_kernel(&compute_kernel(256, 4));
+            new.run_kernel(&compute_kernel(256, 4));
+        }
+        assert_eq!(old.budget_breach(), new.budget_breach());
+        assert_eq!(old.region_stats(), new.region_stats());
+        assert_eq!(old.finish().total_cycles(), new.finish().total_cycles());
     }
 
     #[test]
@@ -573,14 +862,15 @@ mod tests {
 
     #[test]
     fn kernel_budget_stops_further_launches() {
-        let mut sim = Simulation::new(
+        let mut sim = Simulation::builder(
             SystemParams::default(),
             hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
-        );
-        sim.set_budget(SimBudget {
+        )
+        .budget(SimBudget {
             max_kernels: Some(2),
-            max_cycles: None,
-        });
+            ..SimBudget::UNLIMITED
+        })
+        .build();
         for _ in 0..10 {
             sim.run_kernel(&compute_kernel(256, 4));
         }
@@ -593,24 +883,114 @@ mod tests {
     }
 
     #[test]
-    fn cycle_budget_latches_after_overshooting_kernel() {
-        let mut sim = Simulation::new(
+    fn cycle_budget_breaches_at_exactly_the_limit() {
+        // The limit falls inside the kernel launch overhead: the clock
+        // must stop at the limit itself, not at the end of the launch.
+        let mut sim = Simulation::builder(
             SystemParams::default(),
             hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
-        );
-        sim.set_budget(SimBudget {
-            max_kernels: None,
+        )
+        .budget(SimBudget {
             max_cycles: Some(1),
-        });
+            ..SimBudget::UNLIMITED
+        })
+        .build();
         sim.run_kernel(&compute_kernel(256, 4));
-        // The first kernel runs (budget checked at launch, clock was 0)
-        // and overshoots; the breach is latched at its end.
         assert_eq!(sim.stats().kernels, 1);
-        assert!(sim.budget_exhausted());
+        assert_eq!(
+            sim.budget_breach(),
+            Some(BudgetBreach::Cycles {
+                limit: 1,
+                reached: 1
+            })
+        );
         let clock_after = sim.stats().total_cycles();
+        assert_eq!(clock_after, 1, "the clock stops exactly at the limit");
         sim.run_kernel(&compute_kernel(256, 4));
         assert_eq!(sim.stats().kernels, 1);
         assert_eq!(sim.stats().total_cycles(), clock_after);
+    }
+
+    #[test]
+    fn cycle_budget_is_exact_under_cycle_skipping() {
+        // Memory-bound kernel: warps stall for long latencies, so the
+        // engine's stall jumps would overshoot a mid-stall limit if the
+        // skip target were not clamped to the budget boundary.
+        let params = SystemParams::default();
+        let limit = params.kernel_launch_cycles + 150;
+        let scattered_loads = KernelTrace::new(
+            (0..256u64)
+                .map(|t| (0..8).map(|k| MicroOp::load((t * 8 + k) * 4096)).collect())
+                .collect(),
+            256,
+        );
+        let mut sim = Simulation::builder(params, hw(CoherenceKind::Gpu, ConsistencyModel::Drf0))
+            .budget(SimBudget {
+                max_cycles: Some(limit),
+                ..SimBudget::UNLIMITED
+            })
+            .build();
+        sim.run_kernel(&scattered_loads);
+        assert_eq!(
+            sim.budget_breach(),
+            Some(BudgetBreach::Cycles {
+                limit,
+                reached: limit
+            }),
+            "breach is detected at the exact breach cycle"
+        );
+        let stats = sim.finish();
+        assert_eq!(stats.total_cycles(), limit);
+    }
+
+    #[test]
+    fn expired_deadline_blocks_the_next_launch() {
+        let mut sim = Simulation::builder(
+            SystemParams::default(),
+            hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+        )
+        .budget(SimBudget {
+            deadline: Some(Instant::now()),
+            ..SimBudget::UNLIMITED
+        })
+        .build();
+        sim.run_kernel(&compute_kernel(256, 4));
+        assert_eq!(sim.stats().kernels, 0, "deadline already expired");
+        assert!(matches!(
+            sim.budget_breach(),
+            Some(BudgetBreach::Deadline { .. })
+        ));
+    }
+
+    #[test]
+    fn deadline_aborts_a_running_kernel() {
+        // A deadline slightly in the future expires while the (large)
+        // kernel is in flight; the engine must abandon it mid-kernel
+        // rather than running it to completion first. The margin is
+        // wall-clock-sensitive, so retry with doubling margins: too
+        // tight and the launch itself is refused (kernels == 0), too
+        // loose and the kernel completes (no breach).
+        let kernel = compute_kernel(256 * 256, 64);
+        let mut outcomes = Vec::new();
+        for micros in [50u64, 200, 800, 3200, 12800] {
+            let mut sim = Simulation::builder(
+                SystemParams::default(),
+                hw(CoherenceKind::Gpu, ConsistencyModel::Drf0),
+            )
+            .budget(SimBudget {
+                deadline: Some(Instant::now() + std::time::Duration::from_micros(micros)),
+                ..SimBudget::UNLIMITED
+            })
+            .build();
+            sim.run_kernel(&kernel);
+            let aborted_mid_kernel = sim.stats().kernels == 1
+                && matches!(sim.budget_breach(), Some(BudgetBreach::Deadline { .. }));
+            if aborted_mid_kernel {
+                return;
+            }
+            outcomes.push((micros, sim.stats().kernels, sim.budget_breach()));
+        }
+        panic!("no margin aborted mid-kernel: {outcomes:?}");
     }
 
     #[test]
@@ -637,9 +1017,11 @@ mod tests {
         assert!(k.to_string().contains("kernel budget"));
         let c = BudgetBreach::Cycles {
             limit: 100,
-            reached: 250,
+            reached: 100,
         };
         assert!(c.to_string().contains("cycle budget"));
+        let d = BudgetBreach::Deadline { reached: 42 };
+        assert!(d.to_string().contains("deadline"));
     }
 
     #[test]
@@ -654,6 +1036,67 @@ mod tests {
         let t2 = sim.stats().total_cycles();
         assert!(t2 > t1);
         assert_eq!(sim.stats().kernels, 2);
+    }
+
+    #[test]
+    fn fully_stalled_sm_parks_and_is_rearmed_by_completion() {
+        // One warp on one SM issues a cold load whose miss latency is
+        // pushed far past the scheduling quantum, so the SM goes fully
+        // memory-stalled and must park in the event wheel; only the
+        // completion event re-arms it to issue its second slot. If the
+        // re-arm were lost the busy count would stop at 1 and the tail
+        // accounting below could not close.
+        let params = SystemParams {
+            mem_base_cycles: 10_000,
+            ..SystemParams::default()
+        };
+        let launch = params.kernel_launch_cycles;
+        let kernel = KernelTrace::new(
+            vec![vec![MicroOp::load(0x10_000), MicroOp::compute(2)]; 32],
+            32,
+        );
+        let mut sim =
+            Simulation::builder(params, hw(CoherenceKind::Gpu, ConsistencyModel::Drf0)).build();
+        sim.run_kernel(&kernel);
+        let stats = sim.finish();
+        let b = &stats.breakdown;
+        assert_eq!(b.get(StallClass::Busy), 2, "both slots issued");
+        let data = b.get(StallClass::Data);
+        assert!(data >= 9_000, "park spans the miss latency, got {data}");
+        // The issuing SM is never idle (it finishes last), so its
+        // cycles from launch to kernel end partition exactly into
+        // busy + data-stall + tail sync.
+        assert_eq!(
+            b.get(StallClass::Busy) + data + b.get(StallClass::Sync),
+            stats.total_cycles() - launch,
+        );
+    }
+
+    #[test]
+    fn drained_sms_skip_clock_to_next_wheel_event() {
+        // Two single-warp blocks on two SMs, each stalling far past the
+        // quantum on a compute dependency. Both SMs park, the wheel
+        // holds wakeups at two distinct future cycles, and with every
+        // SM stalled the clock must skip straight to each event: the
+        // final cycle count is exact, with no rounding to quantum or
+        // sampling boundaries.
+        let params = SystemParams::default();
+        let launch = params.kernel_launch_cycles;
+        let mut threads = vec![vec![MicroOp::compute(50_000), MicroOp::compute(2)]; 32];
+        threads.extend(vec![
+            vec![MicroOp::compute(60_000), MicroOp::compute(2)];
+            32
+        ]);
+        let kernel = KernelTrace::new(threads, 32);
+        let mut sim =
+            Simulation::builder(params, hw(CoherenceKind::Gpu, ConsistencyModel::Drf0)).build();
+        sim.run_kernel(&kernel);
+        let stats = sim.finish();
+        // Per SM: issue (1) + comp stall + issue (1) + 2-cycle tail;
+        // the kernel ends at the slower SM's tail.
+        assert_eq!(stats.total_cycles(), launch + 1 + 60_000 + 1 + 2);
+        assert_eq!(stats.breakdown.get(StallClass::Busy), 4);
+        assert_eq!(stats.breakdown.get(StallClass::Comp), 110_000);
     }
 
     #[test]

@@ -58,6 +58,7 @@ pub mod cache;
 pub mod check;
 pub mod config;
 pub mod engine;
+pub mod events;
 pub mod layout;
 pub mod mem;
 pub mod noc;
@@ -69,7 +70,9 @@ pub mod trace;
 #[cfg(feature = "check")]
 pub use check::{InvariantKind, ProtocolViolation};
 pub use config::{CoherenceKind, ConsistencyModel, HwConfig};
-pub use engine::{BudgetBreach, SimBudget, Simulation};
+#[cfg(feature = "check")]
+pub use engine::DebugHooks;
+pub use engine::{BudgetBreach, SimBudget, Simulation, SimulationBuilder};
 pub use ggs_trace::{TraceEvent, TraceSink, Tracer};
 pub use params::{ParamsError, SystemParams, SystemParamsBuilder};
 pub use stats::{ExecStats, StallBreakdown, StallClass};

@@ -7,66 +7,18 @@
 //! structures (L2 tags, ownership, bank queues) are updated in
 //! near-global time order.
 
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
 use crate::cache::{Cache, Eviction, LineState};
 #[cfg(feature = "check")]
 use crate::check::{InvariantKind, ProtocolChecker, ProtocolViolation};
 use crate::config::{CoherenceKind, HwConfig};
+use crate::events::CompletionRing;
 use crate::noc::Mesh;
 use crate::params::SystemParams;
 use crate::stats::{MemCounters, RegionStats};
 use ggs_trace::{TraceEvent, Tracer};
-
-/// Min-heap of outstanding-transaction completion times with a capacity,
-/// modeling MSHRs and store buffers.
-#[derive(Debug, Default)]
-struct CapacityQueue {
-    /// Completion times, as a min-heap via `Reverse` ordering.
-    heap: BinaryHeap<std::cmp::Reverse<u64>>,
-    capacity: usize,
-    /// Latest completion ever enqueued (for drains).
-    high_water: u64,
-}
-
-impl CapacityQueue {
-    fn new(capacity: usize) -> Self {
-        Self {
-            heap: BinaryHeap::with_capacity(capacity + 1),
-            capacity,
-            high_water: 0,
-        }
-    }
-
-    /// Retires entries that completed by `now`, then returns the time at
-    /// which a free slot is available (`now` if one is free already).
-    fn admit_at(&mut self, now: u64) -> u64 {
-        while let Some(&std::cmp::Reverse(t)) = self.heap.peek() {
-            if t <= now {
-                self.heap.pop();
-            } else {
-                break;
-            }
-        }
-        if self.heap.len() < self.capacity {
-            now
-        } else {
-            let std::cmp::Reverse(t) = self.heap.pop().expect("full queue is non-empty");
-            t.max(now)
-        }
-    }
-
-    fn push(&mut self, completion: u64) {
-        self.heap.push(std::cmp::Reverse(completion));
-        self.high_water = self.high_water.max(completion);
-    }
-
-    /// Time by which every outstanding entry has completed.
-    fn drain_time(&self) -> u64 {
-        self.high_water
-    }
-}
 
 /// Non-cryptographic single-`u64` hasher (splitmix64 finalizer) for the
 /// line/word interning tables. The standard SipHash hasher is a large
@@ -234,13 +186,13 @@ pub struct MemorySystem<'t> {
     /// (DeNovo ping-pong serialization).
     owner_chain: Vec<(u64, u64)>,
     owner_epoch: u64,
-    mshr: Vec<CapacityQueue>,
-    store_buf: Vec<CapacityQueue>,
+    mshr: Vec<CompletionRing>,
+    store_buf: Vec<CompletionRing>,
     /// Outstanding-atomic trackers: one entry per warp atomic
     /// instruction (the coalescing unit tracks a warp's atomic burst as
     /// one outstanding request), bounding DRFrlx memory-level
     /// parallelism.
-    atomic_q: Vec<CapacityQueue>,
+    atomic_q: Vec<CompletionRing>,
 
     /// Event counters (reset by the embedding `Simulation` as needed).
     pub counters: MemCounters,
@@ -315,13 +267,13 @@ impl<'t> MemorySystem<'t> {
             owner_chain: Vec::new(),
             owner_epoch: 0,
             mshr: (0..n)
-                .map(|_| CapacityQueue::new(params.mshr_entries as usize))
+                .map(|_| CompletionRing::new(params.mshr_entries as usize))
                 .collect(),
             store_buf: (0..n)
-                .map(|_| CapacityQueue::new(params.store_buffer_entries as usize))
+                .map(|_| CompletionRing::new(params.store_buffer_entries as usize))
                 .collect(),
             atomic_q: (0..n)
-                .map(|_| CapacityQueue::new(params.mshr_entries as usize))
+                .map(|_| CompletionRing::new(params.mshr_entries as usize))
                 .collect(),
             counters: MemCounters::default(),
             regions: Vec::new(),
@@ -391,6 +343,11 @@ impl<'t> MemorySystem<'t> {
     }
 
     fn attribute(&mut self, addr: u64, kind: AccessKind, hit: bool, latency: u64) {
+        if self.regions.is_empty() {
+            // Unprofiled runs (the common case) skip attribution
+            // entirely rather than missing the region-hint probe.
+            return;
+        }
         if let Some(i) = self.region_of_cached(addr) {
             let s = &mut self.region_stats[i];
             match kind {
@@ -466,7 +423,13 @@ impl<'t> MemorySystem<'t> {
 
     #[inline]
     fn bank_of(&self, line: u64) -> u32 {
-        (line % self.banks as u64) as u32
+        // The default 16-bank geometry takes the mask path; a runtime
+        // `div` here is measurable on the access hot path.
+        if self.banks.is_power_of_two() {
+            (line & (self.banks as u64 - 1)) as u32
+        } else {
+            (line % self.banks as u64) as u32
+        }
     }
 
     /// Interns `line`, growing the id-indexed side tables in lockstep.

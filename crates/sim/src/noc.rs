@@ -20,6 +20,9 @@ pub const FLIT_BYTES: u32 = 16;
 #[derive(Debug, Clone)]
 pub struct Mesh {
     side: u32,
+    /// `nodes() - 1`; the node count is a power of two (4×4), so the
+    /// hot-path node mapping is a mask instead of a `div`.
+    node_mask: u32,
     l2_base: u64,
     l2_hop: u64,
     mem_base: u64,
@@ -40,6 +43,7 @@ impl Mesh {
     pub fn new(params: &SystemParams) -> Self {
         let mut mesh = Self {
             side: 4,
+            node_mask: 15,
             l2_base: params.l2_base_cycles,
             l2_hop: params.l2_hop_cycles,
             mem_base: params.mem_base_cycles,
@@ -99,14 +103,16 @@ impl Mesh {
     }
 
     /// Mesh node hosting L2 bank `bank`.
+    #[inline]
     pub fn bank_node(&self, bank: u32) -> u32 {
-        bank % self.nodes()
+        bank & self.node_mask
     }
 
     /// Mesh node hosting SM `sm` (SMs occupy nodes 0..15; the CPU takes
     /// node 15).
+    #[inline]
     pub fn sm_node(&self, sm: u32) -> u32 {
-        sm % self.nodes()
+        sm & self.node_mask
     }
 
     /// Nearest memory-controller node (corners: 0, 3, 12, 15) to `node`.

@@ -81,6 +81,10 @@ pub struct Sm<'k> {
     /// Latest `ready_at` of a warp that retired its final slot (tail
     /// pipeline latency still in flight when the warp finished).
     tail: u64,
+    /// Hard simulated-cycle boundary (`u64::MAX` = none): the SM never
+    /// advances `now` past it, so a cycle budget is breached at the
+    /// exact budget cycle even when the stall jump would skip over it.
+    hard_stop: u64,
     /// Injected trace sink handle; off by default.
     tracer: Tracer<'k>,
     /// Start cycle of the last stall sample emitted (stride sampling).
@@ -104,6 +108,9 @@ pub enum Step {
     /// Every resident warp has finished; the SM needs a new block (or is
     /// done).
     Drained,
+    /// The SM reached its hard stop (cycle-budget boundary): its clock
+    /// sits exactly on the boundary and it must not run further.
+    Stopped,
 }
 
 impl<'k> Sm<'k> {
@@ -136,6 +143,7 @@ impl<'k> Sm<'k> {
             stats: StallBreakdown::default(),
             last_completion: 0,
             tail: 0,
+            hard_stop: u64::MAX,
             tracer: Tracer::off(),
             last_sample: 0,
             scratch_loads: Vec::new(),
@@ -148,6 +156,14 @@ impl<'k> Sm<'k> {
     /// events); returns the SM for builder-style chaining.
     pub fn with_tracer(mut self, tracer: Tracer<'k>) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Installs a hard simulated-cycle boundary (a cycle budget): the SM
+    /// parks at `stop` instead of issuing or jumping past it, and
+    /// [`Sm::step`] reports [`Step::Stopped`] once `now` reaches it.
+    pub fn with_hard_stop(mut self, stop: Option<u64>) -> Self {
+        self.hard_stop = stop.unwrap_or(u64::MAX);
         self
     }
 
@@ -204,17 +220,44 @@ impl<'k> Sm<'k> {
         if self.live == 0 {
             return Step::Drained;
         }
+        if self.now >= self.hard_stop {
+            return Step::Stopped;
+        }
         let n = self.ready.len();
         let now = self.now;
         // Issue scan over the flat ready mirror: the first warp at or
         // past the scheduler cursor whose `ready_at` has arrived wins.
         // Finished warps sit at `u64::MAX`, so they skip naturally.
+        // The stall jump (taken only if both scan halves fail) needs
+        // the lexicographic `(ready_at, idx)` minimum, so each half
+        // also tracks its min as it fails — fused here to keep this to
+        // two passes total instead of three.
         let start = self.rr % n;
-        let hit = self.ready[start..]
-            .iter()
-            .position(|&t| t <= now)
-            .map(|p| start + p)
-            .or_else(|| self.ready[..start].iter().position(|&t| t <= now));
+        let mut hit = None;
+        let (mut min_hi, mut argmin_hi) = (u64::MAX, 0usize);
+        for (w, &r) in self.ready[start..].iter().enumerate() {
+            if r <= now {
+                hit = Some(start + w);
+                break;
+            }
+            if r < min_hi {
+                min_hi = r;
+                argmin_hi = start + w;
+            }
+        }
+        let (mut min_lo, mut argmin_lo) = (u64::MAX, 0usize);
+        if hit.is_none() {
+            for (w, &r) in self.ready[..start].iter().enumerate() {
+                if r <= now {
+                    hit = Some(w);
+                    break;
+                }
+                if r < min_lo {
+                    min_lo = r;
+                    argmin_lo = w;
+                }
+            }
+        }
         if let Some(idx) = hit {
             // Greedy-then-oldest keeps the cursor on the issuing warp
             // (issue again next cycle while it stays ready); round robin
@@ -229,18 +272,24 @@ impl<'k> Sm<'k> {
             return Step::Issued;
         }
         // Nothing ready: jump to the earliest unfinished warp. The
-        // tie-break is on *array* index (lexicographic `(ready_at, idx)`
-        // min — a forward scan keeping strict improvements), so the
-        // chosen stall class is independent of the cursor position.
-        let (mut t, mut i) = (self.ready[0], 0);
-        for (idx, &r) in self.ready.iter().enumerate().skip(1) {
-            if r < t {
-                t = r;
-                i = idx;
-            }
-        }
+        // tie-break is on *array* index (first index at the minimum
+        // `ready_at`), so the chosen stall class is independent of the
+        // cursor position: the low half's indices precede the high
+        // half's, so on a tie the low half wins.
+        let (t, i) = if min_lo <= min_hi {
+            (min_lo, argmin_lo)
+        } else {
+            (min_hi, argmin_hi)
+        };
         let class = self.warps[i].blocked;
         debug_assert!(t > self.now);
+        // A cycle budget clamps the jump: account the stall only up to
+        // the boundary and park exactly on it.
+        let (t, stopped) = if t >= self.hard_stop {
+            (self.hard_stop, true)
+        } else {
+            (t, false)
+        };
         self.stats.record(class, t - self.now);
         // Sampled stall-transition event: at most one per stride window
         // per SM, so hot stalls stay bounded in the trace.
@@ -254,7 +303,11 @@ impl<'k> Sm<'k> {
             });
         }
         self.now = t;
-        Step::Waited
+        if stopped {
+            Step::Stopped
+        } else {
+            Step::Waited
+        }
     }
 
     /// Executes the next slot of warp `idx`.
@@ -295,7 +348,6 @@ impl<'k> Sm<'k> {
             store_lines.sort_unstable();
         }
         store_lines.dedup();
-
         let mut ready = now + 1;
         let mut blocked = StallClass::Comp;
         let raise = |r: u64, c: StallClass, ready: &mut u64, blocked: &mut StallClass| {

@@ -42,7 +42,9 @@ pub mod prelude {
     pub use ggs_graph::synth::{GraphPreset, SynthConfig};
     pub use ggs_graph::{Csr, GraphBuilder, GraphError};
     pub use ggs_model::{predict_full, predict_partial, GraphProfile, SystemConfig};
-    pub use ggs_sim::{ExecStats, HwConfig, StallClass, SystemParams};
+    pub use ggs_sim::{
+        ExecStats, HwConfig, SimBudget, Simulation, SimulationBuilder, StallClass, SystemParams,
+    };
     pub use ggs_trace::{
         ChromeTraceSink, JsonlSink, MetricsRegistry, NoopSink, TraceEvent, TraceSink, Tracer,
     };
