@@ -102,6 +102,10 @@ fn main() {
     let mut max_sim_cycles: Option<u64> = None;
     let mut retries: Option<u32> = None;
     let mut inject_faults: Vec<String> = Vec::new();
+    let mut store_path: Option<String> = None;
+    let mut store_compact = false;
+    let mut lease_ttl_ms: Option<u64> = None;
+    let mut inject_store_faults: Vec<String> = Vec::new();
     let mut bench_iters = 3u32;
     let mut bench_smoke = false;
     let mut bench_out: Option<String> = None;
@@ -229,6 +233,25 @@ fn main() {
                     }),
                 );
             }
+            "--store" => {
+                store_path = Some(args.next().unwrap_or_else(|| die("--store needs a path")));
+            }
+            "--store-compact" => {
+                store_compact = true;
+            }
+            "--lease-ttl-ms" => {
+                lease_ttl_ms = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&v: &u64| v > 0)
+                        .unwrap_or_else(|| die("--lease-ttl-ms needs a positive integer")),
+                );
+            }
+            "--inject-store-fault" => {
+                inject_store_faults.push(args.next().unwrap_or_else(|| {
+                    die("--inject-store-fault needs torn[:BYTES], short, crc, or lock")
+                }));
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: repro [--scale S] [--threads N] [--json PATH] [--svg PATH] [--all] \
@@ -252,13 +275,18 @@ fn main() {
                     "       repro study [--scale S] [--threads N] [--json PATH] \
                      [--journal PATH] [--resume PATH] [--deadline-ms N] [--max-kernels N] \
                      [--max-sim-cycles N] [--retries N] \
-                     [--inject-fault APP/GRAPH/CFG[=panic|hang|io]]..."
+                     [--inject-fault APP/GRAPH/CFG[=panic|hang|io]]... \
+                     [--store PATH] [--store-compact] [--lease-ttl-ms N] \
+                     [--inject-store-fault torn[:BYTES]|short|crc|lock]..."
                 );
                 println!(
                     "  study    run the 36-workload study fault-tolerantly: failed cells \
                      are isolated and reported, budgets bound runaway cells, completed \
-                     cells checkpoint to --journal and --resume skips them \
-                     (docs/robustness.md)"
+                     cells checkpoint to --journal and --resume skips them; --store \
+                     shares a crash-safe content-addressed result store across runs and \
+                     processes (cells already solved are never re-simulated, leases \
+                     partition concurrent sweeps, --store-compact rewrites the store \
+                     after the run) (docs/robustness.md)"
                 );
                 println!(
                     "       repro bench [--iters N] [--smoke] [--out PATH] \
@@ -334,6 +362,10 @@ fn main() {
             max_sim_cycles,
             retries,
             inject_faults,
+            store_path,
+            store_compact,
+            lease_ttl_ms,
+            inject_store_faults,
         };
         study_cmd(&opts);
         return;
@@ -536,6 +568,10 @@ struct StudyCmd {
     max_sim_cycles: Option<u64>,
     retries: Option<u32>,
     inject_faults: Vec<String>,
+    store_path: Option<String>,
+    store_compact: bool,
+    lease_ttl_ms: Option<u64>,
+    inject_store_faults: Vec<String>,
 }
 
 /// `repro study`: the 36-workload study through the fault-tolerant
@@ -573,6 +609,32 @@ fn study_cmd(cmd: &StudyCmd) {
     options.faults = faults;
     options.journal_path = cmd.journal_path.as_ref().map(std::path::PathBuf::from);
     options.resume_from = cmd.resume_path.as_ref().map(std::path::PathBuf::from);
+
+    if cmd.store_path.is_none() && (cmd.store_compact || !cmd.inject_store_faults.is_empty()) {
+        die("--store-compact and --inject-store-fault require --store");
+    }
+    if let Some(ms) = cmd.lease_ttl_ms {
+        options.lease_ttl = std::time::Duration::from_millis(ms);
+    }
+    let store_faults = ggs_core::StoreFaults::none();
+    if let Some(path) = &cmd.store_path {
+        let store =
+            match ggs_core::Store::open_with(std::path::Path::new(path), store_faults.clone()) {
+                Ok(s) => s,
+                Err(e) => die(&format!("cannot open store {path}: {e}")),
+            };
+        options.store = Some(store);
+    }
+    // Arm injected store faults only after the store opened cleanly, so
+    // they sabotage the run itself rather than setup (the fault handle
+    // shares its counters with the store's clone).
+    let mut armed = store_faults;
+    for spec_str in &cmd.inject_store_faults {
+        armed = match armed.parse_spec(spec_str) {
+            Ok(f) => f,
+            Err(e) => die(&format!("{e}")),
+        };
+    }
 
     // Cell panics are caught and reported by the runner; replace the
     // default hook so each one costs a single stderr line instead of a
@@ -627,6 +689,25 @@ fn study_cmd(cmd: &StudyCmd) {
         timeout,
         skipped
     );
+    if let Some((entries, skipped_lines)) = outcome.journal_loaded {
+        println!("journal: {entries} entries, {skipped_lines} skipped");
+    }
+    if let Some(report) = &outcome.store_report {
+        println!(
+            "store: {} records, {} corrupt span(s) ({} bytes skipped)",
+            report.records,
+            report.corrupt.len(),
+            report.corrupt_bytes()
+        );
+    }
+    if cmd.store_compact {
+        if let Some(store) = options.store.as_ref() {
+            match store.compact() {
+                Ok(report) => println!("store compacted: {report}"),
+                Err(e) => eprintln!("[repro] warning: store compaction failed: {e}"),
+            }
+        }
+    }
     println!();
 
     if let Some(path) = &cmd.json_path {

@@ -76,16 +76,31 @@ pub enum GgsError {
         /// The panic payload, downcast to a string when possible.
         payload: String,
     },
+    /// A result-store file could not be interpreted: wrong magic, an
+    /// unsupported format version, or structural corruption beyond
+    /// what the tolerant scanner can skip (see `core::store`).
+    StoreFormat {
+        /// What was wrong with the file.
+        detail: String,
+    },
+    /// The result-store advisory lock could not be acquired within the
+    /// bounded retry budget (another process holds it, or an injected
+    /// lock fault). Transient by nature: retryable.
+    StoreLock {
+        /// Lock path and contention detail.
+        detail: String,
+    },
 }
 
 impl GgsError {
     /// Whether retrying the failed operation could plausibly succeed.
     ///
-    /// Only transient environmental failures (I/O) are retryable;
-    /// deterministic errors — bad specs, unsupported pairings, budget
-    /// breaches, panics — fail the same way every time and are not.
+    /// Only transient environmental failures (I/O, store-lock
+    /// contention) are retryable; deterministic errors — bad specs,
+    /// unsupported pairings, budget breaches, panics — fail the same
+    /// way every time and are not.
     pub fn is_retryable(&self) -> bool {
-        matches!(self, GgsError::Io(_))
+        matches!(self, GgsError::Io(_) | GgsError::StoreLock { .. })
     }
 
     /// Whether this error is a watchdog trip (budget or wall-clock
@@ -118,6 +133,8 @@ impl fmt::Display for GgsError {
                 write!(f, "wall-clock deadline exceeded ({limit_ms} ms)")
             }
             GgsError::CellPanic { payload } => write!(f, "cell panicked: {payload}"),
+            GgsError::StoreFormat { detail } => write!(f, "result store format error: {detail}"),
+            GgsError::StoreLock { detail } => write!(f, "result store lock unavailable: {detail}"),
         }
     }
 }

@@ -46,6 +46,7 @@ pub mod error;
 pub mod experiment;
 pub mod json;
 pub mod runner;
+pub mod store;
 pub mod study;
 pub mod sweep;
 
@@ -58,5 +59,6 @@ pub use runner::{
     run_study, CellFailure, CellReport, CellStatus, Fault, FaultPlan, Journal, RetryPolicy,
     StudyOptions, StudyOutcome,
 };
+pub use store::{Claim, CompactReport, Store, StoreFaults, StoreLoadReport, StoreSnapshot};
 pub use study::{Study, WorkloadReport};
 pub use sweep::WorkloadSweep;

@@ -45,6 +45,7 @@ use ggs_trace::{MetricsRegistry, TraceEvent, TraceSink, Tracer};
 use crate::error::GgsError;
 use crate::experiment::{run_workload_budgeted, ExperimentSpec};
 use crate::json::{self, Value};
+use crate::store::{versioned_spec_hash, Claim, Store, StoreLoadReport};
 use crate::study::{ConfigSet, ResultRow, Study, WorkloadReport};
 use crate::sweep::{baseline_config, figure5_configs};
 
@@ -252,6 +253,13 @@ pub struct RetryPolicy {
     pub base_backoff: Duration,
     /// Upper bound on any single backoff sleep.
     pub max_backoff: Duration,
+    /// Deterministic jitter seed. `None` keeps the pure exponential
+    /// schedule; `Some(seed)` spreads each sleep over the upper half of
+    /// its exponential slot so concurrent processes retrying the same
+    /// contended resource (the store lock) do not synchronize into a
+    /// thundering herd. The jitter is a pure function of
+    /// `(seed, attempt)`, so a given policy is exactly reproducible.
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
@@ -260,17 +268,35 @@ impl Default for RetryPolicy {
             max_attempts: 3,
             base_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_millis(200),
+            jitter_seed: None,
         }
     }
 }
 
 impl RetryPolicy {
     /// Backoff to sleep after the `attempt`-th failure (1-based):
-    /// `base · 2^(attempt-1)`, capped at `max_backoff`.
+    /// `base · 2^(attempt-1)`, capped at `max_backoff`. With a
+    /// [`RetryPolicy::jitter_seed`], the sleep lands deterministically
+    /// in `(slot/2, slot]` instead of exactly on the slot boundary.
     pub fn backoff(&self, attempt: u32) -> Duration {
         let exp = attempt.saturating_sub(1).min(16);
         let raw = self.base_backoff.saturating_mul(1u32 << exp);
-        raw.min(self.max_backoff)
+        let slot = raw.min(self.max_backoff);
+        match self.jitter_seed {
+            None => slot,
+            Some(seed) => {
+                // splitmix64 of (seed, attempt): cheap, stateless, and
+                // well distributed even for sequential attempt numbers.
+                let mut z = seed
+                    .wrapping_add(u64::from(attempt))
+                    .wrapping_add(0x9e37_79b9_7f4a_7c15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                let frac = (z >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+                slot - slot.mul_f64(frac * 0.5)
+            }
+        }
     }
 }
 
@@ -301,22 +327,31 @@ pub struct JournalEntry {
 pub struct Journal {
     /// Entries in file order.
     pub entries: Vec<JournalEntry>,
+    /// Malformed or truncated lines skipped during [`Journal::load`] —
+    /// surfaced (rather than silently dropped) so corruption is
+    /// visible in the `repro study` summary (`N entries, M skipped`).
+    pub skipped: usize,
 }
 
 impl Journal {
     /// Loads a journal, skipping malformed or truncated lines (a study
-    /// killed mid-write is the expected producer). Only a failure to
-    /// read the file at all is an error.
+    /// killed mid-write is the expected producer). Skipped lines are
+    /// counted on [`Journal::skipped`]. Only a failure to read the
+    /// file at all is an error.
     pub fn load(path: &Path) -> Result<Self, GgsError> {
         let file = std::fs::File::open(path)?;
         let mut entries = Vec::new();
+        let mut skipped = 0usize;
         for line in BufReader::new(file).lines() {
             let line = line?;
-            if let Some(entry) = parse_journal_line(&line) {
-                entries.push(entry);
+            match parse_journal_line(&line) {
+                Some(entry) => entries.push(entry),
+                // Blank separator lines are not corruption.
+                None if line.trim().is_empty() => {}
+                None => skipped += 1,
             }
         }
-        Ok(Self { entries })
+        Ok(Self { entries, skipped })
     }
 
     /// The completed cells recorded under `spec_hash`, keyed by
@@ -402,6 +437,15 @@ pub struct StudyOptions {
     /// A journal from a previous (possibly killed) run; cells recorded
     /// there under the same spec hash are skipped.
     pub resume_from: Option<PathBuf>,
+    /// A shared crash-safe result store (see `crate::store`): each cell
+    /// is looked up (and leased) before simulating and published after,
+    /// so concurrent runners sharing the store partition the sweep
+    /// without simulating any cell twice.
+    pub store: Option<Store>,
+    /// Store lease time-to-live: how long a claimed-but-unfinished cell
+    /// stays reserved before other runners may reclaim it (bounds the
+    /// damage of a runner that dies holding leases).
+    pub lease_ttl: Duration,
 }
 
 impl Default for StudyOptions {
@@ -414,6 +458,8 @@ impl Default for StudyOptions {
             faults: FaultPlan::new(),
             journal_path: None,
             resume_from: None,
+            store: None,
+            lease_ttl: Duration::from_secs(30),
         }
     }
 }
@@ -443,6 +489,13 @@ pub struct StudyOutcome {
     /// The first journal write error, if checkpointing degraded. The
     /// study itself still completes (graceful degradation).
     pub journal_error: Option<GgsError>,
+    /// Resume-journal load summary `(entries, skipped_lines)`, if a
+    /// resume journal was read — skipped lines are corruption made
+    /// visible (`N entries, M skipped` in the study summary).
+    pub journal_loaded: Option<(usize, usize)>,
+    /// What the store scan observed at study start (record count,
+    /// corrupt spans), if a store was attached.
+    pub store_report: Option<StoreLoadReport>,
 }
 
 impl StudyOutcome {
@@ -542,12 +595,36 @@ pub fn run_study(
     }
     let epoch = Instant::now();
     let hash = spec_hash(spec, options.configs);
+    let store_hash = versioned_spec_hash(&hash);
+    let mut journal_loaded = None;
     let resumed: BTreeMap<String, ResultRow> = match &options.resume_from {
-        Some(path) => Journal::load(path)?.completed_for(&hash),
+        Some(path) => {
+            let loaded = Journal::load(path)?;
+            journal_loaded = Some((loaded.entries.len(), loaded.skipped));
+            loaded.completed_for(&hash)
+        }
         None => BTreeMap::new(),
     };
     let journal = match &options.journal_path {
         Some(path) => Some(JournalWriter::open(path)?),
+        None => None,
+    };
+    let store_report = match &options.store {
+        Some(store) => {
+            // One up-front scan: surface pre-existing corruption (the
+            // per-cell claims re-read under the lock as they go).
+            let snapshot = store.load()?;
+            if sink.enabled() {
+                for span in &snapshot.report.corrupt {
+                    sink.emit(&TraceEvent::StoreCorruption {
+                        offset: span.offset,
+                        bytes: span.bytes,
+                        at_us: epoch.elapsed().as_micros() as u64,
+                    });
+                }
+            }
+            Some(snapshot.report)
+        }
         None => None,
     };
 
@@ -609,6 +686,7 @@ pub fn run_study(
                             spec,
                             options,
                             &resumed,
+                            &store_hash,
                             epoch,
                             sink,
                         );
@@ -674,6 +752,8 @@ pub fn run_study(
         study,
         cells: reports_out,
         journal_error,
+        journal_loaded,
+        store_report,
     })
 }
 
@@ -685,6 +765,7 @@ fn run_cell(
     spec: &ExperimentSpec,
     options: &StudyOptions,
     resumed: &BTreeMap<String, ResultRow>,
+    store_hash: &str,
     epoch: Instant,
     sink: &dyn TraceSink,
 ) -> CellOutcome {
@@ -714,6 +795,10 @@ fn run_cell(
             },
             row: Some(row.clone()),
         }
+    } else if let Some(store) = &options.store {
+        claim_and_execute(
+            store, store_hash, cell, &app, graph_name, &config, graph, spec, options, epoch, sink,
+        )
     } else {
         execute_with_retries(cell, &app, graph_name, &config, graph, spec, options)
     };
@@ -730,6 +815,131 @@ fn run_cell(
         });
     }
     outcome
+}
+
+/// Store-mediated cell execution: resolve the cell through
+/// [`Store::try_claim`] — an existing result short-circuits to
+/// [`CellStatus::Skipped`] (a *store hit*: zero simulation), a live
+/// foreign lease is polled until its owner publishes or it expires,
+/// and a successful claim falls through to normal execution followed
+/// by [`Store::publish`] (or a lease release on failure, so peers need
+/// not wait out the TTL).
+#[allow(clippy::too_many_arguments)]
+fn claim_and_execute(
+    store: &Store,
+    store_hash: &str,
+    cell: Cell,
+    app: &str,
+    graph_name: &str,
+    config: &str,
+    graph: &ggs_graph::Csr,
+    spec: &ExperimentSpec,
+    options: &StudyOptions,
+    epoch: Instant,
+    sink: &dyn TraceSink,
+) -> CellOutcome {
+    let key = cell_key(app, graph_name, config);
+    let wait_started = Instant::now();
+    // A live foreign lease resolves itself: its owner either publishes
+    // a result (Done) or the lease expires and becomes reclaimable.
+    // Twice the TTL is the failsafe against pathological clocks.
+    let wait_limit = options
+        .lease_ttl
+        .saturating_mul(2)
+        .max(Duration::from_millis(100));
+    let mut claim_attempts = 0u32;
+    loop {
+        match store.try_claim(store_hash, &key, options.lease_ttl) {
+            Ok(Claim::Done(row)) => {
+                if sink.enabled() {
+                    sink.emit(&TraceEvent::StoreHit {
+                        key: key.clone(),
+                        at_us: epoch.elapsed().as_micros() as u64,
+                    });
+                }
+                return CellOutcome {
+                    report: CellReport {
+                        app: app.to_owned(),
+                        graph: graph_name.to_owned(),
+                        config: config.to_owned(),
+                        status: CellStatus::Skipped,
+                        detail: "store hit".to_owned(),
+                        attempts: 0,
+                    },
+                    row: Some(row),
+                };
+            }
+            Ok(Claim::Claimed) => break,
+            Ok(Claim::Busy(lease)) => {
+                if wait_started.elapsed() >= wait_limit {
+                    return failed_cell(
+                        app,
+                        graph_name,
+                        config,
+                        format!(
+                            "store lease on {key} held by pid {} beyond the {} ms failsafe",
+                            lease.owner,
+                            wait_limit.as_millis()
+                        ),
+                        claim_attempts,
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(20).min(wait_limit));
+            }
+            Err(e) => {
+                claim_attempts += 1;
+                if e.is_retryable() && claim_attempts < options.retry.max_attempts.max(1) {
+                    std::thread::sleep(options.retry.backoff(claim_attempts));
+                    continue;
+                }
+                return failed_cell(app, graph_name, config, e.to_string(), claim_attempts);
+            }
+        }
+    }
+    if sink.enabled() {
+        sink.emit(&TraceEvent::StoreMiss {
+            key: key.clone(),
+            at_us: epoch.elapsed().as_micros() as u64,
+        });
+    }
+    let mut outcome = execute_with_retries(cell, app, graph_name, config, graph, spec, options);
+    match (&outcome.report.status, &outcome.row) {
+        (CellStatus::Ok, Some(row)) => {
+            if let Err(e) = store.publish(store_hash, app, graph_name, row) {
+                // The simulation succeeded; only durability degraded.
+                // The lease stays until its TTL, keeping peers from
+                // double-publishing a possibly-torn record.
+                outcome.report.detail = format!("result not persisted to store: {e}");
+            }
+        }
+        _ => {
+            // Best effort: an unreleased lease merely delays peers.
+            let _ = store.release(store_hash, &key);
+        }
+    }
+    outcome
+}
+
+/// A `Failed` cell outcome for store-level errors that occur outside
+/// `execute_with_retries` (claim, lease, lock).
+fn failed_cell(
+    app: &str,
+    graph_name: &str,
+    config: &str,
+    detail: String,
+    attempts: u32,
+) -> CellOutcome {
+    CellOutcome {
+        report: CellReport {
+            app: app.to_owned(),
+            graph: graph_name.to_owned(),
+            config: config.to_owned(),
+            status: CellStatus::Failed,
+            detail,
+            attempts,
+        },
+        row: None,
+    }
 }
 
 fn execute_with_retries(

@@ -1,0 +1,351 @@
+//! Crash-recovery and multi-runner harness for the content-addressed
+//! result store (`ggs_core::store`, docs/robustness.md):
+//!
+//! * truncating a valid store at **every byte offset** never panics
+//!   the loader and recovers exactly the records whose frames survived;
+//! * a warm store answers a repeated study with **zero simulations**
+//!   (asserted via trace events), byte-identical to the original run;
+//! * a study sabotaged by injected panic + torn-write faults and then
+//!   re-run from the store reproduces the uninterrupted results byte
+//!   for byte, as does a re-run from a store truncated at adversarial
+//!   offsets;
+//! * two concurrent runners sharing one store complete the sweep with
+//!   **no cell simulated twice**.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+use ggs_core::runner::{run_study, CellStatus, Fault, FaultPlan, StudyOptions, StudyOutcome};
+use ggs_core::store::{Store, StoreFaults};
+use ggs_core::study::{ConfigSet, ResultRow};
+use ggs_core::{ExperimentSpec, MetricsRegistry};
+use ggs_trace::{JsonlSink, NOOP};
+
+const SCALE: f64 = 0.004;
+const THREADS: usize = 8;
+
+fn budgeted_spec() -> ExperimentSpec {
+    ExperimentSpec::builder()
+        .scale(SCALE)
+        .max_kernels(256)
+        .build()
+        .expect("valid spec")
+}
+
+fn options() -> StudyOptions {
+    StudyOptions::new(ConfigSet::Figure5, THREADS)
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ggs-store-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join(name);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(dir.join(format!("{name}.lock")));
+    path
+}
+
+fn store_options(path: &Path) -> StudyOptions {
+    let mut o = options();
+    o.store = Some(Store::open(path).expect("open store"));
+    o
+}
+
+fn row(config: &str, cycles: u64) -> ResultRow {
+    ResultRow {
+        config: config.to_owned(),
+        total_cycles: cycles,
+        fractions: [0.5, 0.2, 0.1, 0.1, 0.1],
+    }
+}
+
+/// Satellite: truncate a valid store at every byte offset. Loading must
+/// never panic, and must recover exactly the records whose frames lie
+/// entirely within the surviving prefix.
+#[test]
+fn truncation_at_every_byte_offset_never_panics_and_keeps_intact_records() {
+    let path = temp_path("every-offset.store");
+    let configs = ["SGR", "TG0", "SD1", "DGR", "SG0", "SDR", "TGR", "DG0"];
+    let mut frame_ends: Vec<(u64, usize)> = Vec::new(); // (end offset, records so far)
+    {
+        let store = Store::open(&path).expect("create");
+        for (i, cfg) in configs.iter().enumerate() {
+            store
+                .publish("hash", "PR", "AMZ", &row(cfg, 1000 + i as u64))
+                .expect("publish");
+            let len = std::fs::metadata(&path).expect("meta").len();
+            frame_ends.push((len, i + 1));
+        }
+    }
+    let bytes = std::fs::read(&path).expect("read full store");
+
+    let cut_path = temp_path("every-offset-cut.store");
+    for cut in 0..=bytes.len() {
+        std::fs::write(&cut_path, &bytes[..cut]).expect("write truncation");
+        let _ = std::fs::remove_file(format!("{}.lock", cut_path.display()));
+        // (a) open + load never panic, whatever the cut point.
+        let store = Store::open(&cut_path).expect("truncations are tolerated, not fatal");
+        let snapshot = store.load().expect("load never fails on a truncation");
+        // (b) every record whose frame survived intact is recovered.
+        let expect = frame_ends
+            .iter()
+            .take_while(|&&(end, _)| end <= cut as u64)
+            .last()
+            .map_or(0, |&(_, n)| n);
+        assert_eq!(
+            snapshot.completed_for("hash").len(),
+            expect,
+            "cut at byte {cut}"
+        );
+        assert!(snapshot.report.corrupt.is_empty(), "open repaired the tail");
+    }
+}
+
+/// Acceptance: a completed study re-run against a warm store performs
+/// zero simulations — every cell is a store hit — and the results are
+/// byte-identical to the uninterrupted run.
+#[test]
+fn warm_store_rerun_simulates_nothing_and_is_byte_identical() {
+    let spec = budgeted_spec();
+    let clean = run_study(&spec, &options(), &MetricsRegistry::new(), &NOOP).expect("clean run");
+    assert!(clean.study.failures.is_empty());
+
+    let path = temp_path("warm.store");
+    let cold = run_study(&spec, &store_options(&path), &MetricsRegistry::new(), &NOOP)
+        .expect("cold store run");
+    let (ok, failed, timeout, skipped) = cold.counts();
+    assert_eq!((failed, timeout, skipped), (0, 0, 0));
+    assert_eq!(ok, cold.cells.len());
+    assert_eq!(cold.study, clean.study);
+
+    // Warm re-run, traced: all hits, zero simulations.
+    let sink = JsonlSink::new(Vec::new());
+    let warm = run_study(&spec, &store_options(&path), &MetricsRegistry::new(), &sink)
+        .expect("warm store run");
+    let trace = String::from_utf8(sink.into_inner()).expect("utf8 trace");
+    let (ok, failed, timeout, skipped) = warm.counts();
+    assert_eq!((ok, failed, timeout), (0, 0, 0), "zero simulations");
+    assert_eq!(skipped, warm.cells.len());
+    assert_eq!(warm.study, clean.study);
+    assert_eq!(warm.study.to_json(), clean.study.to_json());
+
+    let count = |needle: &str| trace.lines().filter(|l| l.contains(needle)).count();
+    assert_eq!(count("\"type\":\"store_hit\""), warm.cells.len());
+    assert_eq!(count("\"type\":\"store_miss\""), 0);
+    assert_eq!(count("\"status\":\"ok\""), 0, "no cell actually simulated");
+    assert_eq!(count("\"type\":\"cell_start\""), warm.cells.len());
+}
+
+/// Acceptance: a study sabotaged by an injected cell panic *and* an
+/// injected torn store write, then re-run from the store, reproduces
+/// the uninterrupted results byte for byte.
+#[test]
+fn faulted_run_resumed_from_store_is_byte_identical() {
+    let spec = budgeted_spec();
+    let clean = run_study(&spec, &options(), &MetricsRegistry::new(), &NOOP).expect("clean run");
+
+    let path = temp_path("faulted.store");
+    let faults = StoreFaults::none().torn_write(20);
+    let mut first = options();
+    first.store = Some(Store::open_with(&path, faults).expect("open store"));
+    first.faults = FaultPlan::new().inject("PR", "AMZ", "SGR", Fault::Panic);
+    let first = run_study(&spec, &first, &MetricsRegistry::new(), &NOOP).expect("sabotaged run");
+    let (_, failed, _, _) = first.counts();
+    assert_eq!(failed, 1, "the injected panic fails exactly one cell");
+    // The torn write left one simulated-but-unpersisted cell behind.
+    let unpersisted: Vec<_> = first
+        .cells
+        .iter()
+        .filter(|c| c.detail.contains("not persisted"))
+        .collect();
+    assert_eq!(unpersisted.len(), 1, "torn write degraded one publish");
+
+    // Second run: reopening repairs the torn tail, the panicked and
+    // unpersisted cells are re-simulated, everything else is a hit.
+    let second = run_study(&spec, &store_options(&path), &MetricsRegistry::new(), &NOOP)
+        .expect("recovery run");
+    let (ok, failed, timeout, _) = second.counts();
+    assert_eq!((failed, timeout), (0, 0));
+    assert_eq!(ok, 2, "exactly the two damaged cells re-simulate");
+    assert_eq!(second.study, clean.study);
+    assert_eq!(second.study.to_json(), clean.study.to_json());
+}
+
+/// Satellite: resuming from a store truncated at adversarial offsets
+/// (inside the header, mid-record, exactly on a frame boundary) still
+/// reproduces the uninterrupted study byte for byte.
+#[test]
+fn truncated_store_resume_is_byte_identical() {
+    let spec = budgeted_spec();
+    let clean = run_study(&spec, &options(), &MetricsRegistry::new(), &NOOP).expect("clean run");
+
+    let path = temp_path("truncate-resume.store");
+    let warm = run_study(&spec, &store_options(&path), &MetricsRegistry::new(), &NOOP)
+        .expect("warm-up run");
+    assert!(warm.study.failures.is_empty());
+    let bytes = std::fs::read(&path).expect("read store");
+
+    // Offsets: inside the header, just past it, mid-file (mid-record
+    // with near certainty), and one byte short of the full file.
+    let cuts = [9usize, 17, bytes.len() / 2, bytes.len() - 1];
+    for cut in cuts {
+        let cut_path = temp_path("truncate-resume-cut.store");
+        std::fs::write(&cut_path, &bytes[..cut]).expect("write truncation");
+        let resumed = run_study(
+            &spec,
+            &store_options(&cut_path),
+            &MetricsRegistry::new(),
+            &NOOP,
+        )
+        .expect("resumed run");
+        let (_, failed, timeout, _) = resumed.counts();
+        assert_eq!((failed, timeout), (0, 0), "cut at byte {cut}");
+        assert_eq!(resumed.study, clean.study, "cut at byte {cut}");
+        assert_eq!(
+            resumed.study.to_json(),
+            clean.study.to_json(),
+            "cut at byte {cut}"
+        );
+    }
+}
+
+/// Acceptance: two concurrent runners (distinct lease owners) sharing
+/// one store complete the sweep with no cell simulated twice and both
+/// reproduce the clean study.
+#[test]
+fn concurrent_runners_share_the_sweep_without_duplicating_cells() {
+    let spec = budgeted_spec();
+    let clean = run_study(&spec, &options(), &MetricsRegistry::new(), &NOOP).expect("clean run");
+
+    let path = temp_path("concurrent.store");
+    let mk_options = |owner: u32| {
+        let mut o = StudyOptions::new(ConfigSet::Figure5, 4);
+        o.store = Some(Store::open(&path).expect("open store").with_owner(owner));
+        o
+    };
+    let (a, b) = std::thread::scope(|scope| {
+        let spec_a = &spec;
+        let ja = scope.spawn(move || {
+            let o = mk_options(1001);
+            run_study(spec_a, &o, &MetricsRegistry::new(), &NOOP).expect("runner A")
+        });
+        let spec_b = &spec;
+        let jb = scope.spawn(move || {
+            let o = mk_options(2002);
+            run_study(spec_b, &o, &MetricsRegistry::new(), &NOOP).expect("runner B")
+        });
+        (ja.join().expect("A joins"), jb.join().expect("B joins"))
+    });
+
+    let simulated = |outcome: &StudyOutcome| -> BTreeSet<String> {
+        outcome
+            .cells
+            .iter()
+            .filter(|c| c.status == CellStatus::Ok)
+            .map(|c| c.key())
+            .collect()
+    };
+    let sim_a = simulated(&a);
+    let sim_b = simulated(&b);
+    assert!(
+        sim_a.is_disjoint(&sim_b),
+        "cells simulated twice: {:?}",
+        sim_a.intersection(&sim_b).collect::<Vec<_>>()
+    );
+    let union: BTreeSet<_> = sim_a.union(&sim_b).cloned().collect();
+    assert_eq!(
+        union.len(),
+        a.cells.len(),
+        "every cell simulated exactly once"
+    );
+
+    // Both runners see the complete, identical study.
+    assert_eq!(a.study, clean.study);
+    assert_eq!(b.study, clean.study);
+
+    // The store ends holding exactly one result per cell.
+    let snapshot = Store::open(&path)
+        .expect("reopen")
+        .load()
+        .expect("load final store");
+    assert_eq!(snapshot.total_results(), a.cells.len());
+}
+
+/// An injected lock-acquire failure is transient: the claim retry
+/// (bounded backoff with seeded jitter) recovers and the study still
+/// completes with every cell accounted for.
+#[test]
+fn injected_lock_failures_are_retried_to_success() {
+    let spec = budgeted_spec();
+    let path = temp_path("lockfault.store");
+    let faults = StoreFaults::none();
+    let mut o = options();
+    o.store = Some(Store::open_with(&path, faults.clone()).expect("open store"));
+    // Arm after open so the failures hit claims, not setup.
+    let _ = faults.clone().lock_failures(2);
+    let outcome = run_study(&spec, &o, &MetricsRegistry::new(), &NOOP).expect("study completes");
+    let (ok, failed, timeout, skipped) = outcome.counts();
+    assert_eq!((failed, timeout, skipped), (0, 0, 0), "lock faults retried");
+    assert_eq!(ok, outcome.cells.len());
+}
+
+/// Deterministic seeded jitter (satellite): reproducible per seed,
+/// seed-sensitive, bounded to the upper half of the exponential slot,
+/// and absent when unseeded.
+#[test]
+fn retry_backoff_jitter_is_deterministic_and_bounded() {
+    use ggs_core::runner::RetryPolicy;
+    use std::time::Duration;
+
+    let unseeded = RetryPolicy::default();
+    let seeded = RetryPolicy {
+        jitter_seed: Some(42),
+        ..RetryPolicy::default()
+    };
+    let reseeded = RetryPolicy {
+        jitter_seed: Some(43),
+        ..RetryPolicy::default()
+    };
+    let mut diverged = false;
+    for attempt in 1..=10 {
+        let slot = unseeded.backoff(attempt);
+        let j = seeded.backoff(attempt);
+        assert_eq!(j, seeded.backoff(attempt), "same seed, same sleep");
+        assert!(j <= slot, "jitter never exceeds the exponential slot");
+        assert!(j >= slot / 2, "jitter stays in the upper half-slot");
+        assert!(j > Duration::ZERO);
+        diverged |= reseeded.backoff(attempt) != j;
+    }
+    assert!(diverged, "different seeds must produce different schedules");
+}
+
+/// Journal corruption is counted, not silent (satellite): malformed
+/// lines surface in the load result and the study outcome.
+#[test]
+fn journal_skipped_lines_are_counted_and_surfaced() {
+    use ggs_core::runner::Journal;
+
+    let spec = budgeted_spec();
+    let journal_path = temp_path("skip-count.journal");
+    let mut first = options();
+    first.journal_path = Some(journal_path.clone());
+    let first = run_study(&spec, &first, &MetricsRegistry::new(), &NOOP).expect("journaled run");
+    assert!(first.study.failures.is_empty());
+
+    // Corrupt the journal: one garbage line, one truncated JSON line.
+    let mut text = std::fs::read_to_string(&journal_path).expect("read journal");
+    let keep = text.lines().count();
+    text.push_str("definitely-not-json\n");
+    text.push_str("{\"app\":\"PR\",\"graph\":\"AMZ\"\n");
+    std::fs::write(&journal_path, &text).expect("rewrite journal");
+
+    let journal = Journal::load(&journal_path).expect("tolerant load");
+    assert_eq!(journal.entries.len(), keep);
+    assert_eq!(journal.skipped, 2, "both corrupt lines counted");
+
+    let mut resumed = options();
+    resumed.resume_from = Some(journal_path);
+    let resumed = run_study(&spec, &resumed, &MetricsRegistry::new(), &NOOP).expect("resumed run");
+    assert_eq!(resumed.journal_loaded, Some((keep, 2)));
+    assert_eq!(resumed.study, first.study);
+}

@@ -149,6 +149,43 @@ pub enum TraceEvent {
         /// Wall-clock duration of all attempts, in microseconds.
         dur_us: u64,
     },
+    /// A study cell was answered from the result store without
+    /// simulating (warm-store reuse). Timestamps are host wall-clock
+    /// microseconds relative to the study run's start.
+    StoreHit {
+        /// `APP/GRAPH/CONFIG` cell key.
+        key: String,
+        /// When the hit resolved, in microseconds since the study began.
+        at_us: u64,
+    },
+    /// A study cell was absent from the result store; a lease was taken
+    /// and the cell will be simulated.
+    StoreMiss {
+        /// `APP/GRAPH/CONFIG` cell key.
+        key: String,
+        /// When the claim resolved, in microseconds since the study began.
+        at_us: u64,
+    },
+    /// Store compaction dropped superseded / expired / corrupt data
+    /// (atomic rewrite; see `ggs_core::store`).
+    StoreEvict {
+        /// Records dropped (superseded results, leases, releases).
+        records: u64,
+        /// Bytes reclaimed by the rewrite.
+        bytes: u64,
+        /// When compaction finished, in microseconds since the run began.
+        at_us: u64,
+    },
+    /// A corrupt span was detected (and skipped) while scanning the
+    /// result store: a torn, truncated, or bit-flipped record.
+    StoreCorruption {
+        /// Byte offset of the corrupt span in the store file.
+        offset: u64,
+        /// Bytes skipped before the scanner resynchronized.
+        bytes: u64,
+        /// When the scan observed it, in microseconds since the run began.
+        at_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -166,6 +203,10 @@ impl TraceEvent {
             TraceEvent::Phase { .. } => "phase",
             TraceEvent::CellStart { .. } => "cell_start",
             TraceEvent::CellFinish { .. } => "cell_finish",
+            TraceEvent::StoreHit { .. } => "store_hit",
+            TraceEvent::StoreMiss { .. } => "store_miss",
+            TraceEvent::StoreEvict { .. } => "store_evict",
+            TraceEvent::StoreCorruption { .. } => "store_corruption",
         }
     }
 
@@ -180,12 +221,16 @@ impl TraceEvent {
             TraceEvent::AcquireRelease { .. } => "sync",
             TraceEvent::Phase { .. } => "phase",
             TraceEvent::CellStart { .. } | TraceEvent::CellFinish { .. } => "cell",
+            TraceEvent::StoreHit { .. }
+            | TraceEvent::StoreMiss { .. }
+            | TraceEvent::StoreEvict { .. }
+            | TraceEvent::StoreCorruption { .. } => "store",
         }
     }
 
     /// Timestamp of the event: simulated cycle, or microseconds for
-    /// the host wall-clock events ([`TraceEvent::Phase`],
-    /// [`TraceEvent::CellStart`], [`TraceEvent::CellFinish`]).
+    /// the host wall-clock events ([`TraceEvent::Phase`], the cell
+    /// events, and the store events).
     pub fn timestamp(&self) -> u64 {
         match *self {
             TraceEvent::KernelBegin { cycle, .. }
@@ -199,6 +244,10 @@ impl TraceEvent {
             TraceEvent::Phase { start_us, .. }
             | TraceEvent::CellStart { start_us, .. }
             | TraceEvent::CellFinish { start_us, .. } => start_us,
+            TraceEvent::StoreHit { at_us, .. }
+            | TraceEvent::StoreMiss { at_us, .. }
+            | TraceEvent::StoreEvict { at_us, .. }
+            | TraceEvent::StoreCorruption { at_us, .. } => at_us,
         }
     }
 
@@ -338,6 +387,29 @@ impl TraceEvent {
                     escape(app),
                     escape(graph),
                     escape(config)
+                );
+            }
+            TraceEvent::StoreHit { key, at_us } | TraceEvent::StoreMiss { key, at_us } => {
+                let _ = write!(s, ",\"at_us\":{at_us},\"key\":\"{}\"", escape(key));
+            }
+            TraceEvent::StoreEvict {
+                records,
+                bytes,
+                at_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"at_us\":{at_us},\"records\":{records},\"bytes\":{bytes}"
+                );
+            }
+            TraceEvent::StoreCorruption {
+                offset,
+                bytes,
+                at_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"at_us\":{at_us},\"offset\":{offset},\"bytes\":{bytes}"
                 );
             }
         }
@@ -486,6 +558,38 @@ impl TraceEvent {
                     escape(config)
                 );
             }
+            TraceEvent::StoreHit { key, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"hit {}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"s\":\"g\"}}",
+                    escape(key)
+                );
+            }
+            TraceEvent::StoreMiss { key, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"miss {}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"s\":\"g\"}}",
+                    escape(key)
+                );
+            }
+            TraceEvent::StoreEvict { records, bytes, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"store-evict\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"s\":\"g\",\
+                     \"args\":{{\"records\":{records},\"bytes\":{bytes}}}}}"
+                );
+            }
+            TraceEvent::StoreCorruption { offset, bytes, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"store-corruption\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"s\":\"g\",\
+                     \"args\":{{\"offset\":{offset},\"bytes\":{bytes}}}}}"
+                );
+            }
         }
         s
     }
@@ -586,6 +690,24 @@ mod tests {
                 attempts: 1,
                 start_us: 15,
                 dur_us: 420,
+            },
+            TraceEvent::StoreHit {
+                key: "PR/RMAT/SGR".into(),
+                at_us: 18,
+            },
+            TraceEvent::StoreMiss {
+                key: "PR/RMAT/TG0".into(),
+                at_us: 19,
+            },
+            TraceEvent::StoreEvict {
+                records: 12,
+                bytes: 1536,
+                at_us: 950,
+            },
+            TraceEvent::StoreCorruption {
+                offset: 16,
+                bytes: 44,
+                at_us: 5,
             },
         ]
     }

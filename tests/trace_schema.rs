@@ -50,6 +50,27 @@ fn emit_all_events(sink: &dyn TraceSink) {
         start_us: 1,
         dur_us: 2,
     });
+    // Result-store events likewise come from the study runner's store
+    // integration and from compaction (ggs_core::store); pin their
+    // schema the same way.
+    sink.emit(&TraceEvent::StoreHit {
+        key: "PR/OLS/SG0".into(),
+        at_us: 3,
+    });
+    sink.emit(&TraceEvent::StoreMiss {
+        key: "PR/OLS/SDR".into(),
+        at_us: 4,
+    });
+    sink.emit(&TraceEvent::StoreEvict {
+        records: 2,
+        bytes: 256,
+        at_us: 5,
+    });
+    sink.emit(&TraceEvent::StoreCorruption {
+        offset: 16,
+        bytes: 44,
+        at_us: 6,
+    });
 }
 
 fn sorted_keys(v: &Value) -> Vec<String> {
