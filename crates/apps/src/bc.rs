@@ -103,20 +103,22 @@ pub fn reference(graph: &Csr) -> Vec<f64> {
 }
 
 /// Generates the kernel sequence of a BC run (one kernel per forward
-/// level, then one per backward level) and feeds each to `run`.
+/// level, then one per backward level), handing each finished trace to
+/// `run` by value. The stream depends only on
+/// `(graph, prop, tb_size)`, so it is safe to materialize once and
+/// replay across configuration cells.
 ///
 /// # Panics
 ///
 /// Panics if `prop` is [`Propagation::PushPull`].
-pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(&KernelTrace)) {
+pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
     assert_ne!(
         prop,
         Propagation::PushPull,
         "BC has static traversal: use Push or Pull"
     );
     let n = graph.num_vertices();
-    let mut space = AddressSpace::new(64);
-    let arrays = GraphArrays::new(&mut space, graph);
+    let (mut space, arrays) = GraphArrays::workspace(graph);
     let level_arr = space.array("level", n as u64);
     let sigma_arr = space.array("sigma", n as u64);
     let delta_arr = space.array("delta", n as u64);
@@ -179,7 +181,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
             }),
             Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
         };
-        run(&kernel);
+        run(kernel);
 
         // Pull writes the level word in a separate settle kernel: the
         // gather kernel above reads `level` remotely, so updating it in
@@ -193,7 +195,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                     ops.push(MicroOp::store(level_arr.addr(v as u64)));
                 }
             });
-            run(&settle);
+            run(settle);
         }
     }
 
@@ -217,7 +219,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
             }
             ops.push(MicroOp::store(delta_arr.addr(v as u64)));
         });
-        run(&kernel);
+        run(kernel);
     }
 }
 

@@ -65,21 +65,22 @@ pub fn reference(graph: &Csr) -> Vec<u32> {
     level
 }
 
-/// Generates the kernel sequence of a BFS run (one kernel per level)
-/// and feeds each to `run`.
+/// Generates the kernel sequence of a BFS run (one kernel per level),
+/// handing each finished trace to `run` by value. The stream depends
+/// only on `(graph, prop, tb_size)`, so it is safe to materialize once
+/// and replay across configuration cells.
 ///
 /// # Panics
 ///
 /// Panics if `prop` is [`Propagation::PushPull`].
-pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(&KernelTrace)) {
+pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
     assert_ne!(
         prop,
         Propagation::PushPull,
         "BFS has static traversal: use Push or Pull"
     );
     let n = graph.num_vertices();
-    let mut space = AddressSpace::new(64);
-    let arrays = GraphArrays::new(&mut space, graph);
+    let (mut space, arrays) = GraphArrays::workspace(graph);
     let level_arr = space.array("level", n as u64);
 
     let level = reference(graph);
@@ -126,7 +127,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
             }),
             Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
         };
-        run(&kernel);
+        run(kernel);
 
         // Pull settles discovered vertices in a second, purely local
         // kernel: the gather kernel reads `level` remotely, so storing
@@ -139,7 +140,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                     ops.push(MicroOp::store(level_arr.addr(v as u64)));
                 }
             });
-            run(&settle);
+            run(settle);
         }
     }
 }

@@ -69,7 +69,10 @@ fn union(parent: &mut [u32], a: u32, b: u32) {
 }
 
 /// Generates the kernel sequence of a CC run (init, hooking, and
-/// [`SHORTCUT_ROUNDS`] shortcut kernels) and feeds each to `run`.
+/// [`SHORTCUT_ROUNDS`] shortcut kernels), handing each finished trace
+/// to `run` by value. The stream depends only on
+/// `(graph, prop, tb_size)`, so it is safe to materialize once and
+/// replay across configuration cells.
 ///
 /// CC is inherently push+pull; `prop` must be
 /// [`Propagation::PushPull`].
@@ -77,15 +80,14 @@ fn union(parent: &mut [u32], a: u32, b: u32) {
 /// # Panics
 ///
 /// Panics if `prop` is not [`Propagation::PushPull`].
-pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(&KernelTrace)) {
+pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
     assert_eq!(
         prop,
         Propagation::PushPull,
         "connected components has dynamic traversal: use PushPull"
     );
     let n = graph.num_vertices();
-    let mut space = AddressSpace::new(64);
-    let arrays = GraphArrays::new(&mut space, graph);
+    let (mut space, arrays) = GraphArrays::workspace(graph);
     let parent = space.array("parent", n as u64);
 
     // Replayed union-find state mirrors what the trace touches.
@@ -96,7 +98,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
     let init = vertex_kernel(n, tb_size, |v, ops| {
         ops.push(MicroOp::store(parent.addr(v as u64)));
     });
-    run(&init);
+    run(init);
 
     // Hooking kernel: every vertex processes its out-edges to smaller
     // ids; each endpoint's chain is chased with value-returning atomics
@@ -127,7 +129,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
             }
         }
     });
-    run(&hook);
+    run(hook);
 
     // Shortcut kernels: flatten chains with pointer jumping.
     for _ in 0..SHORTCUT_ROUNDS {
@@ -145,7 +147,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
             ops.push(MicroOp::store(parent.addr(v as u64)));
             next[v as usize] = cur;
         });
-        run(&shortcut);
+        run(shortcut);
         pstate = next;
     }
 }

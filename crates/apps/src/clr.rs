@@ -92,20 +92,22 @@ fn snapshots(graph: &Csr) -> Vec<Vec<u32>> {
 }
 
 /// Generates the kernel sequence of a CLR run (pull: one kernel per
-/// round; push: two kernels per round) and feeds each to `run`.
+/// round; push: two kernels per round), handing each finished trace to
+/// `run` by value. The stream depends only on
+/// `(graph, prop, tb_size)`, so it is safe to materialize once and
+/// replay across configuration cells.
 ///
 /// # Panics
 ///
 /// Panics if `prop` is [`Propagation::PushPull`].
-pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(&KernelTrace)) {
+pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
     assert_ne!(
         prop,
         Propagation::PushPull,
         "graph coloring has static traversal: use Push or Pull"
     );
     let n = graph.num_vertices();
-    let mut space = AddressSpace::new(64);
-    let arrays = GraphArrays::new(&mut space, graph);
+    let (mut space, arrays) = GraphArrays::workspace(graph);
     let color = space.array("color", n as u64);
     let val = space.array("val", n as u64);
     // Packed max/min aggregate: one 2x32-bit word per vertex.
@@ -137,7 +139,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                         ));
                     }
                 });
-                run(&scatter);
+                run(scatter);
                 // Kernel 2: decide colors from the aggregates.
                 let decide = vertex_kernel(n, tb_size, |v, ops| {
                     ops.push(MicroOp::load(color.addr(v as u64)));
@@ -153,7 +155,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                     // Reset the aggregate for the next round.
                     ops.push(MicroOp::store(agg.addr(v as u64)));
                 });
-                run(&decide);
+                run(decide);
             }
             Propagation::Pull => {
                 // Single kernel: local max/min scan, local color write.
@@ -176,7 +178,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                         ops.push(MicroOp::store(color.addr(t as u64)));
                     }
                 });
-                run(&kernel);
+                run(kernel);
             }
             Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
         }

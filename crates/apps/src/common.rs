@@ -24,6 +24,18 @@ impl GraphArrays {
         }
     }
 
+    /// The standard producer workspace: a fresh [`AddressSpace`] with
+    /// the CSR arrays laid out first, exactly as every `memory_map`
+    /// assumes. Each functional producer builds one per `generate`
+    /// call; the layout is a pure function of the graph, which is what
+    /// makes the emitted trace streams cacheable across configurations
+    /// (see `ggs-core`'s `TraceCache`).
+    pub fn workspace(graph: &Csr) -> (AddressSpace, GraphArrays) {
+        let mut space = AddressSpace::new(64);
+        let arrays = GraphArrays::new(&mut space, graph);
+        (space, arrays)
+    }
+
     /// Emits the degree lookup for vertex `v` (`row_ptr[v]` and
     /// `row_ptr[v+1]` share a cache line 15 times out of 16; one load
     /// covers the pair).

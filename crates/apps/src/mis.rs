@@ -111,21 +111,22 @@ fn rounds(graph: &Csr) -> Vec<Vec<Status>> {
     snaps
 }
 
-/// Generates the kernel sequence of an MIS run (one kernel per round)
-/// and feeds each to `run`.
+/// Generates the kernel sequence of an MIS run (one kernel per round),
+/// handing each finished trace to `run` by value. The stream depends
+/// only on `(graph, prop, tb_size)`, so it is safe to materialize once
+/// and replay across configuration cells.
 ///
 /// # Panics
 ///
 /// Panics if `prop` is [`Propagation::PushPull`].
-pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(&KernelTrace)) {
+pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
     assert_ne!(
         prop,
         Propagation::PushPull,
         "MIS has static traversal: use Push or Pull"
     );
     let n = graph.num_vertices();
-    let mut space = AddressSpace::new(64);
-    let arrays = GraphArrays::new(&mut space, graph);
+    let (mut space, arrays) = GraphArrays::workspace(graph);
     let status = space.array("status", n as u64);
     let prio = space.array("prio", n as u64);
     let agg = space.array("prio_agg", n as u64);
@@ -153,7 +154,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                         ops.push(MicroOp::atomic(agg.addr(t as u64)));
                     }
                 });
-                run(&scatter);
+                run(scatter);
                 // Decide: compare own priority to the aggregate; the
                 // (few) winners join the set and knock their neighbors
                 // out with fire-and-forget atomics.
@@ -175,7 +176,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                         }
                     }
                 });
-                run(&decide);
+                run(decide);
             }
             Propagation::Pull => {
                 // Gather: each undecided target reads its neighbors'
@@ -199,7 +200,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                         ops.push(MicroOp::store(status.addr(v as u64)));
                     }
                 });
-                run(&gather);
+                run(gather);
             }
             Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
         }
@@ -305,7 +306,7 @@ mod tests {
     fn decided_vertices_do_one_load_in_later_rounds() {
         let g = ring(64);
         let mut last: Option<KernelTrace> = None;
-        generate(&g, Propagation::Pull, 256, &mut |k| last = Some(k.clone()));
+        generate(&g, Propagation::Pull, 256, &mut |k| last = Some(k));
         let k = last.expect("at least one round");
         // In the final round nearly every vertex is already decided.
         let short = (0..k.num_threads())

@@ -75,22 +75,24 @@ pub fn reference(graph: &Csr, iterations: u32) -> Vec<f64> {
     rank
 }
 
-/// Generates the kernel sequence of a PR run ([`ITERATIONS`] kernels)
-/// and feeds each to `run`.
+/// Generates the kernel sequence of a PR run ([`ITERATIONS`] kernels),
+/// handing each finished trace to `run` by value. The stream is a pure
+/// function of `(graph, prop, tb_size)` — coherence and consistency
+/// never appear here — so consumers may materialize and reuse it
+/// across configuration cells.
 ///
 /// # Panics
 ///
 /// Panics if `prop` is [`Propagation::PushPull`] (PR has static
 /// traversal).
-pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(&KernelTrace)) {
+pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
     assert_ne!(
         prop,
         Propagation::PushPull,
         "PageRank has static traversal: use Push or Pull"
     );
     let n = graph.num_vertices();
-    let mut space = AddressSpace::new(64);
-    let arrays = GraphArrays::new(&mut space, graph);
+    let (mut space, arrays) = GraphArrays::workspace(graph);
     let rank = [
         space.array("rank_a", n as u64),
         space.array("rank_b", n as u64),
@@ -126,7 +128,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
             }),
             Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
         };
-        run(&kernel);
+        run(kernel);
     }
 }
 

@@ -188,6 +188,23 @@ impl<'g> Workload<'g> {
     /// Panics if `prop` is not supported by the application (see
     /// [`AppKind::supported_propagations`]).
     pub fn generate(&self, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(&KernelTrace)) {
+        self.produce(prop, tb_size, &mut |k| run(&k));
+    }
+
+    /// Like [`Workload::generate`], but hands each kernel trace to
+    /// `run` *by value*, letting the consumer keep it without a copy.
+    ///
+    /// The emitted stream is the functional half of the workload: it is
+    /// a pure function of `(app, graph, prop, tb_size)` and never
+    /// depends on coherence, consistency, or any timing parameter —
+    /// the invariant `ggs-core`'s `TraceCache` relies on to share one
+    /// stream across every configuration cell of a direction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prop` is not supported by the application (see
+    /// [`AppKind::supported_propagations`]).
+    pub fn produce(&self, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
         match self.app {
             AppKind::Pr => crate::pr::generate(self.graph, prop, tb_size, run),
             AppKind::Sssp => crate::sssp::generate(self.graph, prop, tb_size, run),
@@ -197,6 +214,20 @@ impl<'g> Workload<'g> {
             AppKind::Cc => crate::cc::generate(self.graph, prop, tb_size, run),
             AppKind::Bfs => crate::bfs::generate(self.graph, prop, tb_size, run),
         }
+    }
+
+    /// Materializes the whole kernel stream in emission order, each
+    /// kernel behind an [`Arc`](std::sync::Arc) so a cache and several
+    /// timing consumers can share it without copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prop` is not supported by the application (see
+    /// [`AppKind::supported_propagations`]).
+    pub fn stream(&self, prop: Propagation, tb_size: u32) -> Vec<std::sync::Arc<KernelTrace>> {
+        let mut kernels = Vec::new();
+        self.produce(prop, tb_size, &mut |k| kernels.push(std::sync::Arc::new(k)));
+        kernels
     }
 }
 

@@ -104,20 +104,21 @@ fn frontiers(graph: &Csr) -> Vec<Vec<u32>> {
 }
 
 /// Generates the kernel sequence of an SSSP run (two kernels per
-/// simulated iteration) and feeds each to `run`.
+/// simulated iteration), handing each finished trace to `run` by
+/// value. The stream depends only on `(graph, prop, tb_size)`, so it
+/// is safe to materialize once and replay across configuration cells.
 ///
 /// # Panics
 ///
 /// Panics if `prop` is [`Propagation::PushPull`].
-pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(&KernelTrace)) {
+pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
     assert_ne!(
         prop,
         Propagation::PushPull,
         "SSSP has static traversal: use Push or Pull"
     );
     let n = graph.num_vertices();
-    let mut space = AddressSpace::new(64);
-    let arrays = GraphArrays::new(&mut space, graph);
+    let (mut space, arrays) = GraphArrays::workspace(graph);
     let dist = space.array("dist", n as u64);
     let newdist = space.array("newdist", n as u64);
     let flag = space.array("flag", n as u64);
@@ -168,7 +169,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
             }),
             Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
         };
-        run(&relax);
+        run(relax);
 
         // Settle kernel: identical for both variants.
         let settle = vertex_kernel(n, tb_size, |v, ops| {
@@ -178,7 +179,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
             ops.push(MicroOp::store(dist.addr(v as u64)));
             ops.push(MicroOp::store(flag.addr(v as u64)));
         });
-        run(&settle);
+        run(settle);
     }
 }
 

@@ -1,26 +1,44 @@
 //! The `repro bench` performance baseline: wall-clock timing of a
 //! fixed small study slice, serialized to `BENCH_sim.json`.
 //!
-//! The slice is the simulator's perf canary: nine (application,
-//! configuration) cells on a synthetic rmat14 graph at scale 0.125,
-//! chosen to exercise both coherence protocols, all three consistency
-//! models, and all three traversal directions. `repro bench` times
-//! each cell (best of `--iters` runs, through the shim-criterion
-//! `Bencher`), writes the report as JSON, and can compare it against a
-//! committed baseline to gate regressions in CI (see
-//! `docs/performance.md`).
+//! The report has three arms (`ggs-bench-v2` schema):
+//!
+//! * **Slice** — nine (application, configuration) cells on a
+//!   synthetic rmat14 graph at scale 0.125, chosen to exercise both
+//!   coherence protocols, all three consistency models, and all three
+//!   traversal directions. Each cell is timed cold (best of `--iters`
+//!   runs through the shim-criterion `Bencher`): this is the
+//!   per-cell simulation canary.
+//! * **Grid** — the twelve static configurations of one application
+//!   (PR) on the same graph, sharing one [`TraceCache`]: the
+//!   sweep-path canary. Traces are built once per traversal direction
+//!   and replayed for every coherence × consistency cell, so this arm
+//!   regresses when cross-cell reuse stops paying (see
+//!   docs/performance.md, "Sweep-level reuse").
+//! * **Tiers** — one representative cell (PR under SGR) per graph
+//!   scale tier (`rmat14`/`rmat16`/`rmat18`), each under a
+//!   [`TIER_BUDGET_CYCLES`] simulation budget: the big-graph canary.
+//!   A tier that breaches its budget or exhausts the interned-ID
+//!   table fails the run.
 //!
 //! Simulated cycle counts are recorded alongside the wall-clock
 //! numbers: cycles are deterministic, so a cycles mismatch against the
 //! baseline means simulator *behavior* changed (intentionally or not)
-//! and the baseline needs a refresh in the same change.
+//! and the baseline needs a refresh in the same change. Peak RSS is
+//! recorded and gated too, so a memory blow-up in the sweep path is
+//! caught even when throughput survives.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use criterion::Bencher;
 use ggs_apps::AppKind;
-use ggs_core::experiment::{run_workload_traced, ExperimentSpec};
+use ggs_core::experiment::{
+    produce_trace_stream, run_stream_budgeted, run_workload_budgeted, run_workload_traced,
+    ExperimentSpec,
+};
 use ggs_core::json::{self, Value};
+use ggs_core::{graph_fingerprint, StreamKey, TraceCache};
 use ggs_graph::synth::{DegreeModel, SynthConfig};
 use ggs_graph::Csr;
 use ggs_model::SystemConfig;
@@ -49,6 +67,26 @@ pub const SLICE: [(AppKind, &str); 9] = [
     (AppKind::Cc, "DGR"),
 ];
 
+/// Application of the twelve-configuration grid arm.
+pub const GRID_APP: AppKind = AppKind::Pr;
+
+/// The full static configuration grid: two traversal directions ×
+/// two coherence protocols × three consistency models. Six cells per
+/// direction share one kernel-trace stream through the [`TraceCache`].
+pub const GRID_CONFIGS: [&str; 12] = [
+    "TG0", "TG1", "TGR", "TD0", "TD1", "TDR", "SG0", "SG1", "SGR", "SD0", "SD1", "SDR",
+];
+
+/// The graph scale tiers: each tier quadruples the vertex count of
+/// the previous one (before `BENCH_SCALE` is applied).
+pub const TIERS: [&str; 3] = ["rmat14", "rmat16", "rmat18"];
+
+/// Simulation-cycle budget of one tier cell. Generous — a healthy
+/// tier finishes far below it — but a runaway simulation (or an
+/// interned-ID table that stops scaling) trips it instead of hanging
+/// the bench.
+pub const TIER_BUDGET_CYCLES: u64 = 1_000_000_000;
+
 /// Generates an `rmat<exp>` synthetic power-law graph (2^exp vertices
 /// before scaling, average degree 16), as used by `repro trace` and
 /// the benchmark slice.
@@ -74,27 +112,99 @@ pub struct CellTiming {
     pub kernels: u64,
 }
 
-/// One `repro bench` measurement: the whole slice plus aggregates.
+/// Timing of the twelve-configuration grid arm: one application swept
+/// across the full static grid, once rebuilding the kernel trace per
+/// cell (the pre-reuse sweep path) and once through a shared
+/// [`TraceCache`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridTiming {
+    /// Application mnemonic (`PR`).
+    pub app: String,
+    /// Number of grid cells swept.
+    pub configs: u32,
+    /// Wall-clock time of the shared-cache sweep, trace builds
+    /// included.
+    pub wall: Duration,
+    /// Wall-clock time of the same sweep rebuilding the trace for
+    /// every cell.
+    pub uncached_wall: Duration,
+    /// Trace-cache hits over the cached sweep (expected: configs −
+    /// builds).
+    pub cache_hits: u64,
+    /// Trace-cache misses over the cached sweep (one per traversal
+    /// direction).
+    pub cache_misses: u64,
+}
+
+impl GridTiming {
+    /// Grid cells swept per second of wall-clock time (cached sweep)
+    /// — the sweep-path throughput number gated against the baseline.
+    pub fn cells_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            f64::from(self.configs) / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Sweep-level reuse factor: uncached wall over cached wall. The
+    /// honest measure of what cross-cell trace memoization buys on
+    /// this host (bounded by the trace producer's share of cell
+    /// cost).
+    pub fn speedup(&self) -> f64 {
+        let cached = self.wall.as_secs_f64();
+        if cached > 0.0 {
+            self.uncached_wall.as_secs_f64() / cached
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Timing of one scale-tier cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TierTiming {
+    /// Tier name (`rmat14`, `rmat16`, `rmat18`).
+    pub tier: String,
+    /// Vertices of the generated graph (after `BENCH_SCALE`).
+    pub vertices: u64,
+    /// Edges of the generated graph (after `BENCH_SCALE`).
+    pub edges: u64,
+    /// Wall-clock time of the single measured run.
+    pub wall: Duration,
+    /// Simulated GPU cycles (deterministic).
+    pub cycles: u64,
+    /// Kernels launched (deterministic).
+    pub kernels: u64,
+}
+
+/// One `repro bench` measurement: the slice, the grid, the tiers, and
+/// the aggregates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
     /// Scale factor of the run.
     pub scale: f64,
-    /// Iterations measured per cell (the best is kept).
+    /// Iterations measured per slice cell (the best is kept).
     pub iters: u32,
-    /// Per-cell timings, in slice order.
+    /// Per-cell slice timings, in slice order.
     pub cells: Vec<CellTiming>,
+    /// The shared-trace-cache grid sweep, when it was run.
+    pub grid: Option<GridTiming>,
+    /// Per-tier timings, in ascending tier order.
+    pub tiers: Vec<TierTiming>,
     /// Peak resident set size in KiB, when the platform exposes it.
     pub peak_rss_kb: Option<u64>,
 }
 
 impl BenchReport {
-    /// Sum of the per-cell best wall-clock times.
+    /// Sum of the per-cell best wall-clock times (slice only).
     pub fn total_wall(&self) -> Duration {
         self.cells.iter().map(|c| c.wall).sum()
     }
 
-    /// Cells simulated per second of wall-clock time — the headline
-    /// perf-trajectory number.
+    /// Slice cells simulated per second of wall-clock time — the
+    /// per-cell perf-trajectory number.
     pub fn cells_per_sec(&self) -> f64 {
         let secs = self.total_wall().as_secs_f64();
         if secs > 0.0 {
@@ -105,10 +215,10 @@ impl BenchReport {
     }
 
     /// Serializes the report as pretty-printed JSON (the
-    /// `BENCH_sim.json` schema, `ggs-bench-v1`).
+    /// `BENCH_sim.json` schema, `ggs-bench-v2`).
     pub fn to_json_pretty(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"ggs-bench-v1\",\n");
+        out.push_str("  \"schema\": \"ggs-bench-v2\",\n");
         out.push_str(&format!("  \"graph\": \"{BENCH_GRAPH}\",\n"));
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"iters\": {},\n", self.iters));
@@ -137,6 +247,37 @@ impl BenchReport {
                 if i + 1 < self.cells.len() { "," } else { "" }
             ));
         }
+        out.push_str("  ],\n");
+        match &self.grid {
+            Some(g) => out.push_str(&format!(
+                "  \"grid\": {{\"app\": \"{}\", \"configs\": {}, \"wall_ms\": {:.3}, \
+                 \"uncached_wall_ms\": {:.3}, \"cells_per_sec\": {:.4}, \
+                 \"speedup\": {:.4}, \"cache_hits\": {}, \"cache_misses\": {}}},\n",
+                g.app,
+                g.configs,
+                g.wall.as_secs_f64() * 1e3,
+                g.uncached_wall.as_secs_f64() * 1e3,
+                g.cells_per_sec(),
+                g.speedup(),
+                g.cache_hits,
+                g.cache_misses,
+            )),
+            None => out.push_str("  \"grid\": null,\n"),
+        }
+        out.push_str("  \"tiers\": [\n");
+        for (i, t) in self.tiers.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"tier\": \"{}\", \"vertices\": {}, \"edges\": {}, \
+                 \"wall_ms\": {:.3}, \"cycles\": {}, \"kernels\": {}}}{}\n",
+                t.tier,
+                t.vertices,
+                t.edges,
+                t.wall.as_secs_f64() * 1e3,
+                t.cycles,
+                t.kernels,
+                if i + 1 < self.tiers.len() { "," } else { "" }
+            ));
+        }
         out.push_str("  ]\n}\n");
         out
     }
@@ -146,7 +287,7 @@ impl BenchReport {
     pub fn from_json(text: &str) -> Result<Self, String> {
         let v = json::parse(text)?;
         let schema = v.get("schema").and_then(Value::as_str).unwrap_or("");
-        if schema != "ggs-bench-v1" {
+        if schema != "ggs-bench-v2" {
             return Err(format!("unsupported bench schema {schema:?}"));
         }
         let field_f64 = |k: &str| -> Result<f64, String> {
@@ -180,10 +321,62 @@ impl BenchReport {
                 })
             })
             .collect::<Result<Vec<_>, _>>()?;
+        let grid = match v.get("grid") {
+            Some(g @ Value::Object(_)) => {
+                let n = |k: &str| {
+                    g.get(k)
+                        .and_then(Value::as_f64)
+                        .ok_or_else(|| format!("grid missing {k:?}"))
+                };
+                Some(GridTiming {
+                    app: g
+                        .get("app")
+                        .and_then(Value::as_str)
+                        .map(str::to_owned)
+                        .ok_or("grid missing \"app\"")?,
+                    configs: n("configs")? as u32,
+                    wall: Duration::from_secs_f64(n("wall_ms")? / 1e3),
+                    uncached_wall: Duration::from_secs_f64(n("uncached_wall_ms")? / 1e3),
+                    cache_hits: n("cache_hits")? as u64,
+                    cache_misses: n("cache_misses")? as u64,
+                })
+            }
+            _ => None,
+        };
+        let tiers = v
+            .get("tiers")
+            .and_then(Value::as_array)
+            .map(|arr| {
+                arr.iter()
+                    .map(|t| -> Result<TierTiming, String> {
+                        let n = |k: &str| {
+                            t.get(k)
+                                .and_then(Value::as_f64)
+                                .ok_or_else(|| format!("tier missing {k:?}"))
+                        };
+                        Ok(TierTiming {
+                            tier: t
+                                .get("tier")
+                                .and_then(Value::as_str)
+                                .map(str::to_owned)
+                                .ok_or("tier missing \"tier\"")?,
+                            vertices: n("vertices")? as u64,
+                            edges: n("edges")? as u64,
+                            wall: Duration::from_secs_f64(n("wall_ms")? / 1e3),
+                            cycles: n("cycles")? as u64,
+                            kernels: n("kernels")? as u64,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()
+            })
+            .transpose()?
+            .unwrap_or_default();
         Ok(Self {
             scale: field_f64("scale")?,
             iters: field_f64("iters")? as u32,
             cells,
+            grid,
+            tiers,
             peak_rss_kb: v.get("peak_rss_kb").and_then(Value::as_u64),
         })
     }
@@ -191,7 +384,9 @@ impl BenchReport {
 
 /// Runs the benchmark slice: each cell is timed `iters` times through
 /// the shim-criterion [`Bencher`] and the best iteration is kept.
-/// `progress` receives one human-readable line per cell.
+/// `progress` receives one human-readable line per cell. The grid and
+/// tier arms are separate ([`run_grid`], [`run_tier`]); the returned
+/// report carries none until the caller fills them in.
 pub fn run_slice(iters: u32, progress: &mut dyn FnMut(&str)) -> BenchReport {
     let graph = rmat_graph(14, BENCH_SCALE);
     let spec = ExperimentSpec::at_scale(BENCH_SCALE);
@@ -232,18 +427,158 @@ pub fn run_slice(iters: u32, progress: &mut dyn FnMut(&str)) -> BenchReport {
         scale: BENCH_SCALE,
         iters: iters.max(1),
         cells,
+        grid: None,
+        tiers: Vec::new(),
         peak_rss_kb: peak_rss_kb(),
     }
+}
+
+/// Sweeps [`GRID_APP`] across the full twelve-configuration static
+/// grid with one shared [`TraceCache`]: the kernel-trace stream is
+/// built once per traversal direction and replayed for every
+/// coherence × consistency cell of that direction, exactly as the
+/// study runner does (docs/performance.md, "Sweep-level reuse").
+pub fn run_grid(progress: &mut dyn FnMut(&str)) -> GridTiming {
+    let graph = rmat_graph(14, BENCH_SCALE);
+    let spec = ExperimentSpec::at_scale(BENCH_SCALE);
+    let graph_fp = graph_fingerprint(&graph);
+    let configs: Vec<SystemConfig> = GRID_CONFIGS
+        .iter()
+        .map(|code| code.parse().expect("grid config codes are valid"))
+        .collect();
+    let run_cell = |stream: &[Arc<ggs_sim::trace::KernelTrace>], config: SystemConfig| {
+        run_stream_budgeted(stream, GRID_APP, config, &spec, Tracer::off(), None)
+            .expect("grid cells are supported app/config pairs")
+    };
+    // Warm the allocator and page tables outside both measured passes.
+    let warmup = produce_trace_stream(
+        GRID_APP,
+        &graph,
+        configs[0].propagation,
+        spec.params.tb_size,
+    );
+    run_cell(&warmup, configs[0]);
+    drop(warmup);
+
+    // Pass 1: the pre-reuse sweep path — every cell rebuilds its
+    // kernel-trace stream.
+    let start = Instant::now();
+    for &config in &configs {
+        let stream =
+            produce_trace_stream(GRID_APP, &graph, config.propagation, spec.params.tb_size);
+        run_cell(&stream, config);
+    }
+    let uncached_wall = start.elapsed();
+
+    // Pass 2: the shared-cache sweep path — one build per direction.
+    let cache = TraceCache::new(256 << 20);
+    let start = Instant::now();
+    for &config in &configs {
+        let key = StreamKey {
+            app: GRID_APP,
+            graph_fp,
+            prop: config.propagation,
+            tb_size: spec.params.tb_size,
+        };
+        let stream = cache.get_or_build(
+            key,
+            BENCH_GRAPH,
+            &ggs_trace::NOOP,
+            || 0,
+            || {
+                Arc::new(produce_trace_stream(
+                    GRID_APP,
+                    &graph,
+                    config.propagation,
+                    spec.params.tb_size,
+                ))
+            },
+        );
+        run_cell(&stream, config);
+    }
+    let wall = start.elapsed();
+    let stats = cache.stats();
+    let timing = GridTiming {
+        app: GRID_APP.mnemonic().to_owned(),
+        configs: GRID_CONFIGS.len() as u32,
+        wall,
+        uncached_wall,
+        cache_hits: stats.hits,
+        cache_misses: stats.misses,
+    };
+    progress(&format!(
+        "grid {}x{}: {:8.1} ms cached vs {:8.1} ms uncached  \
+         ({:.1} cells/sec, {:.2}x reuse, {} trace builds, {} hits)",
+        timing.app,
+        timing.configs,
+        wall.as_secs_f64() * 1e3,
+        uncached_wall.as_secs_f64() * 1e3,
+        timing.cells_per_sec(),
+        timing.speedup(),
+        stats.misses,
+        stats.hits,
+    ));
+    timing
+}
+
+/// Runs one scale tier: PR under SGR on the named `rmat<N>` graph
+/// (scaled by [`BENCH_SCALE`]), bounded by [`TIER_BUDGET_CYCLES`].
+/// Returns an error for an unknown tier name or a budget breach —
+/// a tier that cannot finish inside the budget is a regression, not
+/// a measurement.
+pub fn run_tier(tier: &str, progress: &mut dyn FnMut(&str)) -> Result<TierTiming, String> {
+    let exp: u32 = tier
+        .strip_prefix("rmat")
+        .and_then(|s| s.parse().ok())
+        .filter(|e| (4..=28).contains(e))
+        .ok_or_else(|| format!("unknown tier {tier:?} (expected rmat<N>, 4 <= N <= 28)"))?;
+    let graph = rmat_graph(exp, BENCH_SCALE);
+    let spec = ExperimentSpec::builder()
+        .scale(BENCH_SCALE)
+        .max_sim_cycles(TIER_BUDGET_CYCLES)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let config: SystemConfig = "SGR".parse().expect("tier config code is valid");
+    let start = Instant::now();
+    let stats = run_workload_budgeted(AppKind::Pr, &graph, config, &spec, Tracer::off(), None)
+        .map_err(|e| format!("tier {tier} breached its simulation budget: {e}"))?;
+    let wall = start.elapsed();
+    let timing = TierTiming {
+        tier: tier.to_owned(),
+        vertices: graph.num_vertices() as u64,
+        edges: graph.num_edges(),
+        wall,
+        cycles: stats.total_cycles(),
+        kernels: stats.kernels,
+    };
+    progress(&format!(
+        "tier {:6}: {:8.1} ms  ({} vertices, {} edges, {} cycles, {} kernels)",
+        timing.tier,
+        wall.as_secs_f64() * 1e3,
+        timing.vertices,
+        timing.edges,
+        timing.cycles,
+        timing.kernels,
+    ));
+    Ok(timing)
 }
 
 /// Compares a fresh measurement against a committed baseline.
 ///
 /// Returns the list of failures (empty when the gate passes):
-/// * throughput (cells/sec) dropped more than `threshold_pct` percent;
-/// * any cell's simulated cycle count changed — cycles are
+/// * slice throughput (cells/sec) dropped more than `threshold_pct`
+///   percent;
+/// * grid (shared-trace-cache sweep) throughput dropped more than
+///   `threshold_pct` percent, when both reports carry a grid arm;
+/// * peak RSS grew more than `threshold_pct` percent, when both
+///   reports carry one — the memory gate for the sweep path;
+/// * any slice cell's simulated cycle count changed — cycles are
 ///   deterministic, so a mismatch means simulator behavior changed and
 ///   `BENCH_sim.json` must be refreshed in the same change
-///   (`repro bench --out BENCH_sim.json`).
+///   (`repro bench --out BENCH_sim.json`);
+/// * any tier measured by both reports drifted in cycles or kernels
+///   (tiers missing from one side are skipped, so `--tier`-restricted
+///   runs can still gate against a full baseline).
 pub fn regression_failures(
     current: &BenchReport,
     baseline: &BenchReport,
@@ -256,6 +591,23 @@ pub fn regression_failures(
         failures.push(format!(
             "throughput regressed more than {threshold_pct}%: {now:.3} cells/sec vs baseline {base:.3}"
         ));
+    }
+    if let (Some(g), Some(gb)) = (&current.grid, &baseline.grid) {
+        let (now, base) = (g.cells_per_sec(), gb.cells_per_sec());
+        if base > 0.0 && now < base * (1.0 - threshold_pct / 100.0) {
+            failures.push(format!(
+                "grid throughput regressed more than {threshold_pct}%: {now:.3} cells/sec \
+                 vs baseline {base:.3}"
+            ));
+        }
+    }
+    if let (Some(now), Some(base)) = (current.peak_rss_kb, baseline.peak_rss_kb) {
+        if now as f64 > base as f64 * (1.0 + threshold_pct / 100.0) {
+            failures.push(format!(
+                "peak RSS regressed more than {threshold_pct}%: {now} KiB vs baseline {base} KiB \
+                 (refresh BENCH_sim.json if intentional)"
+            ));
+        }
     }
     for b in &baseline.cells {
         let Some(c) = current
@@ -274,6 +626,18 @@ pub fn regression_failures(
                 "cell {}/{} changed behavior: {} cycles / {} kernels vs baseline {} / {} \
                  (refresh BENCH_sim.json if intentional)",
                 b.app, b.config, c.cycles, c.kernels, b.cycles, b.kernels
+            ));
+        }
+    }
+    for b in &baseline.tiers {
+        let Some(t) = current.tiers.iter().find(|t| t.tier == b.tier) else {
+            continue; // `--tier`-restricted run: absent tiers are not gated
+        };
+        if t.cycles != b.cycles || t.kernels != b.kernels {
+            failures.push(format!(
+                "tier {} changed behavior: {} cycles / {} kernels vs baseline {} / {} \
+                 (refresh BENCH_sim.json if intentional)",
+                b.tier, t.cycles, t.kernels, b.cycles, b.kernels
             ));
         }
     }
@@ -308,23 +672,75 @@ mod tests {
                     kernels: 3,
                 })
                 .collect(),
+            grid: None,
+            tiers: Vec::new(),
             peak_rss_kb: Some(1024),
         }
     }
 
+    fn full_report() -> BenchReport {
+        let mut r = report(&[(100, 5000), (250, 7000)]);
+        r.grid = Some(GridTiming {
+            app: "PR".to_owned(),
+            configs: 12,
+            wall: Duration::from_millis(60),
+            uncached_wall: Duration::from_millis(90),
+            cache_hits: 10,
+            cache_misses: 2,
+        });
+        r.tiers = vec![
+            TierTiming {
+                tier: "rmat14".to_owned(),
+                vertices: 2048,
+                edges: 32768,
+                wall: Duration::from_millis(40),
+                cycles: 900_000,
+                kernels: 12,
+            },
+            TierTiming {
+                tier: "rmat16".to_owned(),
+                vertices: 8192,
+                edges: 131072,
+                wall: Duration::from_millis(170),
+                cycles: 3_600_000,
+                kernels: 12,
+            },
+        ];
+        r
+    }
+
     #[test]
     fn json_round_trips() {
-        let r = report(&[(100, 5000), (250, 7000)]);
+        let r = full_report();
         let parsed = BenchReport::from_json(&r.to_json_pretty()).unwrap();
         assert_eq!(parsed.cells.len(), 2);
         assert_eq!(parsed.cells[1].cycles, 7000);
         assert_eq!(parsed.peak_rss_kb, Some(1024));
         assert!((parsed.cells_per_sec() - r.cells_per_sec()).abs() < 1e-3);
+        let grid = parsed.grid.as_ref().unwrap();
+        assert_eq!(grid.configs, 12);
+        assert_eq!(grid.cache_hits, 10);
+        assert_eq!(grid.cache_misses, 2);
+        assert!((grid.cells_per_sec() - 200.0).abs() < 1e-6);
+        assert!((grid.speedup() - 1.5).abs() < 1e-6);
+        assert_eq!(parsed.tiers.len(), 2);
+        assert_eq!(parsed.tiers[1].tier, "rmat16");
+        assert_eq!(parsed.tiers[1].cycles, 3_600_000);
+        assert_eq!(parsed.tiers[1].edges, 131072);
+    }
+
+    #[test]
+    fn json_round_trips_without_grid_or_tiers() {
+        let r = report(&[(100, 5000)]);
+        let parsed = BenchReport::from_json(&r.to_json_pretty()).unwrap();
+        assert_eq!(parsed.grid, None);
+        assert!(parsed.tiers.is_empty());
     }
 
     #[test]
     fn rejects_foreign_schema() {
         assert!(BenchReport::from_json("{\"schema\": \"other\"}").is_err());
+        assert!(BenchReport::from_json("{\"schema\": \"ggs-bench-v1\"}").is_err());
         assert!(BenchReport::from_json("not json").is_err());
     }
 
@@ -361,6 +777,56 @@ mod tests {
     }
 
     #[test]
+    fn regression_gate_fails_on_rss_growth() {
+        let base = report(&[(100, 5000)]);
+        let mut bloated = report(&[(100, 5000)]);
+        bloated.peak_rss_kb = Some(2048); // 2x the baseline's 1024
+        let failures = regression_failures(&bloated, &base, 25.0);
+        assert!(
+            failures.iter().any(|f| f.contains("peak RSS regressed")),
+            "{failures:?}"
+        );
+        // Shrinking (or an unmeasurable platform) never fails.
+        let mut slim = report(&[(100, 5000)]);
+        slim.peak_rss_kb = Some(512);
+        assert!(regression_failures(&slim, &base, 25.0).is_empty());
+        slim.peak_rss_kb = None;
+        assert!(regression_failures(&slim, &base, 25.0).is_empty());
+    }
+
+    #[test]
+    fn regression_gate_fails_on_grid_slowdown() {
+        let base = full_report();
+        let mut slow = full_report();
+        slow.grid.as_mut().unwrap().wall = Duration::from_millis(120); // 2x
+        let failures = regression_failures(&slow, &base, 25.0);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("grid throughput regressed")),
+            "{failures:?}"
+        );
+    }
+
+    #[test]
+    fn regression_gate_fails_on_tier_drift_but_skips_absent_tiers() {
+        let base = full_report();
+        let mut drifted = full_report();
+        drifted.tiers[1].cycles += 1;
+        let failures = regression_failures(&drifted, &base, 25.0);
+        assert!(
+            failures
+                .iter()
+                .any(|f| f.contains("tier rmat16 changed behavior")),
+            "{failures:?}"
+        );
+        // A `--tier`-restricted run gates only the tiers it measured.
+        let mut restricted = full_report();
+        restricted.tiers.truncate(1);
+        assert!(regression_failures(&restricted, &base, 25.0).is_empty());
+    }
+
+    #[test]
     fn peak_rss_is_plausible_on_linux() {
         if let Some(kb) = peak_rss_kb() {
             assert!(kb > 0);
@@ -376,5 +842,21 @@ mod tests {
                 "{app}/{code} is not a runnable cell"
             );
         }
+    }
+
+    #[test]
+    fn grid_configs_cover_the_full_static_grid() {
+        let mut seen = std::collections::BTreeSet::new();
+        for code in GRID_CONFIGS {
+            let config: SystemConfig = code.parse().expect("valid code");
+            assert!(
+                GRID_APP
+                    .supported_propagations()
+                    .contains(&config.propagation),
+                "{code} is not runnable for {GRID_APP:?}"
+            );
+            assert!(seen.insert(code), "duplicate grid config {code}");
+        }
+        assert_eq!(seen.len(), 12);
     }
 }

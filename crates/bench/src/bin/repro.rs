@@ -14,17 +14,21 @@
 //!             [--max-kernels N] [--max-sim-cycles N] [--retries N]
 //!             [--inject-fault APP/GRAPH/CFG[=panic|hang|io]]...
 //! repro bench [--iters N] [--smoke] [--out PATH]
-//!             [--baseline PATH] [--threshold PCT]
+//!             [--baseline PATH] [--threshold PCT] [--tier NAME]...
 //! repro verify [--cell CODE]... [--smoke] [--mutations]
 //! ```
 //!
-//! `repro bench` times the fixed nine-cell benchmark slice (see
-//! `ggs_bench::bench` and docs/performance.md) and writes the
-//! `BENCH_sim.json` perf-trajectory point. `--smoke` is the CI mode:
-//! best of five iterations per cell, compared against `--baseline`
-//! with a throughput-regression threshold (`--threshold`, default
-//! 25%; CI passes 20); the process exits 1 when the gate fails. Simulated cycles are part of
-//! the baseline, so behavior drift is also caught.
+//! `repro bench` times the fixed nine-cell benchmark slice, the
+//! twelve-configuration grid sweep through a shared trace cache, and
+//! the `rmat14`/`rmat16`/`rmat18` scale tiers (see `ggs_bench::bench`
+//! and docs/performance.md), then writes the `BENCH_sim.json`
+//! perf-trajectory point. `--tier NAME` (repeatable) restricts the
+//! tier arm. `--smoke` is the CI mode: best of five iterations per
+//! cell, compared against `--baseline` with a throughput-regression
+//! threshold (`--threshold`, default 25%; CI passes 20); the process
+//! exits 1 when the gate fails. Simulated cycles, tier behavior, and
+//! peak RSS are part of the baseline, so behavior drift and memory
+//! blow-ups are also caught.
 //!
 //! `repro study` runs the 36-workload study through the fault-tolerant
 //! runner (see docs/robustness.md): per-cell panic isolation, watchdog
@@ -111,6 +115,7 @@ fn main() {
     let mut bench_out: Option<String> = None;
     let mut bench_baseline: Option<String> = None;
     let mut bench_threshold = 25.0f64;
+    let mut bench_tiers: Vec<String> = Vec::new();
     let mut verify_cells: Vec<String> = Vec::new();
     let mut verify_mutations = false;
     let mut sections: Vec<String> = Vec::new();
@@ -217,6 +222,12 @@ fn main() {
                     .filter(|v: &f64| v.is_finite() && *v > 0.0)
                     .unwrap_or_else(|| die("--threshold needs a positive percentage"));
             }
+            "--tier" => {
+                bench_tiers.push(
+                    args.next()
+                        .unwrap_or_else(|| die("--tier needs a tier name like rmat16")),
+                );
+            }
             "--cell" => {
                 verify_cells.push(
                     args.next()
@@ -290,13 +301,15 @@ fn main() {
                 );
                 println!(
                     "       repro bench [--iters N] [--smoke] [--out PATH] \
-                     [--baseline PATH] [--threshold PCT]"
+                     [--baseline PATH] [--threshold PCT] [--tier NAME]..."
                 );
                 println!(
-                    "  bench    time the fixed nine-cell benchmark slice and write the \
-                     BENCH_sim.json perf baseline; --smoke (CI) runs best-of-5 per \
-                     cell and --baseline gates throughput regressions beyond \
-                     --threshold percent (docs/performance.md)"
+                    "  bench    time the nine-cell slice, the 12-config shared-trace-cache \
+                     grid, and the rmat14/16/18 scale tiers, then write the \
+                     BENCH_sim.json perf baseline; --tier restricts the tier arm, \
+                     --smoke (CI) runs best-of-5 per cell, and --baseline gates \
+                     throughput, RSS, and behavior regressions beyond --threshold \
+                     percent (docs/performance.md)"
                 );
                 println!("       repro verify [--cell CODE]... [--smoke] [--mutations]");
                 println!(
@@ -336,6 +349,7 @@ fn main() {
             bench_out.as_deref(),
             bench_baseline.as_deref(),
             bench_threshold,
+            &bench_tiers,
         );
         return;
     }
@@ -720,7 +734,8 @@ fn study_cmd(cmd: &StudyCmd) {
     fig6(&outcome.study);
 }
 
-/// `repro bench`: times the fixed benchmark slice, writes/prints the
+/// `repro bench`: times the fixed benchmark slice, the shared-cache
+/// grid sweep, and the scale tiers; writes/prints the
 /// `BENCH_sim.json` report, and optionally gates against a committed
 /// baseline (exit 1 on regression). See docs/performance.md.
 fn bench_cmd(
@@ -729,8 +744,12 @@ fn bench_cmd(
     out: Option<&str>,
     baseline: Option<&str>,
     threshold_pct: f64,
+    tiers: &[String],
 ) {
-    use ggs_bench::bench::{run_slice, BenchReport, BENCH_GRAPH, BENCH_SCALE, SLICE};
+    use ggs_bench::bench::{
+        peak_rss_kb, run_grid, run_slice, run_tier, BenchReport, BENCH_GRAPH, BENCH_SCALE, SLICE,
+        TIERS,
+    };
 
     // Smoke pins best-of-5: one iteration is too exposed to a busy
     // CI runner for the throughput arm of the gate, and five keep the
@@ -742,12 +761,41 @@ fn bench_cmd(
          best of {iters} iteration(s) per cell…",
         SLICE.len()
     );
-    let report = run_slice(iters, &mut |line| eprintln!("[repro]   {line}"));
+    let mut progress = |line: &str| eprintln!("[repro]   {line}");
+    let mut report = run_slice(iters, &mut progress);
+    eprintln!("[repro] sweeping the 12-configuration grid with a shared trace cache…");
+    report.grid = Some(run_grid(&mut progress));
+    let tier_names: Vec<&str> = if tiers.is_empty() {
+        TIERS.to_vec()
+    } else {
+        tiers.iter().map(String::as_str).collect()
+    };
+    eprintln!(
+        "[repro] running {} scale tier(s): {}…",
+        tier_names.len(),
+        tier_names.join(", ")
+    );
+    for tier in tier_names {
+        match run_tier(tier, &mut progress) {
+            Ok(t) => report.tiers.push(t),
+            Err(e) => die(&e),
+        }
+    }
+    // Re-sample the RSS high-water mark now that the big tiers ran —
+    // the sweep path's memory footprint is the point of the gate.
+    report.peak_rss_kb = peak_rss_kb();
+    let grid_line = report
+        .grid
+        .as_ref()
+        .map(|g| format!(", grid {:.3} cells/sec", g.cells_per_sec()))
+        .unwrap_or_default();
     println!(
-        "bench: {} cells in {:.2} s wall — {:.3} cells/sec{}",
+        "bench: {} cells in {:.2} s wall — {:.3} cells/sec{}, {} tier(s){}",
         report.cells.len(),
         report.total_wall().as_secs_f64(),
         report.cells_per_sec(),
+        grid_line,
+        report.tiers.len(),
         match report.peak_rss_kb {
             Some(kb) => format!(", peak RSS {kb} KiB"),
             None => String::new(),

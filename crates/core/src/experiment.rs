@@ -272,6 +272,75 @@ pub fn run_workload_budgeted(
     }
 }
 
+/// Materializes the kernel stream of `(app, graph, prop, tb_size)` —
+/// the *functional* half of a workload run, shared by every
+/// configuration cell of a direction (the stream never depends on
+/// coherence, consistency, or timing; see [`Workload::produce`]).
+///
+/// SSSP's deterministic weight attachment is replicated here, so the
+/// stream for an unweighted graph matches what [`run_workload_traced`]
+/// would simulate.
+///
+/// # Panics
+///
+/// Panics if `prop` is not supported by `app` (see
+/// [`AppKind::supported_propagations`]).
+pub fn produce_trace_stream(
+    app: AppKind,
+    graph: &Csr,
+    prop: ggs_model::Propagation,
+    tb_size: u32,
+) -> Vec<std::sync::Arc<ggs_sim::trace::KernelTrace>> {
+    let weighted;
+    let graph = if app.needs_weights() && !graph.is_weighted() {
+        weighted = graph.clone().with_hashed_weights(64);
+        &weighted
+    } else {
+        graph
+    };
+    Workload::new(app, graph).stream(prop, tb_size)
+}
+
+/// Timing half of the split workload run: simulates a pre-built kernel
+/// `stream` (from [`produce_trace_stream`], possibly via a
+/// `TraceCache`) under `config`, with the same budget/deadline
+/// semantics as [`run_workload_budgeted`]. Feeding the same kernels in
+/// the same order through the same engine makes the statistics
+/// bit-identical to the streamed path.
+pub fn run_stream_budgeted(
+    stream: &[std::sync::Arc<ggs_sim::trace::KernelTrace>],
+    app: AppKind,
+    config: SystemConfig,
+    spec: &ExperimentSpec,
+    tracer: Tracer<'_>,
+    deadline: Option<Instant>,
+) -> Result<ExecStats, GgsError> {
+    check_supported(app, config)?;
+    let mut budget = spec.budget;
+    budget.deadline = deadline.or(budget.deadline);
+    let mut sim = Simulation::builder(spec.params.clone(), config.hw())
+        .tracer(tracer)
+        .budget(budget)
+        .build();
+    let started = Instant::now();
+    for kernel in stream {
+        if sim.budget_exhausted() {
+            break;
+        }
+        sim.run_kernel(kernel);
+    }
+    match sim.budget_breach() {
+        Some(ggs_sim::BudgetBreach::Deadline { .. }) => {
+            let limit_ms = deadline
+                .map(|d| d.saturating_duration_since(started).as_millis() as u64)
+                .unwrap_or(0);
+            Err(GgsError::Deadline { limit_ms })
+        }
+        Some(breach) => Err(GgsError::Budget(breach)),
+        None => Ok(sim.finish()),
+    }
+}
+
 fn check_supported(app: AppKind, config: SystemConfig) -> Result<(), GgsError> {
     if app.supported_propagations().contains(&config.propagation) {
         Ok(())
@@ -456,6 +525,39 @@ mod tests {
             run_workload_budgeted(AppKind::Pr, &g, cfg, &spec, Tracer::off(), None).unwrap();
         let plain = run_workload(AppKind::Pr, &g, cfg, &spec);
         assert_eq!(budgeted.total_cycles(), plain.total_cycles());
+    }
+
+    #[test]
+    fn stream_path_is_bit_identical_to_generate_path() {
+        let g = graph();
+        let spec = ExperimentSpec::at_scale(0.05);
+        for (app, cfg) in [
+            (AppKind::Pr, "TG0"),
+            (AppKind::Sssp, "SD1"), // exercises the weighted clone
+            (AppKind::Cc, "DDR"),
+        ] {
+            let cfg: ggs_model::SystemConfig = cfg.parse().unwrap();
+            let stream = produce_trace_stream(app, &g, cfg.propagation, spec.params.tb_size);
+            let cached =
+                run_stream_budgeted(&stream, app, cfg, &spec, Tracer::off(), None).unwrap();
+            let direct = run_workload_budgeted(app, &g, cfg, &spec, Tracer::off(), None).unwrap();
+            assert_eq!(cached, direct, "{app}/{cfg}");
+        }
+    }
+
+    #[test]
+    fn stream_path_reports_budget_breach() {
+        let g = graph();
+        let spec = ExperimentSpec::builder()
+            .scale(0.05)
+            .max_kernels(1)
+            .build()
+            .unwrap();
+        let cfg: ggs_model::SystemConfig = "SGR".parse().unwrap();
+        let stream = produce_trace_stream(AppKind::Pr, &g, cfg.propagation, spec.params.tb_size);
+        let err =
+            run_stream_budgeted(&stream, AppKind::Pr, cfg, &spec, Tracer::off(), None).unwrap_err();
+        assert!(matches!(err, GgsError::Budget(_)), "{err}");
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod runner;
 pub mod store;
 pub mod study;
 pub mod sweep;
+pub mod trace_cache;
 
 pub use error::GgsError;
 pub use experiment::{
@@ -62,3 +63,4 @@ pub use runner::{
 pub use store::{Claim, CompactReport, Store, StoreFaults, StoreLoadReport, StoreSnapshot};
 pub use study::{Study, WorkloadReport};
 pub use sweep::WorkloadSweep;
+pub use trace_cache::{graph_fingerprint, StreamKey, TraceCache, TraceCacheStats, TraceStream};

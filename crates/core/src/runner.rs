@@ -32,7 +32,7 @@ use std::io::{BufRead, BufReader, Write as _};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ggs_apps::AppKind;
@@ -43,11 +43,14 @@ use ggs_sim::{Simulation, StallClass};
 use ggs_trace::{MetricsRegistry, TraceEvent, TraceSink, Tracer};
 
 use crate::error::GgsError;
-use crate::experiment::{run_workload_budgeted, ExperimentSpec};
+use crate::experiment::{
+    produce_trace_stream, run_stream_budgeted, run_workload_budgeted, ExperimentSpec,
+};
 use crate::json::{self, Value};
 use crate::store::{versioned_spec_hash, Claim, Store, StoreLoadReport};
 use crate::study::{ConfigSet, ResultRow, Study, WorkloadReport};
 use crate::sweep::{baseline_config, figure5_configs};
+use crate::trace_cache::{graph_fingerprint, StreamKey, TraceCache, TraceCacheStats};
 
 /// Terminal state of one study cell.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -446,6 +449,14 @@ pub struct StudyOptions {
     /// stays reserved before other runners may reclaim it (bounds the
     /// damage of a runner that dies holding leases).
     pub lease_ttl: Duration,
+    /// Byte budget of the study-wide kernel-trace cache
+    /// ([`TraceCache`]): cells sharing `(app, graph, direction,
+    /// tb_size)` build their kernel stream once and the rest replay it,
+    /// so a 12-configuration grid runs ~6 cells per stream build. `0`
+    /// disables the cache (every cell regenerates its own stream).
+    /// Timing results are bit-identical either way — the stream is a
+    /// pure function of the key.
+    pub trace_cache_bytes: u64,
 }
 
 impl Default for StudyOptions {
@@ -460,6 +471,7 @@ impl Default for StudyOptions {
             resume_from: None,
             store: None,
             lease_ttl: Duration::from_secs(30),
+            trace_cache_bytes: 256 << 20,
         }
     }
 }
@@ -496,6 +508,9 @@ pub struct StudyOutcome {
     /// What the store scan observed at study start (record count,
     /// corrupt spans), if a store was attached.
     pub store_report: Option<StoreLoadReport>,
+    /// Trace-cache traffic totals, when the cache was enabled (see
+    /// [`StudyOptions::trace_cache_bytes`]).
+    pub trace_cache: Option<TraceCacheStats>,
 }
 
 impl StudyOutcome {
@@ -629,7 +644,11 @@ pub fn run_study(
     };
 
     let metric_params = spec.metric_params();
-    let graphs: Vec<(GraphPreset, ggs_graph::Csr, GraphProfile)> = {
+    // Every graph is built exactly once per study and shared by handle:
+    // workers borrow the `Arc<Csr>`, and the content fingerprint keys
+    // the trace cache. The `graph_build` events make the once-per-study
+    // invariant testable (one event per preset, never per cell).
+    let graphs: Vec<(GraphPreset, Arc<ggs_graph::Csr>, GraphProfile, u64)> = {
         let _phase = metrics.phase("generate_inputs");
         GraphPreset::ALL
             .into_iter()
@@ -639,10 +658,21 @@ pub fn run_study(
                     .generate()
                     .with_hashed_weights(64);
                 let profile = GraphProfile::measure(&g, &metric_params);
-                (p, g, profile)
+                let fp = graph_fingerprint(&g);
+                if sink.enabled() {
+                    sink.emit(&TraceEvent::GraphBuild {
+                        graph: p.mnemonic().to_owned(),
+                        vertices: u64::from(g.num_vertices()),
+                        edges: g.num_edges(),
+                        at_us: epoch.elapsed().as_micros() as u64,
+                    });
+                }
+                (p, Arc::new(g), profile, fp)
             })
             .collect()
     };
+    let trace_cache =
+        (options.trace_cache_bytes > 0).then(|| TraceCache::new(options.trace_cache_bytes));
 
     // Cell list: graph-major, then app, then configuration — the same
     // order the aggregate reports are emitted in.
@@ -678,17 +708,22 @@ pub fn run_study(
                             break;
                         }
                         let cell = cells[i];
-                        let (preset, graph, _) = &graphs[cell.graph_index];
+                        let (preset, graph, _, graph_fp) = &graphs[cell.graph_index];
+                        let ctx = ReuseCtx {
+                            cache: trace_cache.as_deref(),
+                            graph_fp: *graph_fp,
+                            epoch,
+                            sink,
+                        };
                         let outcome = run_cell(
                             cell,
                             preset.mnemonic(),
-                            graph,
+                            graph.as_ref(),
                             spec,
                             options,
                             &resumed,
                             &store_hash,
-                            epoch,
-                            sink,
+                            ctx,
                         );
                         if outcome.report.status == CellStatus::Ok {
                             local.add("configs_simulated", 1);
@@ -754,7 +789,19 @@ pub fn run_study(
         journal_error,
         journal_loaded,
         store_report,
+        trace_cache: trace_cache.as_ref().map(|c| c.stats()),
     })
+}
+
+/// Shared per-cell context of the sweep-level reuse layer: the
+/// study-wide trace cache plus what a cell needs to key lookups and
+/// timestamp reuse events.
+#[derive(Clone, Copy)]
+struct ReuseCtx<'a> {
+    cache: Option<&'a TraceCache>,
+    graph_fp: u64,
+    epoch: Instant,
+    sink: &'a dyn TraceSink,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -766,16 +813,15 @@ fn run_cell(
     options: &StudyOptions,
     resumed: &BTreeMap<String, ResultRow>,
     store_hash: &str,
-    epoch: Instant,
-    sink: &dyn TraceSink,
+    ctx: ReuseCtx<'_>,
 ) -> CellOutcome {
     let app = cell.app.mnemonic().to_owned();
     let config = cell.config.code();
     let key = cell_key(&app, graph_name, &config);
-    let start_us = epoch.elapsed().as_micros() as u64;
-    let traced = sink.enabled();
+    let start_us = ctx.epoch.elapsed().as_micros() as u64;
+    let traced = ctx.sink.enabled();
     if traced {
-        sink.emit(&TraceEvent::CellStart {
+        ctx.sink.emit(&TraceEvent::CellStart {
             app: app.clone(),
             graph: graph_name.to_owned(),
             config: config.clone(),
@@ -797,21 +843,21 @@ fn run_cell(
         }
     } else if let Some(store) = &options.store {
         claim_and_execute(
-            store, store_hash, cell, &app, graph_name, &config, graph, spec, options, epoch, sink,
+            store, store_hash, cell, &app, graph_name, &config, graph, spec, options, ctx,
         )
     } else {
-        execute_with_retries(cell, &app, graph_name, &config, graph, spec, options)
+        execute_with_retries(cell, &app, graph_name, &config, graph, spec, options, ctx)
     };
 
     if traced {
-        sink.emit(&TraceEvent::CellFinish {
+        ctx.sink.emit(&TraceEvent::CellFinish {
             app,
             graph: graph_name.to_owned(),
             config,
             status: outcome.report.status.name(),
             attempts: outcome.report.attempts,
             start_us,
-            dur_us: epoch.elapsed().as_micros() as u64 - start_us,
+            dur_us: ctx.epoch.elapsed().as_micros() as u64 - start_us,
         });
     }
     outcome
@@ -835,8 +881,7 @@ fn claim_and_execute(
     graph: &ggs_graph::Csr,
     spec: &ExperimentSpec,
     options: &StudyOptions,
-    epoch: Instant,
-    sink: &dyn TraceSink,
+    ctx: ReuseCtx<'_>,
 ) -> CellOutcome {
     let key = cell_key(app, graph_name, config);
     let wait_started = Instant::now();
@@ -851,10 +896,10 @@ fn claim_and_execute(
     loop {
         match store.try_claim(store_hash, &key, options.lease_ttl) {
             Ok(Claim::Done(row)) => {
-                if sink.enabled() {
-                    sink.emit(&TraceEvent::StoreHit {
+                if ctx.sink.enabled() {
+                    ctx.sink.emit(&TraceEvent::StoreHit {
                         key: key.clone(),
-                        at_us: epoch.elapsed().as_micros() as u64,
+                        at_us: ctx.epoch.elapsed().as_micros() as u64,
                     });
                 }
                 return CellOutcome {
@@ -896,13 +941,14 @@ fn claim_and_execute(
             }
         }
     }
-    if sink.enabled() {
-        sink.emit(&TraceEvent::StoreMiss {
+    if ctx.sink.enabled() {
+        ctx.sink.emit(&TraceEvent::StoreMiss {
             key: key.clone(),
-            at_us: epoch.elapsed().as_micros() as u64,
+            at_us: ctx.epoch.elapsed().as_micros() as u64,
         });
     }
-    let mut outcome = execute_with_retries(cell, app, graph_name, config, graph, spec, options);
+    let mut outcome =
+        execute_with_retries(cell, app, graph_name, config, graph, spec, options, ctx);
     match (&outcome.report.status, &outcome.row) {
         (CellStatus::Ok, Some(row)) => {
             if let Err(e) = store.publish(store_hash, app, graph_name, row) {
@@ -942,6 +988,7 @@ fn failed_cell(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_with_retries(
     cell: Cell,
     app: &str,
@@ -950,6 +997,7 @@ fn execute_with_retries(
     graph: &ggs_graph::Csr,
     spec: &ExperimentSpec,
     options: &StudyOptions,
+    ctx: ReuseCtx<'_>,
 ) -> CellOutcome {
     let key = cell_key(app, graph_name, config);
     let fault = options.faults.get(&key);
@@ -959,7 +1007,7 @@ fn execute_with_retries(
         attempts += 1;
         let deadline = options.cell_deadline.map(|d| Instant::now() + d);
         let caught = catch_unwind(AssertUnwindSafe(|| {
-            execute_cell(cell, &key, graph, spec, fault, deadline)
+            execute_cell(cell, &key, graph_name, graph, spec, fault, deadline, ctx)
         }));
         match caught {
             Ok(Ok(stats)) => break Ok(stats),
@@ -1016,13 +1064,16 @@ fn execute_with_retries(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn execute_cell(
     cell: Cell,
     key: &str,
+    graph_name: &str,
     graph: &ggs_graph::Csr,
     spec: &ExperimentSpec,
     fault: Option<&Fault>,
     deadline: Option<Instant>,
+    ctx: ReuseCtx<'_>,
 ) -> Result<ggs_sim::ExecStats, GgsError> {
     match fault {
         Some(Fault::Panic) => panic!("injected fault: deliberate panic in {key}"),
@@ -1039,7 +1090,44 @@ fn execute_cell(
         }
         None => {}
     }
-    run_workload_budgeted(cell.app, graph, cell.config, spec, Tracer::off(), deadline)
+    match ctx.cache {
+        Some(cache) => {
+            // Split run: functional half through the shared cache (one
+            // build per app × graph × direction group), timing half on
+            // a fresh engine. The same kernels flow through the same
+            // simulator in the same order, so the statistics are
+            // bit-identical to the streamed path below.
+            let stream_key = StreamKey {
+                app: cell.app,
+                graph_fp: ctx.graph_fp,
+                prop: cell.config.propagation,
+                tb_size: spec.params.tb_size,
+            };
+            let stream = cache.get_or_build(
+                stream_key,
+                graph_name,
+                ctx.sink,
+                || ctx.epoch.elapsed().as_micros() as u64,
+                || {
+                    Arc::new(produce_trace_stream(
+                        cell.app,
+                        graph,
+                        cell.config.propagation,
+                        spec.params.tb_size,
+                    ))
+                },
+            );
+            run_stream_budgeted(
+                &stream,
+                cell.app,
+                cell.config,
+                spec,
+                Tracer::off(),
+                deadline,
+            )
+        }
+        None => run_workload_budgeted(cell.app, graph, cell.config, spec, Tracer::off(), deadline),
+    }
 }
 
 /// The `Hang` fault: feed small compute kernels forever, exactly like a
@@ -1086,7 +1174,7 @@ fn run_hang(
 /// in the failure report).
 fn aggregate(
     spec: &ExperimentSpec,
-    graphs: &[(GraphPreset, ggs_graph::Csr, GraphProfile)],
+    graphs: &[(GraphPreset, Arc<ggs_graph::Csr>, GraphProfile, u64)],
     cells: &[Cell],
     outcomes: &[CellOutcome],
 ) -> Study {
@@ -1110,7 +1198,7 @@ fn aggregate(
             // the failure report only.
             continue;
         }
-        let (preset, _, profile) = &graphs[gi];
+        let (preset, _, profile, _) = &graphs[gi];
         let algo = app.algo_profile();
         let best = rows
             .iter()

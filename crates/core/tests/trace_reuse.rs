@@ -1,0 +1,154 @@
+//! Sweep-level reuse acceptance tests (docs/performance.md,
+//! "Sweep-level reuse"):
+//!
+//! * the kernel-trace stream of a cell is a pure function of
+//!   (application, graph, direction, TB size): streams produced at
+//!   different times, interleaved with simulations, are identical
+//!   across every coherence × consistency cell sharing a direction,
+//!   and replaying a shared stream is bit-identical to replaying a
+//!   per-cell rebuild;
+//! * a study builds each input graph exactly once per preset, however
+//!   many configuration cells consume it (asserted via `graph_build`
+//!   trace events);
+//! * a study with the trace cache enabled is bit-identical to the
+//!   same study with the cache disabled, and reports the expected
+//!   hit/miss split.
+
+use ggs_apps::AppKind;
+use ggs_core::experiment::{produce_trace_stream, run_stream_budgeted, ExperimentSpec};
+use ggs_core::runner::{run_study, StudyOptions};
+use ggs_core::study::ConfigSet;
+use ggs_core::MetricsRegistry;
+use ggs_graph::synth::{GraphPreset, SynthConfig};
+use ggs_model::{Propagation, SystemConfig};
+use ggs_trace::{JsonlSink, Tracer, NOOP};
+
+const SCALE: f64 = 0.004;
+const THREADS: usize = 8;
+
+fn budgeted_spec() -> ExperimentSpec {
+    ExperimentSpec::builder()
+        .scale(SCALE)
+        .max_kernels(256)
+        .build()
+        .expect("valid spec")
+}
+
+/// The six coherence × consistency cells sharing one traversal
+/// direction.
+fn configs_of(prop: Propagation) -> Vec<SystemConfig> {
+    let dir = match prop {
+        Propagation::Pull => 'T',
+        Propagation::Push => 'S',
+        Propagation::PushPull => 'D',
+    };
+    let mut configs = Vec::new();
+    for coh in ['G', 'D'] {
+        for cons in ['0', '1', 'R'] {
+            let code = format!("{dir}{coh}{cons}");
+            configs.push(code.parse().expect("grid codes are valid"));
+        }
+    }
+    configs
+}
+
+/// Satellite: per application and direction, the per-iteration kernel
+/// trace stream is identical across every coherence × consistency
+/// cell of that direction — rebuilt per cell (as an uncached sweep
+/// would) or shared (as the `TraceCache` does), the streams and the
+/// resulting stats agree exactly.
+#[test]
+fn streams_are_identical_across_cells_sharing_a_direction() {
+    let graph = SynthConfig::preset(GraphPreset::Ols)
+        .scale(SCALE)
+        .generate();
+    let spec = budgeted_spec();
+    let tb = spec.params.tb_size;
+    let apps = AppKind::ALL.into_iter().chain(AppKind::EXTENDED);
+    for app in apps {
+        for &prop in app.supported_propagations() {
+            let shared = produce_trace_stream(app, &graph, prop, tb);
+            for config in configs_of(prop) {
+                // The stream a cell would build on its own, produced
+                // *after* other cells of the grid already simulated —
+                // byte-identical to the shared one.
+                let fresh = produce_trace_stream(app, &graph, prop, tb);
+                assert_eq!(
+                    shared, fresh,
+                    "{app:?}/{prop:?} stream differs across cells (config {config})"
+                );
+                let from_shared =
+                    run_stream_budgeted(&shared, app, config, &spec, Tracer::off(), None)
+                        .expect("grid cells are supported");
+                let from_fresh =
+                    run_stream_budgeted(&fresh, app, config, &spec, Tracer::off(), None)
+                        .expect("grid cells are supported");
+                assert_eq!(
+                    from_shared, from_fresh,
+                    "{app:?}/{config} stats differ between shared and per-cell streams"
+                );
+            }
+        }
+    }
+}
+
+/// Satellite: a full-grid study builds each graph preset exactly once;
+/// every configuration cell shares the build via `Arc<Csr>`. Asserted
+/// from the `graph_build` trace events the runner emits.
+#[test]
+fn a_full_study_builds_each_graph_exactly_once() {
+    let sink = JsonlSink::new(Vec::new());
+    let outcome = run_study(
+        &budgeted_spec(),
+        &StudyOptions::new(ConfigSet::Full, THREADS),
+        &MetricsRegistry::new(),
+        &sink,
+    )
+    .expect("study runs");
+    assert!(outcome.study.failures.is_empty());
+    let text = String::from_utf8(sink.into_inner()).expect("utf8 trace");
+    let builds = text
+        .lines()
+        .filter(|l| l.contains("\"type\":\"graph_build\""))
+        .count();
+    assert_eq!(
+        builds,
+        GraphPreset::ALL.len(),
+        "expected one graph build per preset"
+    );
+    // The full grid runs 12 static (6 dynamic) cells per workload over
+    // two (one) traversal directions, so the trace cache misses once
+    // per direction and hits on every sibling cell.
+    let cache = outcome.trace_cache.expect("cache enabled by default");
+    assert!(cache.hits > 0, "full grid must reuse cached streams");
+    let hit_events = text
+        .lines()
+        .filter(|l| l.contains("\"type\":\"trace_cache_hit\""))
+        .count() as u64;
+    let miss_events = text
+        .lines()
+        .filter(|l| l.contains("\"type\":\"trace_cache_miss\""))
+        .count() as u64;
+    assert_eq!((cache.hits, cache.misses), (hit_events, miss_events));
+    assert!(cache.misses < hit_events, "most lookups must hit");
+}
+
+/// Acceptance: the trace cache is a pure optimization — a study run
+/// with it enabled is bit-identical to the same study with it
+/// disabled.
+#[test]
+fn cached_study_is_bit_identical_to_uncached_study() {
+    let spec = budgeted_spec();
+    let cached_opts = StudyOptions::new(ConfigSet::Figure5, THREADS);
+    assert!(cached_opts.trace_cache_bytes > 0, "cache is on by default");
+    let mut uncached_opts = StudyOptions::new(ConfigSet::Figure5, THREADS);
+    uncached_opts.trace_cache_bytes = 0;
+
+    let cached =
+        run_study(&spec, &cached_opts, &MetricsRegistry::new(), &NOOP).expect("cached study runs");
+    let uncached = run_study(&spec, &uncached_opts, &MetricsRegistry::new(), &NOOP)
+        .expect("uncached study runs");
+    assert_eq!(cached.study, uncached.study);
+    assert!(cached.trace_cache.is_some());
+    assert!(uncached.trace_cache.is_none());
+}

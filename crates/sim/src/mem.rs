@@ -7,9 +7,6 @@
 //! structures (L2 tags, ownership, bank queues) are updated in
 //! near-global time order.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-
 use crate::cache::{Cache, Eviction, LineState};
 #[cfg(feature = "check")]
 use crate::check::{InvariantKind, ProtocolChecker, ProtocolViolation};
@@ -20,55 +17,55 @@ use crate::params::SystemParams;
 use crate::stats::{MemCounters, RegionStats};
 use ggs_trace::{TraceEvent, Tracer};
 
-/// Non-cryptographic single-`u64` hasher (splitmix64 finalizer) for the
-/// line/word interning tables. The standard SipHash hasher is a large
-/// fraction of hot-path cost, and these tables hash simulator-internal
-/// addresses, not attacker-controlled input.
-#[derive(Debug, Default)]
-struct FastHasher(u64);
-
-impl Hasher for FastHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.write_u64(b as u64);
-        }
-    }
-
-    #[inline]
-    fn write_u64(&mut self, z: u64) {
-        let mut z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        self.0 = z ^ (z >> 31);
-    }
-}
-
 /// Keys below this bound use the direct-indexed fast path of
-/// [`IdTable`]. Workload address spaces are allocated densely from 0
-/// (see `AddressSpace`), so in practice every key lands here; the bound
-/// only stops a pathological huge key from growing the direct table.
+/// [`IdTable`]: one flat `key -> id + 1` array covering every key from
+/// 0, so small workloads pay a single array load and no per-page
+/// indirection.
 const DENSE_KEY_LIMIT: u64 = 1 << 24;
+
+/// Page granularity of the paged middle tier (64Ki keys per page).
+const PAGE_BITS: u32 = 16;
+
+/// Slots per page of the paged tier.
+const PAGE_SLOTS: usize = 1 << PAGE_BITS;
+
+/// First page index of the paged tier (pages below this are covered by
+/// the direct table).
+const FIRST_PAGE: usize = (DENSE_KEY_LIMIT >> PAGE_BITS) as usize;
+
+/// Keys below this bound (and at or above [`DENSE_KEY_LIMIT`]) use the
+/// paged tier: lazily allocated 64Ki-slot pages indexed by `key >>`
+/// [`PAGE_BITS`]. Large-graph address spaces (rmat16/rmat18 and beyond)
+/// blow past the direct table but stay contiguous, so they touch a
+/// short dense run of pages — still one array load per access after the
+/// page-vector index, no hashing. Keys past this bound (pathological,
+/// ~1 TiB of simulated address space) fall to the open-addressed
+/// sparse tier.
+const PAGED_KEY_LIMIT: u64 = 1 << 40;
 
 /// Dense interner from 64-bit keys (line numbers, word addresses) to
 /// `u32` ids, built lazily as a run touches addresses. Ids index flat
 /// side tables (ownership registry, serialization chains), replacing
 /// per-access `HashMap` probes with array loads on every re-visit.
 ///
-/// Keys below [`DENSE_KEY_LIMIT`] — all of them, for workloads laid out
-/// by `AddressSpace` — resolve through a direct `key -> id + 1` table
-/// (one array load, no hashing); larger keys fall back to a hash map.
+/// Three tiers by key magnitude — direct (`< 2^24`), paged
+/// (`< 2^40`), open-addressed sparse (the rest) — chosen so the id of
+/// a key depends only on *first-touch order*, never on which tier
+/// resolved it: golden statistics are invariant to the tier layout.
 #[derive(Debug, Default)]
 struct IdTable {
     /// `dense[key] == id + 1`, `0` = never interned. Grows to the
     /// largest interned key below [`DENSE_KEY_LIMIT`].
     dense: Vec<u32>,
-    /// Fallback for keys at or above [`DENSE_KEY_LIMIT`].
-    sparse: HashMap<u64, u32, BuildHasherDefault<FastHasher>>,
+    /// Paged tier for keys in `[`[`DENSE_KEY_LIMIT`]`, `
+    /// [`PAGED_KEY_LIMIT`]`)`: `pages[key >> PAGE_BITS - FIRST_PAGE]`
+    /// holds a lazily allocated 64Ki-slot `id + 1` page. The page
+    /// vector grows to the highest *touched* page, so a contiguous
+    /// big-graph address space costs one pointer per 64Ki keys.
+    pages: Vec<Option<Box<[u32]>>>,
+    /// Open-addressed fallback for keys at or above
+    /// [`PAGED_KEY_LIMIT`].
+    sparse: SparseIds,
     keys: Vec<u64>,
 }
 
@@ -86,15 +83,28 @@ impl IdTable {
             }
             return self.dense[k] - 1;
         }
-        match self.sparse.entry(key) {
-            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-            std::collections::hash_map::Entry::Vacant(e) => {
+        if key < PAGED_KEY_LIMIT {
+            let page = (key >> PAGE_BITS) as usize - FIRST_PAGE;
+            if page >= self.pages.len() {
+                self.pages.resize_with(page + 1, || None);
+            }
+            let page =
+                self.pages[page].get_or_insert_with(|| vec![0u32; PAGE_SLOTS].into_boxed_slice());
+            let slot = &mut page[(key & (PAGE_SLOTS as u64 - 1)) as usize];
+            if *slot == 0 {
                 let id = self.keys.len() as u32;
                 self.keys.push(key);
-                e.insert(id);
-                id
+                *slot = id + 1;
             }
+            return *slot - 1;
         }
+        if let Some(id) = self.sparse.get(key) {
+            return id;
+        }
+        let id = self.keys.len() as u32;
+        self.keys.push(key);
+        self.sparse.insert(key, id);
+        id
     }
 
     #[inline]
@@ -105,12 +115,97 @@ impl IdTable {
                 _ => None,
             };
         }
-        self.sparse.get(&key).copied()
+        if key < PAGED_KEY_LIMIT {
+            return match self
+                .pages
+                .get((key >> PAGE_BITS) as usize - FIRST_PAGE)
+                .and_then(Option::as_deref)
+            {
+                Some(page) => match page[(key & (PAGE_SLOTS as u64 - 1)) as usize] {
+                    0 => None,
+                    slot => Some(slot - 1),
+                },
+                None => None,
+            };
+        }
+        self.sparse.get(key)
     }
 
     #[inline]
     fn key(&self, id: u32) -> u64 {
         self.keys[id as usize]
+    }
+}
+
+/// Minimal open-addressed `u64 -> u32` map (linear probing over a
+/// power-of-two table, splitmix64 hash) for the sparse tier of
+/// [`IdTable`]. Compared to the previous `HashMap` fallback this keeps
+/// key and id in one slot (one cache line per probe) and skips the
+/// `Hasher` plumbing entirely.
+#[derive(Debug, Default)]
+struct SparseIds {
+    /// `(key, id)` slots; `id ==` [`SPARSE_EMPTY`] marks an empty slot
+    /// (ids never reach `u32::MAX` — the side tables would exhaust
+    /// memory long before 4 billion distinct keys).
+    slots: Vec<(u64, u32)>,
+    len: usize,
+}
+
+/// Empty-slot marker of [`SparseIds`].
+const SPARSE_EMPTY: u32 = u32::MAX;
+
+impl SparseIds {
+    #[inline]
+    fn hash(key: u64) -> u64 {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn get(&self, key: u64) -> Option<u32> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(key) as usize & mask;
+        loop {
+            let (k, id) = self.slots[i];
+            if id == SPARSE_EMPTY {
+                return None;
+            }
+            if k == key {
+                return Some(id);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts a key known to be absent (callers probe with
+    /// [`SparseIds::get`] first).
+    fn insert(&mut self, key: u64, id: u32) {
+        debug_assert_ne!(id, SPARSE_EMPTY);
+        // Grow at 3/4 load so probe chains stay short.
+        if (self.len + 1) * 4 > self.slots.len() * 3 {
+            let cap = (self.slots.len() * 2).max(16);
+            let old = std::mem::replace(&mut self.slots, vec![(0, SPARSE_EMPTY); cap]);
+            for (k, v) in old {
+                if v != SPARSE_EMPTY {
+                    self.place(k, v);
+                }
+            }
+        }
+        self.place(key, id);
+        self.len += 1;
+    }
+
+    fn place(&mut self, key: u64, id: u32) {
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(key) as usize & mask;
+        while self.slots[i].1 != SPARSE_EMPTY {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (key, id);
     }
 }
 
@@ -166,7 +261,17 @@ pub struct MemorySystem<'t> {
     /// Line ids each SM currently owns, maintained incrementally so
     /// relinquishing all ownership (reconfigure, audits) never scans the
     /// whole registry. Removal is swap-remove via `owned_pos`.
+    ///
+    /// Because registration is tied to L1 residency (evicting or
+    /// invalidating an `Owned` line unregisters it synchronously), each
+    /// list is bounded by the SM's L1 line capacity — it never grows
+    /// with the graph, only with the cache ([`owned_list_add`]
+    /// debug-asserts the bound).
+    ///
+    /// [`owned_list_add`]: MemorySystem::owned_list_add
     owned_by_sm: Vec<Vec<u32>>,
+    /// L1 line capacity per SM, bounding each `owned_by_sm` list.
+    l1_capacity_lines: usize,
     /// Position of each owned line id within its owner's
     /// `owned_by_sm` list (meaningless while unowned).
     owned_pos: Vec<u32>,
@@ -232,6 +337,16 @@ impl<'t> MemorySystem<'t> {
             "line size must be a power of two"
         );
         let n = params.num_sms as usize;
+        let l1: Vec<Cache> = (0..n)
+            .map(|_| {
+                Cache::with_geometry(
+                    params.l1_bytes,
+                    params.l1_assoc as usize,
+                    params.line_bytes as u64,
+                )
+            })
+            .collect();
+        let l1_capacity_lines = l1.first().map_or(1, Cache::capacity_lines);
         Self {
             hw,
             mesh: Mesh::new(params),
@@ -242,15 +357,7 @@ impl<'t> MemorySystem<'t> {
             atomic_rmw: params.atomic_rmw_cycles,
             l1_atomic_occupancy: params.l1_atomic_occupancy,
             l1_hit: params.l1_hit_cycles,
-            l1: (0..n)
-                .map(|_| {
-                    Cache::with_geometry(
-                        params.l1_bytes,
-                        params.l1_assoc as usize,
-                        params.line_bytes as u64,
-                    )
-                })
-                .collect(),
+            l1,
             l2: Cache::with_geometry(
                 params.l2_bytes,
                 params.l2_assoc as usize,
@@ -259,6 +366,7 @@ impl<'t> MemorySystem<'t> {
             lines: IdTable::default(),
             owner: Vec::new(),
             owned_by_sm: vec![Vec::new(); n],
+            l1_capacity_lines,
             owned_pos: Vec::new(),
             bank_free: vec![0; params.l2_banks as usize],
             words: IdTable::default(),
@@ -476,6 +584,15 @@ impl<'t> MemorySystem<'t> {
     fn owned_list_add(&mut self, sm: u32, id: u32) {
         self.owned_pos[id as usize] = self.owned_by_sm[sm as usize].len() as u32;
         self.owned_by_sm[sm as usize].push(id);
+        // Registration implies L1 residency, so the list can never
+        // outgrow the cache (see the `owned_by_sm` field docs). The +1
+        // covers the just-registered line: its L1 fill (which evicts
+        // and unregisters any displaced owned line) happens right after
+        // this call.
+        debug_assert!(
+            self.owned_by_sm[sm as usize].len() <= self.l1_capacity_lines + 1,
+            "SM {sm} owned-line list exceeded its L1 capacity"
+        );
     }
 
     fn owned_list_remove(&mut self, sm: u32, id: u32) {
@@ -1048,6 +1165,62 @@ mod tests {
             &SystemParams::default(),
             HwConfig::new(coh, ConsistencyModel::Drf1),
         )
+    }
+
+    #[test]
+    fn id_table_assigns_first_touch_order_across_tiers() {
+        let mut t = IdTable::default();
+        // One key per tier, interleaved, then revisited: ids must follow
+        // first-touch order regardless of which tier resolves the key.
+        let keys = [
+            7u64,                    // direct
+            DENSE_KEY_LIMIT + 3,     // first paged page
+            PAGED_KEY_LIMIT + 11,    // sparse
+            DENSE_KEY_LIMIT * 2 + 5, // later paged page
+            u64::MAX,                // sparse extreme
+            8,                       // direct again
+        ];
+        for (expect, &k) in keys.iter().enumerate() {
+            assert_eq!(t.intern(k), expect as u32, "first touch of {k:#x}");
+        }
+        for (expect, &k) in keys.iter().enumerate() {
+            assert_eq!(t.intern(k), expect as u32, "revisit of {k:#x}");
+            assert_eq!(t.get(k), Some(expect as u32));
+            assert_eq!(t.key(expect as u32), k);
+        }
+        assert_eq!(t.get(9), None);
+        assert_eq!(t.get(DENSE_KEY_LIMIT + 4), None);
+        assert_eq!(t.get(PAGED_KEY_LIMIT + 12), None);
+    }
+
+    #[test]
+    fn id_table_paged_tier_survives_a_dense_key_run() {
+        // A contiguous big-graph address range past the direct bound:
+        // every key lands in the paged tier, spanning page boundaries.
+        let mut t = IdTable::default();
+        let base = DENSE_KEY_LIMIT - 100;
+        for i in 0..(PAGE_SLOTS as u64 * 3) {
+            assert_eq!(t.intern(base + i), i as u32);
+        }
+        for i in (0..(PAGE_SLOTS as u64 * 3)).step_by(997) {
+            assert_eq!(t.get(base + i), Some(i as u32));
+            assert_eq!(t.key(i as u32), base + i);
+        }
+    }
+
+    #[test]
+    fn sparse_tier_grows_past_its_initial_capacity() {
+        let mut t = IdTable::default();
+        // Scattered huge keys force many sparse-table growths.
+        for i in 0..10_000u64 {
+            let key = PAGED_KEY_LIMIT + i * 0x9E37_79B9;
+            assert_eq!(t.intern(key), i as u32);
+        }
+        for i in (0..10_000u64).step_by(271) {
+            let key = PAGED_KEY_LIMIT + i * 0x9E37_79B9;
+            assert_eq!(t.get(key), Some(i as u32));
+        }
+        assert_eq!(t.get(PAGED_KEY_LIMIT + 1), None);
     }
 
     #[test]

@@ -216,6 +216,15 @@ impl KernelTrace {
     pub fn total_ops(&self) -> u64 {
         self.ops.len() as u64
     }
+
+    /// Heap bytes held by the trace's op arena and offset table
+    /// (capacity, not length — what the allocator actually committed).
+    /// Capacity-bounded trace caches use this for their memory
+    /// accounting.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.ops.capacity() * std::mem::size_of::<MicroOp>()
+            + self.offsets.capacity() * std::mem::size_of::<u32>()) as u64
+    }
 }
 
 /// A borrowed, copyable view of a contiguous range of a kernel's thread

@@ -186,6 +186,47 @@ pub enum TraceEvent {
         /// When the scan observed it, in microseconds since the run began.
         at_us: u64,
     },
+    /// An input graph was synthesized/loaded for a study (once per
+    /// graph per study; every configuration cell shares the build via
+    /// `Arc<Csr>`).
+    GraphBuild {
+        /// Graph mnemonic.
+        graph: String,
+        /// Vertex count of the built graph.
+        vertices: u64,
+        /// Edge count of the built graph.
+        edges: u64,
+        /// When the build finished, in microseconds since the run began.
+        at_us: u64,
+    },
+    /// A workload's kernel-trace stream was served from the sweep-level
+    /// `TraceCache` (another cell of the same app × graph × direction
+    /// already built it).
+    TraceCacheHit {
+        /// `APP/GRAPH/PROP/TB` stream key.
+        key: String,
+        /// When the lookup resolved, in microseconds since the run began.
+        at_us: u64,
+    },
+    /// A workload's kernel-trace stream was absent from the sweep-level
+    /// `TraceCache`; this cell runs the functional producer and inserts
+    /// the stream for its siblings.
+    TraceCacheMiss {
+        /// `APP/GRAPH/PROP/TB` stream key.
+        key: String,
+        /// When the lookup resolved, in microseconds since the run began.
+        at_us: u64,
+    },
+    /// The sweep-level `TraceCache` evicted least-recently-used streams
+    /// to stay under its byte budget.
+    TraceCacheEvict {
+        /// Cached streams dropped.
+        streams: u64,
+        /// Heap bytes released.
+        bytes: u64,
+        /// When the eviction ran, in microseconds since the run began.
+        at_us: u64,
+    },
 }
 
 impl TraceEvent {
@@ -207,6 +248,10 @@ impl TraceEvent {
             TraceEvent::StoreMiss { .. } => "store_miss",
             TraceEvent::StoreEvict { .. } => "store_evict",
             TraceEvent::StoreCorruption { .. } => "store_corruption",
+            TraceEvent::GraphBuild { .. } => "graph_build",
+            TraceEvent::TraceCacheHit { .. } => "trace_cache_hit",
+            TraceEvent::TraceCacheMiss { .. } => "trace_cache_miss",
+            TraceEvent::TraceCacheEvict { .. } => "trace_cache_evict",
         }
     }
 
@@ -225,6 +270,10 @@ impl TraceEvent {
             | TraceEvent::StoreMiss { .. }
             | TraceEvent::StoreEvict { .. }
             | TraceEvent::StoreCorruption { .. } => "store",
+            TraceEvent::GraphBuild { .. }
+            | TraceEvent::TraceCacheHit { .. }
+            | TraceEvent::TraceCacheMiss { .. }
+            | TraceEvent::TraceCacheEvict { .. } => "reuse",
         }
     }
 
@@ -247,7 +296,11 @@ impl TraceEvent {
             TraceEvent::StoreHit { at_us, .. }
             | TraceEvent::StoreMiss { at_us, .. }
             | TraceEvent::StoreEvict { at_us, .. }
-            | TraceEvent::StoreCorruption { at_us, .. } => at_us,
+            | TraceEvent::StoreCorruption { at_us, .. }
+            | TraceEvent::GraphBuild { at_us, .. }
+            | TraceEvent::TraceCacheHit { at_us, .. }
+            | TraceEvent::TraceCacheMiss { at_us, .. }
+            | TraceEvent::TraceCacheEvict { at_us, .. } => at_us,
         }
     }
 
@@ -410,6 +463,33 @@ impl TraceEvent {
                 let _ = write!(
                     s,
                     ",\"at_us\":{at_us},\"offset\":{offset},\"bytes\":{bytes}"
+                );
+            }
+            TraceEvent::GraphBuild {
+                graph,
+                vertices,
+                edges,
+                at_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"at_us\":{at_us},\"graph\":\"{}\",\"vertices\":{vertices},\
+                     \"edges\":{edges}",
+                    escape(graph)
+                );
+            }
+            TraceEvent::TraceCacheHit { key, at_us }
+            | TraceEvent::TraceCacheMiss { key, at_us } => {
+                let _ = write!(s, ",\"at_us\":{at_us},\"key\":\"{}\"", escape(key));
+            }
+            TraceEvent::TraceCacheEvict {
+                streams,
+                bytes,
+                at_us,
+            } => {
+                let _ = write!(
+                    s,
+                    ",\"at_us\":{at_us},\"streams\":{streams},\"bytes\":{bytes}"
                 );
             }
         }
@@ -590,6 +670,44 @@ impl TraceEvent {
                      \"args\":{{\"offset\":{offset},\"bytes\":{bytes}}}}}"
                 );
             }
+            TraceEvent::GraphBuild {
+                graph,
+                vertices,
+                edges,
+                ..
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"build {}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"s\":\"g\",\
+                     \"args\":{{\"vertices\":{vertices},\"edges\":{edges}}}}}",
+                    escape(graph)
+                );
+            }
+            TraceEvent::TraceCacheHit { key, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"trace-hit {}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"s\":\"g\"}}",
+                    escape(key)
+                );
+            }
+            TraceEvent::TraceCacheMiss { key, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"trace-miss {}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"s\":\"g\"}}",
+                    escape(key)
+                );
+            }
+            TraceEvent::TraceCacheEvict { streams, bytes, .. } => {
+                let _ = write!(
+                    s,
+                    "{{\"name\":\"trace-evict\",\"cat\":\"{cat}\",\"ph\":\"i\",\"ts\":{ts},\
+                     \"pid\":0,\"tid\":0,\"s\":\"g\",\
+                     \"args\":{{\"streams\":{streams},\"bytes\":{bytes}}}}}"
+                );
+            }
         }
         s
     }
@@ -708,6 +826,25 @@ mod tests {
                 offset: 16,
                 bytes: 44,
                 at_us: 5,
+            },
+            TraceEvent::GraphBuild {
+                graph: "RMAT".into(),
+                vertices: 16384,
+                edges: 262144,
+                at_us: 7,
+            },
+            TraceEvent::TraceCacheHit {
+                key: "PR/RMAT/push/256".into(),
+                at_us: 21,
+            },
+            TraceEvent::TraceCacheMiss {
+                key: "PR/RMAT/pull/256".into(),
+                at_us: 22,
+            },
+            TraceEvent::TraceCacheEvict {
+                streams: 2,
+                bytes: 4096,
+                at_us: 940,
             },
         ]
     }

@@ -71,6 +71,28 @@ fn emit_all_events(sink: &dyn TraceSink) {
         bytes: 44,
         at_us: 6,
     });
+    // Sweep-level reuse events come from the study runner's shared
+    // graph builds and trace cache (docs/performance.md, "Sweep-level
+    // reuse"); pin their schema the same way.
+    sink.emit(&TraceEvent::GraphBuild {
+        graph: "OLS".into(),
+        vertices: 1024,
+        edges: 16384,
+        at_us: 7,
+    });
+    sink.emit(&TraceEvent::TraceCacheMiss {
+        key: "PR/OLS/push/256".into(),
+        at_us: 8,
+    });
+    sink.emit(&TraceEvent::TraceCacheHit {
+        key: "PR/OLS/push/256".into(),
+        at_us: 9,
+    });
+    sink.emit(&TraceEvent::TraceCacheEvict {
+        streams: 1,
+        bytes: 65536,
+        at_us: 10,
+    });
 }
 
 fn sorted_keys(v: &Value) -> Vec<String> {
