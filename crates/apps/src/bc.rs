@@ -110,12 +110,12 @@ pub fn reference(graph: &Csr) -> Vec<f64> {
 ///
 /// # Panics
 ///
-/// Panics if `prop` is [`Propagation::PushPull`].
+/// Panics if `prop` is not [`Propagation::Push`] or
+/// [`Propagation::Pull`] (no dynamic direction policy).
 pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
-    assert_ne!(
-        prop,
-        Propagation::PushPull,
-        "BC has static traversal: use Push or Pull"
+    assert!(
+        matches!(prop, Propagation::Push | Propagation::Pull),
+        "BC supports no dynamic direction policy: use Push or Pull"
     );
     let n = graph.num_vertices();
     let (mut space, arrays) = GraphArrays::workspace(graph);
@@ -179,7 +179,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                     ops.push(MicroOp::store(sigma_arr.addr(t as u64)));
                 }
             }),
-            Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
+            _ => unreachable!("direction filtered by supported_propagations"),
         };
         run(kernel);
 

@@ -65,10 +65,53 @@ pub fn reference(graph: &Csr) -> Vec<u32> {
     level
 }
 
-/// Generates the kernel sequence of a BFS run (one kernel per level),
-/// handing each finished trace to `run` by value. The stream depends
-/// only on `(graph, prop, tb_size)`, so it is safe to materialize once
-/// and replay across configuration cells.
+/// The realized per-level directions of a hybrid BFS run on `graph`:
+/// each level runs push while the frontier (vertices at that level) is
+/// below [`Propagation::HYBRID_DENSITY_THRESHOLD`] of the vertex count
+/// and pull once it reaches it. Pure function of the graph — the same
+/// invariant the kernel stream itself obeys.
+pub fn hybrid_directions(graph: &Csr) -> Vec<Propagation> {
+    let n = graph.num_vertices();
+    let level = reference(graph);
+    let max_level = level
+        .iter()
+        .filter(|&&l| l != UNREACHED)
+        .max()
+        .copied()
+        .unwrap_or(0);
+    (0..max_level.min(MAX_LEVELS))
+        .map(|l| {
+            let frontier = level.iter().filter(|&&x| x == l).count();
+            Propagation::hybrid_direction_for_density(frontier as f64 / n.max(1) as f64)
+        })
+        .collect()
+}
+
+/// The realized per-**kernel** direction schedule of a hybrid BFS run:
+/// a push level emits one kernel, a pull level emits the gather kernel
+/// plus the local settle kernel (both labeled pull). Mirrors the
+/// `generate` emission order exactly, so element *i* is the direction
+/// kernel *i* actually ran — the contract certification and the trace
+/// cache's policy fingerprint both key on this.
+pub fn hybrid_schedule(graph: &Csr) -> Vec<Propagation> {
+    hybrid_directions(graph)
+        .into_iter()
+        .flat_map(|d| {
+            if d == Propagation::Pull {
+                vec![Propagation::Pull; 2]
+            } else {
+                vec![Propagation::Push]
+            }
+        })
+        .collect()
+}
+
+/// Generates the kernel sequence of a BFS run (one kernel per level,
+/// plus a settle kernel per pull level), handing each finished trace to
+/// `run` by value. The stream depends only on `(graph, prop, tb_size)`,
+/// so it is safe to materialize once and replay across configuration
+/// cells. Under [`Propagation::Hybrid`] each level independently runs
+/// the push or pull variant as chosen by [`hybrid_directions`].
 ///
 /// # Panics
 ///
@@ -77,7 +120,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
     assert_ne!(
         prop,
         Propagation::PushPull,
-        "BFS has static traversal: use Push or Pull"
+        "BFS has static traversal: use Push, Pull, or Hybrid"
     );
     let n = graph.num_vertices();
     let (mut space, arrays) = GraphArrays::workspace(graph);
@@ -91,8 +134,11 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
         .copied()
         .unwrap_or(0);
 
+    let hybrid_dirs = (prop == Propagation::Hybrid).then(|| hybrid_directions(graph));
+
     for l in 0..max_level.min(MAX_LEVELS) {
-        let kernel = match prop {
+        let dir = hybrid_dirs.as_ref().map_or(prop, |dirs| dirs[l as usize]);
+        let kernel = match dir {
             Propagation::Push => vertex_kernel(n, tb_size, |s, ops| {
                 // Source control: one level load elides off-frontier
                 // sources entirely.
@@ -125,7 +171,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                     }
                 }
             }),
-            Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
+            _ => unreachable!("direction filtered by supported_propagations"),
         };
         run(kernel);
 
@@ -133,7 +179,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
         // kernel: the gather kernel reads `level` remotely, so storing
         // it there would be an unmarked read/write race (see
         // docs/checking.md). One thread per vertex, own word only.
-        if prop == Propagation::Pull {
+        if dir == Propagation::Pull {
             let settle = vertex_kernel(n, tb_size, |v, ops| {
                 ops.push(MicroOp::load(level_arr.addr(v as u64)));
                 if level[v as usize] == l + 1 {
@@ -238,5 +284,53 @@ mod tests {
         let mut kernels = 0;
         generate(&g, Propagation::Push, 256, &mut |_| kernels += 1);
         assert_eq!(kernels, 5);
+    }
+
+    /// A graph whose BFS frontier starts sparse and then explodes:
+    /// root → 4 hubs → a dense middle tier → a sparse tail. The
+    /// middle-tier frontier (level 2) is above the density threshold
+    /// *while it still has the tail to discover*, so the hybrid run
+    /// must realize pull on that level.
+    fn fanout(n: u32) -> Csr {
+        let hubs = 4u32;
+        let mid_end = n - 32;
+        GraphBuilder::new(n)
+            .edges((1..=hubs).map(|h| (0, h)))
+            .edges((hubs + 1..mid_end).map(|v| (1 + (v % hubs), v)))
+            .edges((mid_end..n).map(|v| (hubs + 1 + (v % (mid_end - hubs - 1)), v)))
+            .symmetric(true)
+            .build()
+    }
+
+    #[test]
+    fn hybrid_switches_push_to_pull_on_fanout() {
+        let dirs = hybrid_directions(&fanout(256));
+        assert_eq!(dirs[0], Propagation::Push, "root frontier is sparse");
+        assert!(
+            dirs.contains(&Propagation::Pull),
+            "exploded frontier must flip to pull: {dirs:?}"
+        );
+    }
+
+    #[test]
+    fn hybrid_schedule_mirrors_emitted_kernels() {
+        for g in [path(32), fanout(256)] {
+            let schedule = hybrid_schedule(&g);
+            let mut kernels = 0;
+            generate(&g, Propagation::Hybrid, 256, &mut |_| kernels += 1);
+            assert_eq!(schedule.len(), kernels, "one schedule entry per kernel");
+        }
+    }
+
+    #[test]
+    fn hybrid_on_sparse_frontiers_matches_push_stream() {
+        // A path's frontier is one vertex per level — always below the
+        // threshold, so the hybrid stream degenerates to pure push.
+        let g = path(32);
+        let mut push = Vec::new();
+        generate(&g, Propagation::Push, 256, &mut |k| push.push(k));
+        let mut hybrid = Vec::new();
+        generate(&g, Propagation::Hybrid, 256, &mut |k| hybrid.push(k));
+        assert_eq!(push, hybrid);
     }
 }

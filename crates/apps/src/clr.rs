@@ -99,12 +99,12 @@ fn snapshots(graph: &Csr) -> Vec<Vec<u32>> {
 ///
 /// # Panics
 ///
-/// Panics if `prop` is [`Propagation::PushPull`].
+/// Panics if `prop` is not [`Propagation::Push`] or
+/// [`Propagation::Pull`] (no dynamic direction policy).
 pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
-    assert_ne!(
-        prop,
-        Propagation::PushPull,
-        "graph coloring has static traversal: use Push or Pull"
+    assert!(
+        matches!(prop, Propagation::Push | Propagation::Pull),
+        "graph coloring supports no dynamic direction policy: use Push or Pull"
     );
     let n = graph.num_vertices();
     let (mut space, arrays) = GraphArrays::workspace(graph);
@@ -180,7 +180,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                 });
                 run(kernel);
             }
-            Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
+            _ => unreachable!("direction filtered by supported_propagations"),
         }
         before.clone_from(after);
     }

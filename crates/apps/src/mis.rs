@@ -118,12 +118,12 @@ fn rounds(graph: &Csr) -> Vec<Vec<Status>> {
 ///
 /// # Panics
 ///
-/// Panics if `prop` is [`Propagation::PushPull`].
+/// Panics if `prop` is not [`Propagation::Push`] or
+/// [`Propagation::Pull`] (no dynamic direction policy).
 pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
-    assert_ne!(
-        prop,
-        Propagation::PushPull,
-        "MIS has static traversal: use Push or Pull"
+    assert!(
+        matches!(prop, Propagation::Push | Propagation::Pull),
+        "MIS supports no dynamic direction policy: use Push or Pull"
     );
     let n = graph.num_vertices();
     let (mut space, arrays) = GraphArrays::workspace(graph);
@@ -202,7 +202,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                 });
                 run(gather);
             }
-            Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
+            _ => unreachable!("direction filtered by supported_propagations"),
         }
         before.clone_from(after);
     }

@@ -83,13 +83,13 @@ pub fn reference(graph: &Csr, iterations: u32) -> Vec<f64> {
 ///
 /// # Panics
 ///
-/// Panics if `prop` is [`Propagation::PushPull`] (PR has static
+/// Panics if `prop` is not [`Propagation::Push`] or
+/// [`Propagation::Pull`] (PR has static
 /// traversal).
 pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMut(KernelTrace)) {
-    assert_ne!(
-        prop,
-        Propagation::PushPull,
-        "PageRank has static traversal: use Push or Pull"
+    assert!(
+        matches!(prop, Propagation::Push | Propagation::Pull),
+        "PageRank supports no dynamic direction policy: use Push or Pull"
     );
     let n = graph.num_vertices();
     let (mut space, arrays) = GraphArrays::workspace(graph);
@@ -126,7 +126,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                 }
                 ops.push(MicroOp::store(nxt.addr(t as u64)));
             }),
-            Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
+            _ => unreachable!("direction filtered by supported_propagations"),
         };
         run(kernel);
     }
@@ -239,9 +239,18 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "static traversal")]
+    #[should_panic(expected = "no dynamic direction policy")]
     fn rejects_pushpull() {
         let g = chain(4);
         generate(&g, Propagation::PushPull, 256, &mut |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "no dynamic direction policy")]
+    fn rejects_hybrid() {
+        // PR exposes no active set, so the frontier-adaptive policy is
+        // rejected up front rather than degenerating to always-pull.
+        let g = chain(4);
+        generate(&g, Propagation::Hybrid, 256, &mut |_| {});
     }
 }

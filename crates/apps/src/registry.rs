@@ -5,7 +5,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use ggs_graph::Csr;
-use ggs_model::taxonomy::{AlgoBias, AlgoProfile, Propagation, Traversal};
+use ggs_model::taxonomy::{AlgoBias, AlgoProfile, Propagation};
 use ggs_sim::trace::KernelTrace;
 
 /// One of the paper's six applications (§V-B).
@@ -71,10 +71,23 @@ impl AppKind {
     }
 
     /// Propagation variants this application implements.
+    ///
+    /// Every static-traversal app implements pull and push; the
+    /// frontier-driven ones whose producers expose an active set (BFS,
+    /// SSSP) additionally implement the frontier-adaptive
+    /// [`Propagation::Hybrid`] policy. PR does *not* — its producer has
+    /// no active set (every vertex is live every iteration), so a
+    /// density switch would degenerate to always-pull. Dynamic
+    /// traversals (CC) remain push+pull only.
     pub fn supported_propagations(self) -> &'static [Propagation] {
-        match self.algo_profile().traversal {
-            Traversal::Static => &[Propagation::Pull, Propagation::Push],
-            Traversal::Dynamic => &[Propagation::PushPull],
+        match self {
+            AppKind::Sssp | AppKind::Bfs => {
+                &[Propagation::Pull, Propagation::Push, Propagation::Hybrid]
+            }
+            AppKind::Cc => &[Propagation::PushPull],
+            AppKind::Pr | AppKind::Mis | AppKind::Clr | AppKind::Bc => {
+                &[Propagation::Pull, Propagation::Push]
+            }
         }
     }
 
@@ -229,6 +242,61 @@ impl<'g> Workload<'g> {
         self.produce(prop, tb_size, &mut |k| kernels.push(std::sync::Arc::new(k)));
         kernels
     }
+
+    /// The realized per-kernel direction schedule of this workload
+    /// under `prop`: `None` for the static propagations (every kernel
+    /// runs `prop` itself), `Some(schedule)` for
+    /// [`Propagation::Hybrid`], where element *i* is the direction
+    /// kernel *i* of [`Workload::produce`]'s stream actually ran.
+    /// Like the stream, the schedule is a pure function of
+    /// `(app, graph)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prop` is hybrid and the application does not support
+    /// it (see [`AppKind::supported_propagations`]).
+    pub fn direction_schedule(&self, prop: Propagation) -> Option<Vec<Propagation>> {
+        if prop != Propagation::Hybrid {
+            return None;
+        }
+        Some(match self.app {
+            AppKind::Bfs => crate::bfs::hybrid_schedule(self.graph),
+            AppKind::Sssp => crate::sssp::hybrid_schedule(self.graph),
+            other => panic!("{other} does not support hybrid propagation"),
+        })
+    }
+
+    /// Fingerprint of the direction policy as *realized* on this
+    /// workload's graph: `0` for the static propagations (the
+    /// direction is fully named by the propagation itself) and an
+    /// FNV-1a hash of the density threshold plus the per-kernel
+    /// direction letters for [`Propagation::Hybrid`]. Cache keys must
+    /// incorporate this so a hybrid stream never collides with a
+    /// static push or pull stream — nor with a hybrid stream produced
+    /// under a different threshold or realized schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prop` is hybrid and the application does not support
+    /// it (see [`AppKind::supported_propagations`]).
+    pub fn policy_fingerprint(&self, prop: Propagation) -> u64 {
+        let Some(schedule) = self.direction_schedule(prop) else {
+            return 0;
+        };
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        for byte in Propagation::HYBRID_DENSITY_THRESHOLD
+            .to_bits()
+            .to_le_bytes()
+        {
+            h = (h ^ u64::from(byte)).wrapping_mul(PRIME);
+        }
+        for dir in schedule {
+            h = (h ^ dir.letter() as u64).wrapping_mul(PRIME);
+        }
+        h
+    }
 }
 
 #[cfg(test)]
@@ -247,7 +315,7 @@ mod tests {
 
     #[test]
     fn table3_profiles() {
-        use Traversal::*;
+        use ggs_model::taxonomy::Traversal::*;
         assert_eq!(AppKind::Pr.algo_profile().traversal, Static);
         assert_eq!(AppKind::Cc.algo_profile().traversal, Dynamic);
         assert!(AppKind::Sssp.algo_profile().favors_source());
@@ -263,6 +331,51 @@ mod tests {
             AppKind::Cc.supported_propagations(),
             &[Propagation::PushPull]
         );
+    }
+
+    #[test]
+    fn policy_fingerprint_is_zero_only_for_static_props() {
+        let g = GraphBuilder::new(64)
+            .edges((0..63).map(|i| (i, i + 1)))
+            .edges((1..63).map(|v| (0, v)))
+            .symmetric(true)
+            .build()
+            .with_hashed_weights(4);
+        for app in [AppKind::Bfs, AppKind::Sssp] {
+            let w = Workload::new(app, &g);
+            assert_eq!(w.policy_fingerprint(Propagation::Push), 0);
+            assert_eq!(w.policy_fingerprint(Propagation::Pull), 0);
+            assert_eq!(w.direction_schedule(Propagation::Push), None);
+            let fp = w.policy_fingerprint(Propagation::Hybrid);
+            assert_ne!(fp, 0, "{app} hybrid fingerprint");
+            let schedule = w.direction_schedule(Propagation::Hybrid).unwrap();
+            assert!(!schedule.is_empty());
+            assert!(schedule
+                .iter()
+                .all(|d| matches!(d, Propagation::Push | Propagation::Pull)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support hybrid")]
+    fn direction_schedule_rejects_non_frontier_apps() {
+        let g = GraphBuilder::new(8)
+            .edges((0..7).map(|i| (i, i + 1)))
+            .symmetric(true)
+            .build();
+        let _ = Workload::new(AppKind::Pr, &g).direction_schedule(Propagation::Hybrid);
+    }
+
+    #[test]
+    fn only_frontier_apps_support_hybrid() {
+        for app in AppKind::ALL.into_iter().chain(AppKind::EXTENDED) {
+            let hybrid = app.supported_propagations().contains(&Propagation::Hybrid);
+            assert_eq!(
+                hybrid,
+                matches!(app, AppKind::Bfs | AppKind::Sssp),
+                "{app} hybrid support"
+            );
+        }
     }
 
     #[test]

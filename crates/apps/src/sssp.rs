@@ -73,8 +73,10 @@ pub fn reference(graph: &Csr) -> Vec<u32> {
 }
 
 /// Per-iteration frontiers (sets of *updated* vertices), starting with
-/// `[ROOT]`, until convergence. Used by the trace replay.
-fn frontiers(graph: &Csr) -> Vec<Vec<u32>> {
+/// `[ROOT]`, until convergence. Used by the trace replay and by the
+/// hybrid direction policy (the frontier's density decides push vs.
+/// pull per iteration).
+pub fn frontiers(graph: &Csr) -> Vec<Vec<u32>> {
     let n = graph.num_vertices() as usize;
     let mut dist = vec![INF; n];
     if n == 0 {
@@ -103,10 +105,38 @@ fn frontiers(graph: &Csr) -> Vec<Vec<u32>> {
     fronts
 }
 
+/// The realized per-iteration directions of a hybrid SSSP run on
+/// `graph`: each Bellman-Ford iteration runs push while its updated-
+/// vertex frontier is below [`Propagation::HYBRID_DENSITY_THRESHOLD`]
+/// of the vertex count and pull once it reaches it. Pure function of
+/// the graph, like the kernel stream itself.
+pub fn hybrid_directions(graph: &Csr) -> Vec<Propagation> {
+    let n = graph.num_vertices().max(1);
+    frontiers(graph)
+        .iter()
+        .take(MAX_ITERATIONS as usize)
+        .map(|front| Propagation::hybrid_direction_for_density(front.len() as f64 / n as f64))
+        .collect()
+}
+
+/// The realized per-**kernel** direction schedule of a hybrid SSSP
+/// run: every iteration emits a relax kernel and a settle kernel, both
+/// labeled with the iteration's direction. Mirrors the `generate`
+/// emission order exactly — the contract certification and the trace
+/// cache's policy fingerprint both key on this.
+pub fn hybrid_schedule(graph: &Csr) -> Vec<Propagation> {
+    hybrid_directions(graph)
+        .into_iter()
+        .flat_map(|d| [d, d])
+        .collect()
+}
+
 /// Generates the kernel sequence of an SSSP run (two kernels per
 /// simulated iteration), handing each finished trace to `run` by
 /// value. The stream depends only on `(graph, prop, tb_size)`, so it
 /// is safe to materialize once and replay across configuration cells.
+/// Under [`Propagation::Hybrid`] each iteration independently runs the
+/// push or pull relax variant as chosen by [`hybrid_directions`].
 ///
 /// # Panics
 ///
@@ -115,7 +145,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
     assert_ne!(
         prop,
         Propagation::PushPull,
-        "SSSP has static traversal: use Push or Pull"
+        "SSSP has static traversal: use Push, Pull, or Hybrid"
     );
     let n = graph.num_vertices();
     let (mut space, arrays) = GraphArrays::workspace(graph);
@@ -124,15 +154,17 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
     let flag = space.array("flag", n as u64);
 
     let fronts = frontiers(graph);
+    let hybrid_dirs = (prop == Propagation::Hybrid).then(|| hybrid_directions(graph));
     let mut active = vec![false; n as usize];
 
-    for front in fronts.iter().take(MAX_ITERATIONS as usize) {
+    for (iter, front) in fronts.iter().take(MAX_ITERATIONS as usize).enumerate() {
         active.fill(false);
         for &v in front {
             active[v as usize] = true;
         }
 
-        let relax = match prop {
+        let dir = hybrid_dirs.as_ref().map_or(prop, |dirs| dirs[iter]);
+        let relax = match dir {
             Propagation::Push => vertex_kernel(n, tb_size, |s, ops| {
                 // Control at source: one flag load elides everything.
                 ops.push(MicroOp::load(flag.addr(s as u64)));
@@ -167,7 +199,7 @@ pub fn generate(graph: &Csr, prop: Propagation, tb_size: u32, run: &mut dyn FnMu
                     ops.push(MicroOp::store(newdist.addr(t as u64)));
                 }
             }),
-            Propagation::PushPull => unreachable!("direction filtered by supported_propagations"),
+            _ => unreachable!("direction filtered by supported_propagations"),
         };
         run(relax);
 
@@ -296,5 +328,48 @@ mod tests {
         generate(&g, Propagation::Push, 256, &mut |_| kernels += 1);
         let fronts = frontiers(&g).len().min(MAX_ITERATIONS as usize);
         assert_eq!(kernels, 2 * fronts);
+    }
+
+    /// A star from the root: iteration 0's frontier is the root alone
+    /// (sparse → push), iteration 1's frontier is every leaf the root
+    /// just relaxed (dense → pull).
+    fn star(n: u32) -> Csr {
+        GraphBuilder::new(n)
+            .edges((1..n).map(|v| (0, v)))
+            .edges((1..n - 1).map(|v| (v, v + 1)))
+            .symmetric(true)
+            .build()
+    }
+
+    #[test]
+    fn hybrid_switches_on_dense_frontier() {
+        let dirs = hybrid_directions(&star(128));
+        assert_eq!(dirs[0], Propagation::Push, "root-only frontier is sparse");
+        assert!(
+            dirs.contains(&Propagation::Pull),
+            "dense frontier must flip to pull: {dirs:?}"
+        );
+    }
+
+    #[test]
+    fn hybrid_schedule_mirrors_emitted_kernels() {
+        for g in [weighted_chain(64), star(128)] {
+            let schedule = hybrid_schedule(&g);
+            let mut realized = 0;
+            generate(&g, Propagation::Hybrid, 256, &mut |_| realized += 1);
+            assert_eq!(schedule.len(), realized, "one schedule entry per kernel");
+        }
+    }
+
+    #[test]
+    fn hybrid_on_sparse_frontiers_matches_push_stream() {
+        // A 64-chain's frontier is one vertex per iteration — always
+        // below the threshold, so hybrid degenerates to pure push.
+        let g = weighted_chain(64);
+        let mut push = Vec::new();
+        generate(&g, Propagation::Push, 256, &mut |k| push.push(k));
+        let mut hybrid = Vec::new();
+        generate(&g, Propagation::Hybrid, 256, &mut |k| hybrid.push(k));
+        assert_eq!(push, hybrid);
     }
 }

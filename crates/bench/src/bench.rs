@@ -52,16 +52,19 @@ pub const BENCH_SCALE: f64 = 0.125;
 /// scaling, average degree 16, hubbed power-law tail).
 pub const BENCH_GRAPH: &str = "rmat14";
 
-/// The nine benchmark cells: three applications, each under three
-/// configurations spanning coherence × consistency × direction.
+/// The ten benchmark cells: three applications, each under three
+/// configurations spanning coherence × consistency × direction, plus
+/// one frontier-adaptive hybrid cell (`H*`) so the per-iteration
+/// direction-switching path is on the perf-regression radar.
 /// CC is a dynamic (push+pull) traversal, so its cells use `D*` codes.
-pub const SLICE: [(AppKind, &str); 9] = [
+pub const SLICE: [(AppKind, &str); 10] = [
     (AppKind::Pr, "TD0"),
     (AppKind::Pr, "TDR"),
     (AppKind::Pr, "SGR"),
     (AppKind::Bfs, "TD0"),
     (AppKind::Bfs, "TDR"),
     (AppKind::Bfs, "SGR"),
+    (AppKind::Bfs, "HDR"),
     (AppKind::Cc, "DG1"),
     (AppKind::Cc, "DD1"),
     (AppKind::Cc, "DGR"),
@@ -479,6 +482,9 @@ pub fn run_grid(progress: &mut dyn FnMut(&str)) -> GridTiming {
             graph_fp,
             prop: config.propagation,
             tb_size: spec.params.tb_size,
+            // The grid sweeps static directions only; static props have
+            // no direction policy, so the fingerprint is zero.
+            policy_fp: 0,
         };
         let stream = cache.get_or_build(
             key,

@@ -7,7 +7,7 @@
 //! ```text
 //! repro [--scale S] [--threads N] [--json PATH] [--svg PATH] [--all]
 //!       [--trace-out PATH] [--trace-stride N]
-//!       [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|check|all]
+//!       [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|check|hybrid|all]
 //! repro trace <app> <graph> <config> [--scale S] [--trace-out PATH] [--trace-stride N]
 //! repro study [--scale S] [--threads N] [--json PATH]
 //!             [--journal PATH] [--resume PATH] [--deadline-ms N]
@@ -18,7 +18,7 @@
 //! repro verify [--cell CODE]... [--smoke] [--mutations]
 //! ```
 //!
-//! `repro bench` times the fixed nine-cell benchmark slice, the
+//! `repro bench` times the fixed ten-cell benchmark slice, the
 //! twelve-configuration grid sweep through a shared trace cache, and
 //! the `rmat14`/`rmat16`/`rmat18` scale tiers (see `ggs_bench::bench`
 //! and docs/performance.md), then writes the `BENCH_sim.json`
@@ -267,7 +267,7 @@ fn main() {
                 println!(
                     "usage: repro [--scale S] [--threads N] [--json PATH] [--svg PATH] [--all] \
                      [--trace-out PATH] [--trace-stride N] \
-                     [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|check|all]..."
+                     [table1|table2|table3|table4|table5|fig5|fig6|partial|flexible|traffic|gsi|summary|check|hybrid|all]..."
                 );
                 println!(
                     "       repro trace <app> <graph> <config> [--scale S] [--trace-out PATH] \
@@ -276,6 +276,11 @@ fn main() {
                 println!(
                     "  check    certify Table I contracts (static DRF) and protocol \
                      invariants (dynamic); --all includes the extended app set"
+                );
+                println!(
+                    "  hybrid   sweep the frontier-adaptive hybrid push/pull cells \
+                     (H*) against the 12 static configurations and report where \
+                     dynamic direction switching beats the best static choice"
                 );
                 println!(
                     "  trace    simulate one workload with instrumentation; <graph> is a \
@@ -304,7 +309,7 @@ fn main() {
                      [--baseline PATH] [--threshold PCT] [--tier NAME]..."
                 );
                 println!(
-                    "  bench    time the nine-cell slice, the 12-config shared-trace-cache \
+                    "  bench    time the ten-cell slice, the 12-config shared-trace-cache \
                      grid, and the rmat14/16/18 scale tiers, then write the \
                      BENCH_sim.json perf baseline; --tier restricts the tier arm, \
                      --smoke (CI) runs best-of-5 per cell, and --baseline gates \
@@ -387,9 +392,9 @@ fn main() {
     if sections.is_empty() {
         sections.push("all".to_owned());
     }
-    const KNOWN: [&str; 14] = [
+    const KNOWN: [&str; 15] = [
         "table1", "table2", "table3", "table4", "table5", "fig5", "fig6", "partial", "flexible",
-        "traffic", "gsi", "summary", "check", "all",
+        "traffic", "gsi", "summary", "check", "hybrid", "all",
     ];
     for s in &sections {
         if !KNOWN.contains(&s.as_str()) {
@@ -409,6 +414,11 @@ fn main() {
     // explicitly, never as part of `all`.
     if sections.iter().any(|s| s == "check") {
         check(scale, check_extended);
+    }
+    // `hybrid` is this repo's extension beyond the paper's 12-point
+    // grid; like `check`, it runs only when named explicitly.
+    if sections.iter().any(|s| s == "hybrid") {
+        hybrid(scale);
     }
 
     if want("traffic") {
@@ -961,6 +971,81 @@ fn check(scale: f64, extended: bool) {
     }
     println!();
     println!("check: all contracts certified, all protocol invariants hold");
+}
+
+/// The hybrid extension sweep: for every frontier app × graph preset,
+/// simulate the four frontier-adaptive `H*` cells alongside the full
+/// 12-point static grid and report where dynamic direction switching
+/// beats the best static configuration (EXPERIMENTS.md, "Dynamic vs.
+/// best-static direction").
+fn hybrid(scale: f64) {
+    use ggs_core::experiment::ExperimentSpec;
+    use ggs_core::sweep::hybrid_configs;
+    use ggs_core::WorkloadSweep;
+    use ggs_model::SystemConfig;
+
+    println!("== Hybrid: frontier-adaptive push/pull vs best static (scale {scale}) ==");
+    let spec = ExperimentSpec::at_scale(scale);
+    let mut t = TextTable::new([
+        "Workload",
+        "best static",
+        "cycles",
+        "best hybrid",
+        "cycles",
+        "hybrid/static",
+        "winner",
+    ]);
+    let mut wins = 0usize;
+    let mut total = 0usize;
+    for app in [AppKind::Sssp, AppKind::Bfs] {
+        let hybrid_cells = hybrid_configs(app);
+        let static_cells = SystemConfig::all_for(app.algo_profile().traversal);
+        for preset in GraphPreset::ALL {
+            let graph = SynthConfig::preset(preset).scale(scale).generate();
+            let best = |sweep: &WorkloadSweep| {
+                sweep
+                    .results
+                    .iter()
+                    .map(|r| (r.config, r.stats.total_cycles()))
+                    .min_by_key(|&(_, cycles)| cycles)
+                    .expect("sweep is non-empty")
+            };
+            let (s_cfg, s_cycles) = best(&WorkloadSweep::run(
+                app,
+                preset.mnemonic(),
+                &graph,
+                &static_cells,
+                &spec,
+            ));
+            let (h_cfg, h_cycles) = best(&WorkloadSweep::run(
+                app,
+                preset.mnemonic(),
+                &graph,
+                &hybrid_cells,
+                &spec,
+            ));
+            total += 1;
+            let won = h_cycles < s_cycles;
+            if won {
+                wins += 1;
+            }
+            t.row([
+                format!("{}-{}", app.mnemonic(), preset.mnemonic()),
+                s_cfg.code(),
+                s_cycles.to_string(),
+                h_cfg.code(),
+                h_cycles.to_string(),
+                format!("{:.3}", h_cycles as f64 / s_cycles as f64),
+                if won { "HYBRID".into() } else { String::new() },
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "dynamic direction switching beats the best static configuration on \
+         {wins} of {total} frontier workloads (threshold {}, push below / pull above)\n",
+        ggs_model::Propagation::HYBRID_DENSITY_THRESHOLD
+    );
 }
 
 /// Table I: the design space (static text; the code itself is the

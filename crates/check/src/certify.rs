@@ -103,6 +103,14 @@ impl fmt::Display for AppReport {
 /// Applies the per-direction contract to one kernel's analysis,
 /// attributing addresses to `regions` (`(name, base, bytes)` entries
 /// from the workload's memory map).
+///
+/// # Panics
+///
+/// Panics if `prop` is [`Propagation::Hybrid`]: a hybrid run has no
+/// single whole-run contract. Each kernel must be checked under the
+/// direction it actually ran — zip the kernel stream with
+/// [`Workload::direction_schedule`] and pass the realized direction,
+/// as [`certify_workload`] does.
 pub fn check_kernel_contract(
     analysis: &KernelAnalysis,
     prop: Propagation,
@@ -167,6 +175,10 @@ pub fn check_kernel_contract(
         // CC's dynamic direction admits benign monotonic reads and
         // marked updates: only the DRF rule applies.
         Propagation::PushPull => {}
+        Propagation::Hybrid => panic!(
+            "hybrid kernels must be checked under their realized direction \
+             (zip the stream with Workload::direction_schedule)"
+        ),
     }
     out
 }
@@ -183,6 +195,14 @@ fn with_weights(app: AppKind, graph: &Csr) -> Cow<'_, Csr> {
 
 /// Statically certifies one application in one direction on `graph`:
 /// analyzes every kernel trace and checks the direction's contract.
+///
+/// For [`Propagation::Hybrid`] there is no single whole-run contract:
+/// the realized per-kernel direction schedule (a pure function of the
+/// graph, [`Workload::direction_schedule`]) is zipped with the kernel
+/// stream, and every kernel is checked under the Table I contract of
+/// the direction it actually ran — push kernels must confine plain
+/// writes, pull kernels must be atomic-free with thread-private
+/// writes.
 pub fn certify_workload(
     app: AppKind,
     graph: &Csr,
@@ -192,6 +212,7 @@ pub fn certify_workload(
     let graph = with_weights(app, graph);
     let workload = Workload::new(app, &graph);
     let regions = workload.memory_map();
+    let schedule = workload.direction_schedule(prop);
     let mut report = AppReport {
         app,
         prop,
@@ -207,9 +228,11 @@ pub fn certify_workload(
     };
     workload.generate(prop, TB_SIZE, &mut |kernel| {
         let analysis = analyze_kernel(kernel, consistency);
+        // Hybrid kernels are judged by the direction they actually ran.
+        let realized = schedule.as_ref().map_or(prop, |s| s[report.kernels]);
         report.violations.extend(check_kernel_contract(
             &analysis,
-            prop,
+            realized,
             report.kernels,
             &regions,
         ));
@@ -369,6 +392,57 @@ mod tests {
         // store(0)/load(0) race is reported; the atomics are fine.
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].kind, ViolationKind::Race);
+    }
+
+    /// Three-tier fanout: root -> 4 hubs -> dense middle tier -> sparse
+    /// tail. BFS frontiers are sparse at levels 0-1 (push) and dense at
+    /// level 2 (pull), so a hybrid run realizes both directions.
+    fn fanout(n: u32) -> Csr {
+        let hubs = 4u32;
+        let mid_end = n - 32;
+        let mut edges: Vec<(u32, u32)> = (1..=hubs).map(|h| (0, h)).collect();
+        for h in 1..=hubs {
+            for v in hubs + 1..mid_end {
+                edges.push((h, v));
+            }
+        }
+        for v in mid_end..n {
+            edges.push((hubs + 1 + (v % (mid_end - hubs - 1)), v));
+        }
+        GraphBuilder::new(n).edges(edges).symmetric(true).build()
+    }
+
+    #[test]
+    fn hybrid_certifies_each_kernel_under_its_realized_direction() {
+        let g = fanout(256);
+        let schedule = Workload::new(AppKind::Bfs, &g)
+            .direction_schedule(Propagation::Hybrid)
+            .expect("BFS supports hybrid");
+        // The run must actually mix directions, otherwise this test
+        // degenerates to a static certification.
+        assert!(schedule.contains(&Propagation::Push), "{schedule:?}");
+        assert!(schedule.contains(&Propagation::Pull), "{schedule:?}");
+
+        let r = certify_workload(
+            AppKind::Bfs,
+            &g,
+            Propagation::Hybrid,
+            ConsistencyModel::Drf1,
+        );
+        assert!(r.is_clean(), "{}\n{:#?}", r.summary_line(), r.violations);
+        assert_eq!(r.kernels, schedule.len(), "{}", r.summary_line());
+        // The push half uses atomics; under a whole-run pull contract
+        // those kernels would be flagged, so a clean report is evidence
+        // the checker followed the realized schedule.
+        assert!(r.atomic_ops > 0, "{}", r.summary_line());
+    }
+
+    #[test]
+    #[should_panic(expected = "realized direction")]
+    fn contract_check_rejects_raw_hybrid() {
+        let kernel = KernelTrace::new(vec![vec![MicroOp::load(0)]], 256);
+        let analysis = analyze_kernel(&kernel, ConsistencyModel::Drf1);
+        let _ = check_kernel_contract(&analysis, Propagation::Hybrid, 0, &[]);
     }
 
     #[test]

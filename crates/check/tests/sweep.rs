@@ -59,6 +59,10 @@ fn matrix_distinguishes_directions() {
             Propagation::Pull => assert_eq!(r.atomic_ops, 0, "{r}"),
             Propagation::Push => assert!(r.atomic_ops > 0, "{r}"),
             Propagation::PushPull => assert!(r.atomic_ops > 0, "{r}"),
+            // Hybrid atomic counts depend on how many iterations
+            // realize push; the direction split itself is pinned by
+            // certify::tests::hybrid_certifies_each_kernel_under_its_realized_direction.
+            Propagation::Hybrid => {}
         }
     }
 }

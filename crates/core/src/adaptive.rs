@@ -26,6 +26,8 @@
 //! * reuse keeps its static class (locality is a property of the graph
 //!   wiring, not the frontier).
 
+use std::time::Instant;
+
 use ggs_apps::{AppKind, Workload};
 use ggs_graph::Csr;
 use ggs_model::decision::push_hardware;
@@ -34,7 +36,9 @@ use ggs_model::taxonomy::Traversal;
 use ggs_model::{predict_full, GraphProfile, Level, MetricParams};
 use ggs_sim::trace::KernelTrace;
 use ggs_sim::{ExecStats, HwConfig, Simulation};
+use ggs_trace::Tracer;
 
+use crate::error::GgsError;
 use crate::experiment::ExperimentSpec;
 
 /// Result of an adaptive run.
@@ -110,7 +114,28 @@ pub fn kernel_classes(
 /// applied via [`Simulation::reconfigure`]. Pull workloads keep `G0`
 /// (no atomics to optimize); dynamic (CC) workloads keep `D1`
 /// (§IV-A4).
+///
+/// Convenience wrapper over [`run_adaptive_budgeted`] without
+/// instrumentation or an extra deadline; panics if the spec's budget
+/// is breached (the default spec budget is unlimited).
 pub fn run_adaptive(app: AppKind, graph: &Csr, spec: &ExperimentSpec) -> AdaptiveOutcome {
+    run_adaptive_budgeted(app, graph, spec, Tracer::off(), None).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible adaptive run with the same budget/deadline/tracer
+/// semantics as [`crate::run_workload_budgeted`]: the spec's
+/// [`ggs_sim::SimBudget`] is enforced, an explicit `deadline`
+/// overrides the budget's own, and a breach is reported as
+/// [`GgsError::Budget`] / [`GgsError::Deadline`] instead of running
+/// unbounded. Every simulated event is emitted through `tracer`
+/// ([`Tracer::off`] disables instrumentation at zero cost).
+pub fn run_adaptive_budgeted(
+    app: AppKind,
+    graph: &Csr,
+    spec: &ExperimentSpec,
+    tracer: Tracer<'_>,
+    deadline: Option<Instant>,
+) -> Result<AdaptiveOutcome, GgsError> {
     let params = spec.metric_params();
     let static_profile = GraphProfile::measure(graph, &params);
     let algo = app.algo_profile();
@@ -124,7 +149,13 @@ pub fn run_adaptive(app: AppKind, graph: &Csr, spec: &ExperimentSpec) -> Adaptiv
         graph
     };
 
-    let mut sim = Simulation::new(spec.params.clone(), static_config.hw());
+    let mut budget = spec.budget;
+    budget.deadline = deadline.or(budget.deadline);
+    let mut sim = Simulation::builder(spec.params.clone(), static_config.hw())
+        .tracer(tracer)
+        .budget(budget)
+        .build();
+    let started = Instant::now();
     let mut schedule = Vec::new();
     let line_bytes = spec.params.line_bytes;
     let adapt = algo.traversal == Traversal::Static
@@ -134,6 +165,9 @@ pub fn run_adaptive(app: AppKind, graph: &Csr, spec: &ExperimentSpec) -> Adaptiv
         static_config.propagation,
         spec.params.tb_size,
         &mut |kernel| {
+            if sim.budget_exhausted() {
+                return;
+            }
             let hw = if adapt {
                 let (volume, imbalance) = kernel_classes(kernel, &params, line_bytes);
                 let dynamic_profile =
@@ -148,10 +182,19 @@ pub fn run_adaptive(app: AppKind, graph: &Csr, spec: &ExperimentSpec) -> Adaptiv
         },
     );
 
-    AdaptiveOutcome {
-        stats: sim.finish(),
-        schedule,
-        static_config,
+    match sim.budget_breach() {
+        Some(ggs_sim::BudgetBreach::Deadline { .. }) => {
+            let limit_ms = deadline
+                .map(|d| d.saturating_duration_since(started).as_millis() as u64)
+                .unwrap_or(0);
+            Err(GgsError::Deadline { limit_ms })
+        }
+        Some(breach) => Err(GgsError::Budget(breach)),
+        None => Ok(AdaptiveOutcome {
+            stats: sim.finish(),
+            schedule,
+            static_config,
+        }),
     }
 }
 
@@ -251,14 +294,42 @@ mod tests {
     fn pull_workloads_do_not_adapt() {
         // A high-reuse, low-imbalance graph pushes symmetric apps to
         // pull; pull has no atomics, so the schedule is constant G0.
+        // The prediction is asserted first so this test fails (instead
+        // of silently passing) if the predictor regresses to push.
         let spec = ExperimentSpec::at_scale(0.05);
         let g = GraphBuilder::new(4096)
             .edges((0..4095).map(|i| (i, i + 1)))
             .symmetric(true)
             .build();
         let out = run_adaptive(AppKind::Mis, &g, &spec);
-        if out.static_config.propagation == ggs_model::Propagation::Pull {
-            assert!(out.schedule.iter().all(|hw| *hw == out.static_config.hw()));
-        }
+        assert_eq!(out.static_config.propagation, ggs_model::Propagation::Pull);
+        assert!(!out.schedule.is_empty());
+        assert!(out.schedule.iter().all(|hw| *hw == out.static_config.hw()));
+    }
+
+    #[test]
+    fn adaptive_run_trips_cycle_budget() {
+        // Regression: run_adaptive once bypassed the Simulation builder
+        // and silently dropped the spec's SimBudget. A tiny cycle cap
+        // must surface as a typed budget error, not an unbounded run.
+        let spec = ExperimentSpec::builder()
+            .scale(0.02)
+            .max_sim_cycles(1)
+            .build()
+            .unwrap();
+        let g = SynthConfig::preset(GraphPreset::Dct).scale(0.02).generate();
+        let err = run_adaptive_budgeted(AppKind::Pr, &g, &spec, Tracer::off(), None).unwrap_err();
+        assert!(matches!(err, GgsError::Budget(_)), "{err}");
+        assert!(err.to_string().contains("cycle budget"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_run_honors_wall_clock_deadline() {
+        let spec = ExperimentSpec::at_scale(0.02);
+        let g = SynthConfig::preset(GraphPreset::Dct).scale(0.02).generate();
+        let deadline = Instant::now() - std::time::Duration::from_millis(1);
+        let err = run_adaptive_budgeted(AppKind::Pr, &g, &spec, Tracer::off(), Some(deadline))
+            .unwrap_err();
+        assert!(matches!(err, GgsError::Deadline { .. }), "{err}");
     }
 }

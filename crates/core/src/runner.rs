@@ -1102,6 +1102,8 @@ fn execute_cell(
                 graph_fp: ctx.graph_fp,
                 prop: cell.config.propagation,
                 tb_size: spec.params.tb_size,
+                policy_fp: ggs_apps::Workload::new(cell.app, graph)
+                    .policy_fingerprint(cell.config.propagation),
             };
             let stream = cache.get_or_build(
                 stream_key,

@@ -103,6 +103,34 @@ const DYNAMIC_FIGURE5: [SystemConfig; 4] = [
     ), // DDR
 ];
 
+/// The hybrid (frontier-adaptive push/pull) extension cells — this
+/// repo's 13th configuration dimension, beyond the paper's 12-point
+/// grid. The hardware halves mirror the push Figure 5 bars (any hybrid
+/// iteration may realize push, so its atomics must be serviceable);
+/// HG1 doubles as the hybrid normalization baseline.
+const HYBRID_EXTENSION: [SystemConfig; 4] = [
+    cfg(
+        Propagation::Hybrid,
+        CoherenceKind::Gpu,
+        ConsistencyModel::Drf1,
+    ), // HG1
+    cfg(
+        Propagation::Hybrid,
+        CoherenceKind::Gpu,
+        ConsistencyModel::DrfRlx,
+    ), // HGR
+    cfg(
+        Propagation::Hybrid,
+        CoherenceKind::DeNovo,
+        ConsistencyModel::Drf1,
+    ), // HD1
+    cfg(
+        Propagation::Hybrid,
+        CoherenceKind::DeNovo,
+        ConsistencyModel::DrfRlx,
+    ), // HDR
+];
+
 /// The Figure 5 normalization baselines: TG0 for static workloads, DG1
 /// for CC.
 const STATIC_BASELINE: SystemConfig = STATIC_FIGURE5[0]; // TG0
@@ -124,6 +152,19 @@ pub fn baseline_config(app: AppKind) -> SystemConfig {
     match app.algo_profile().traversal {
         Traversal::Static => STATIC_BASELINE,
         Traversal::Dynamic => DYNAMIC_BASELINE,
+    }
+}
+
+/// The frontier-adaptive hybrid cells for `app` — the extension grid
+/// simulated *alongside* the Figure 5 bars (never mixed into them, so
+/// every paper-faithful table stays pinned). Empty for applications
+/// whose producers expose no active set (see
+/// [`AppKind::supported_propagations`]).
+pub fn hybrid_configs(app: AppKind) -> Vec<SystemConfig> {
+    if app.supported_propagations().contains(&Propagation::Hybrid) {
+        HYBRID_EXTENSION.to_vec()
+    } else {
+        Vec::new()
     }
 }
 
@@ -297,6 +338,48 @@ mod tests {
     fn baselines_match_figure5_caption() {
         assert_eq!(baseline_config(AppKind::Mis).code(), "TG0");
         assert_eq!(baseline_config(AppKind::Cc).code(), "DG1");
+    }
+
+    #[test]
+    fn hybrid_config_sets() {
+        // Only the frontier apps get hybrid cells; codes round-trip
+        // through the parser like the Figure 5 tables do.
+        let codes = ["HG1", "HGR", "HD1", "HDR"];
+        for app in [AppKind::Sssp, AppKind::Bfs] {
+            let cfgs = hybrid_configs(app);
+            assert_eq!(cfgs.len(), 4, "{app}");
+            for (cfg, code) in cfgs.iter().zip(codes) {
+                assert_eq!(cfg.code(), code);
+                assert_eq!(*cfg, code.parse::<SystemConfig>().unwrap());
+            }
+        }
+        assert!(hybrid_configs(AppKind::Pr).is_empty());
+        assert!(hybrid_configs(AppKind::Cc).is_empty());
+        // The Figure 5 tables stay hybrid-free.
+        for app in [AppKind::Pr, AppKind::Sssp, AppKind::Cc] {
+            assert!(figure5_configs(app)
+                .iter()
+                .all(|c| c.propagation != Propagation::Hybrid));
+        }
+    }
+
+    #[test]
+    fn hybrid_sweep_runs_end_to_end() {
+        let g = GraphBuilder::new(256)
+            .edges((1..256).map(|v| (0, v)))
+            .edges((1..255).map(|v| (v, v + 1)))
+            .symmetric(true)
+            .build();
+        let spec = ExperimentSpec::at_scale(0.02);
+        let sweep = WorkloadSweep::run(
+            AppKind::Sssp,
+            "star",
+            &g,
+            &hybrid_configs(AppKind::Sssp),
+            &spec,
+        );
+        assert_eq!(sweep.results.len(), 4);
+        assert!(sweep.results.iter().all(|r| r.stats.total_cycles() > 0));
     }
 
     #[test]

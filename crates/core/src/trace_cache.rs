@@ -42,26 +42,58 @@ pub struct StreamKey {
     pub app: AppKind,
     /// Content fingerprint of the input graph.
     pub graph_fp: u64,
-    /// Traversal direction (the only axis that changes the stream).
+    /// Traversal direction (with `tb_size` and `policy_fp`, the only
+    /// axes that change the stream).
     pub prop: Propagation,
     /// Thread-block size the stream was generated for.
     pub tb_size: u32,
+    /// Fingerprint of the realized direction policy
+    /// ([`ggs_apps::Workload::policy_fingerprint`]): `0` for the
+    /// static propagations, a hash of the density threshold and the
+    /// per-kernel direction schedule for [`Propagation::Hybrid`].
+    /// Keeps hybrid streams from ever colliding with static push/pull
+    /// entries — or with hybrid streams realized under a different
+    /// threshold.
+    pub policy_fp: u64,
 }
 
 impl StreamKey {
-    /// The `APP/<fp>/PROP/TB` label used in trace events.
+    /// A key for one cached stream; `policy_fp` is derived from the
+    /// workload so callers cannot desynchronize it from `prop`.
+    pub fn for_workload(
+        workload: &ggs_apps::Workload<'_>,
+        prop: Propagation,
+        tb_size: u32,
+    ) -> Self {
+        Self {
+            app: workload.app(),
+            graph_fp: graph_fingerprint(workload.graph()),
+            prop,
+            tb_size,
+            policy_fp: workload.policy_fingerprint(prop),
+        }
+    }
+
+    /// The `APP/<fp>/PROP/TB` label used in trace events (hybrid keys
+    /// append the policy fingerprint).
     pub fn label(&self, graph_name: &str) -> String {
-        format!(
+        let dir = match self.prop {
+            Propagation::Pull => "pull",
+            Propagation::Push => "push",
+            Propagation::PushPull => "pushpull",
+            Propagation::Hybrid => "hybrid",
+        };
+        let mut label = format!(
             "{}/{}/{}/{}",
             self.app.mnemonic(),
             graph_name,
-            match self.prop {
-                Propagation::Pull => "pull",
-                Propagation::Push => "push",
-                Propagation::PushPull => "pushpull",
-            },
+            dir,
             self.tb_size
-        )
+        );
+        if self.policy_fp != 0 {
+            label.push_str(&format!("/{:016x}", self.policy_fp));
+        }
+        label
     }
 }
 
@@ -148,12 +180,8 @@ pub struct TraceCacheStats {
 ///     .symmetric(true)
 ///     .build();
 /// let cache = TraceCache::new(64 << 20);
-/// let key = StreamKey {
-///     app: AppKind::Pr,
-///     graph_fp: graph_fingerprint(&g),
-///     prop: Propagation::Push,
-///     tb_size: 256,
-/// };
+/// let key = StreamKey::for_workload(&Workload::new(AppKind::Pr, &g), Propagation::Push, 256);
+/// assert_eq!(key.graph_fp, graph_fingerprint(&g));
 /// let build = || Arc::new(Workload::new(AppKind::Pr, &g).stream(Propagation::Push, 256));
 /// let first = cache.get_or_build(key, "RING", &ggs_trace::NOOP, || 0, build);
 /// let again = cache.get_or_build(key, "RING", &ggs_trace::NOOP, || 0, build);
@@ -365,12 +393,7 @@ mod tests {
     }
 
     fn key(app: AppKind, g: &Csr, prop: Propagation) -> StreamKey {
-        StreamKey {
-            app,
-            graph_fp: graph_fingerprint(g),
-            prop,
-            tb_size: 256,
-        }
+        StreamKey::for_workload(&Workload::new(app, g), prop, 256)
     }
 
     fn stream(app: AppKind, g: &Csr, prop: Propagation) -> TraceStream {
@@ -385,6 +408,24 @@ mod tests {
         assert_eq!(graph_fingerprint(&a), graph_fingerprint(&ring(64)));
         let weighted = ring(64).with_hashed_weights(8);
         assert_ne!(graph_fingerprint(&a), graph_fingerprint(&weighted));
+    }
+
+    #[test]
+    fn hybrid_keys_never_collide_with_static_keys() {
+        let g = ring(64);
+        let push = key(AppKind::Bfs, &g, Propagation::Push);
+        let pull = key(AppKind::Bfs, &g, Propagation::Pull);
+        let hybrid = key(AppKind::Bfs, &g, Propagation::Hybrid);
+        assert_eq!((push.policy_fp, pull.policy_fp), (0, 0));
+        assert_ne!(hybrid.policy_fp, 0);
+        assert_ne!(hybrid, push);
+        assert_ne!(hybrid, pull);
+        // The label carries the realized-policy fingerprint so traces
+        // can distinguish hybrid schedules.
+        assert!(hybrid.label("RING").contains("hybrid"));
+        assert!(hybrid
+            .label("RING")
+            .contains(&format!("{:016x}", hybrid.policy_fp)));
     }
 
     #[test]

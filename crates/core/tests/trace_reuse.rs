@@ -41,6 +41,7 @@ fn configs_of(prop: Propagation) -> Vec<SystemConfig> {
         Propagation::Pull => 'T',
         Propagation::Push => 'S',
         Propagation::PushPull => 'D',
+        Propagation::Hybrid => 'H',
     };
     let mut configs = Vec::new();
     for coh in ['G', 'D'] {
@@ -131,6 +132,52 @@ fn a_full_study_builds_each_graph_exactly_once() {
         .count() as u64;
     assert_eq!((cache.hits, cache.misses), (hit_events, miss_events));
     assert!(cache.misses < hit_events, "most lookups must hit");
+}
+
+/// Tentpole: hybrid streams occupy their own cache entries. A hybrid
+/// lookup never returns a static push or pull stream of the same
+/// (app, graph, TB size) — the realized direction schedule is part of
+/// the key — and repeated hybrid lookups hit the entry built by the
+/// first.
+#[test]
+fn hybrid_streams_cache_independently_of_static_directions() {
+    use ggs_apps::Workload;
+    use ggs_core::trace_cache::{StreamKey, TraceCache};
+    use std::sync::Arc;
+
+    let graph = SynthConfig::preset(GraphPreset::Ols)
+        .scale(SCALE)
+        .generate();
+    let spec = budgeted_spec();
+    let tb = spec.params.tb_size;
+    let cache = TraceCache::new(64 * 1024 * 1024);
+    let app = AppKind::Bfs;
+    let workload = Workload::new(app, &graph);
+
+    let fetch = |prop: Propagation| {
+        cache.get_or_build(
+            StreamKey::for_workload(&workload, prop, tb),
+            "OLS",
+            &NOOP,
+            || 0,
+            || Arc::new(produce_trace_stream(app, &graph, prop, tb)),
+        )
+    };
+    let push = fetch(Propagation::Push);
+    let pull = fetch(Propagation::Pull);
+    let hybrid = fetch(Propagation::Hybrid);
+    // Three directions, three distinct entries: every lookup so far was
+    // a miss, and the hybrid stream is not an alias of either static
+    // stream's cache entry.
+    assert_eq!(cache.stats().misses, 3, "each direction builds its own");
+    assert!(!Arc::ptr_eq(&hybrid, &push) && !Arc::ptr_eq(&hybrid, &pull));
+
+    // A second hybrid lookup hits the hybrid entry (same Arc), while
+    // the static entries stay untouched.
+    let hybrid_again = fetch(Propagation::Hybrid);
+    let stats = cache.stats();
+    assert_eq!((stats.hits, stats.misses), (1, 3));
+    assert!(Arc::ptr_eq(&hybrid, &hybrid_again));
 }
 
 /// Acceptance: the trace cache is a pure optimization — a study run

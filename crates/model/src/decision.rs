@@ -97,7 +97,7 @@ impl fmt::Display for ParseConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "invalid system config {:?} (expected <T|S|D><G|D><0|1|R>, e.g. \"SGR\")",
+            "invalid system config {:?} (expected <T|S|D|H><G|D><0|1|R>, e.g. \"SGR\")",
             self.0
         )
     }
@@ -118,6 +118,7 @@ impl FromStr for SystemConfig {
             'T' => Propagation::Pull,
             'S' => Propagation::Push,
             'D' => Propagation::PushPull,
+            'H' => Propagation::Hybrid,
             _ => return Err(err()),
         };
         let hw: HwConfig = format!("{c}{m}").parse().map_err(|_| err())?;
@@ -184,6 +185,39 @@ fn push_config(graph: &GraphProfile) -> SystemConfig {
         ConsistencyModel::Drf1
     };
     SystemConfig::new(Propagation::Push, coherence, consistency)
+}
+
+/// The hybrid (frontier-adaptive push/pull) configuration point for a
+/// graph: propagation `H` paired with the push sub-tree's hardware half
+/// (Figure 4, right) — any hybrid iteration may realize the push
+/// variant, so the hardware must still service its fine-grained
+/// atomics, while pull iterations are simply over-provisioned.
+pub fn hybrid_config(graph: &GraphProfile) -> SystemConfig {
+    let push = push_config(graph);
+    SystemConfig::new(Propagation::Hybrid, push.coherence, push.consistency)
+}
+
+/// Extends the decision tree with the frontier-adaptive hybrid point
+/// (this repo's 13th configuration dimension, beyond Figure 4).
+///
+/// Returns `Some` only for frontier-driven algorithms — static
+/// traversals whose *control* property favors the source, i.e. the
+/// active-set predicate lives at the update source (BFS, SSSP), which
+/// is exactly what a per-iteration frontier-density switch exploits.
+/// Symmetric- or target-control apps and dynamic traversals get `None`:
+/// they have no sparse frontier for push iterations to win on.
+///
+/// Callers must still intersect with the application's
+/// `supported_propagations` table — an algorithm may be frontier-driven
+/// on paper yet not expose its active set in this repo's producer.
+pub fn predict_hybrid(algo: &AlgoProfile, graph: &GraphProfile) -> Option<SystemConfig> {
+    if algo.traversal == Traversal::Static
+        && algo.control == Some(crate::taxonomy::AlgoBias::Source)
+    {
+        Some(hybrid_config(graph))
+    } else {
+        None
+    }
 }
 
 /// Predicts the best configuration when the hardware does **not**
@@ -363,6 +397,33 @@ mod tests {
         assert!("XGR".parse::<SystemConfig>().is_err());
         assert!("SG".parse::<SystemConfig>().is_err());
         assert!("SGRR".parse::<SystemConfig>().is_err());
+    }
+
+    #[test]
+    fn hybrid_codes_roundtrip() {
+        for coh in CoherenceKind::ALL {
+            for cons in ConsistencyModel::ALL {
+                let cfg = SystemConfig::new(Propagation::Hybrid, coh, cons);
+                assert!(cfg.code().starts_with('H'));
+                let parsed: SystemConfig = cfg.code().parse().unwrap();
+                assert_eq!(parsed, cfg);
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_predictor_gates_on_source_control() {
+        for g in [amz(), dct(), eml(), ols(), raj(), wng()] {
+            // Frontier-driven apps (source control) get the hybrid
+            // point, with the push sub-tree's hardware half.
+            let h = predict_hybrid(&sssp(), &g).expect("SSSP is frontier-driven");
+            assert_eq!(h.propagation, Propagation::Hybrid);
+            assert_eq!(h.hw(), push_hardware(&g));
+            // Symmetric control and dynamic traversal have no frontier.
+            assert_eq!(predict_hybrid(&pr(), &g), None);
+            assert_eq!(predict_hybrid(&mis(), &g), None);
+            assert_eq!(predict_hybrid(&cc(), &g), None);
+        }
     }
 }
 

@@ -17,25 +17,56 @@ pub enum Propagation {
     /// kernel (e.g. Connected Components); the direction is determined
     /// at run time.
     PushPull,
+    /// Frontier-adaptive direction switching for frontier-driven static
+    /// traversals (BFS, SSSP): every iteration runs the push variant
+    /// while the active frontier is sparse and the pull variant once it
+    /// grows past [`Propagation::HYBRID_DENSITY_THRESHOLD`]. Each
+    /// emitted kernel is a pure push or pull kernel — only the
+    /// per-iteration choice is dynamic.
+    Hybrid,
 }
 
 impl Propagation {
-    /// All three strategies.
+    /// The paper's three strategies (Table I). [`Propagation::Hybrid`]
+    /// is this repo's extension axis and deliberately not part of the
+    /// paper-faithful grid.
     pub const ALL: [Propagation; 3] = [Propagation::Pull, Propagation::Push, Propagation::PushPull];
 
+    /// Frontier density (active vertices / total vertices) at which a
+    /// hybrid traversal switches from push to pull, following the
+    /// direction-optimizing BFS literature (Beamer et al.; Besta et
+    /// al., "To Push or To Pull"): sparse frontiers touch few edges and
+    /// favor push, dense frontiers favor the atomic-free pull sweep.
+    pub const HYBRID_DENSITY_THRESHOLD: f64 = 0.05;
+
     /// The letter used in the paper's configuration names: `T`arget
-    /// (pull), `S`ource (push), or `D`ynamic (push+pull).
+    /// (pull), `S`ource (push), or `D`ynamic (push+pull) — plus `H` for
+    /// this repo's frontier-adaptive hybrid extension.
     pub fn letter(self) -> char {
         match self {
             Propagation::Pull => 'T',
             Propagation::Push => 'S',
             Propagation::PushPull => 'D',
+            Propagation::Hybrid => 'H',
         }
     }
 
     /// `true` if this strategy issues fine-grained atomics.
+    /// Hybrid counts as atomic-issuing: any of its iterations may run
+    /// the push variant.
     pub fn uses_atomics(self) -> bool {
         !matches!(self, Propagation::Pull)
+    }
+
+    /// The concrete direction a hybrid iteration realizes at frontier
+    /// `density` (active vertices / total vertices): push below the
+    /// [`Propagation::HYBRID_DENSITY_THRESHOLD`], pull at or above it.
+    pub fn hybrid_direction_for_density(density: f64) -> Propagation {
+        if density < Self::HYBRID_DENSITY_THRESHOLD {
+            Propagation::Push
+        } else {
+            Propagation::Pull
+        }
     }
 }
 
@@ -45,6 +76,7 @@ impl fmt::Display for Propagation {
             Propagation::Pull => "pull",
             Propagation::Push => "push",
             Propagation::PushPull => "push+pull",
+            Propagation::Hybrid => "hybrid",
         };
         f.write_str(s)
     }
@@ -130,6 +162,7 @@ mod tests {
         assert_eq!(Propagation::Pull.letter(), 'T');
         assert_eq!(Propagation::Push.letter(), 'S');
         assert_eq!(Propagation::PushPull.letter(), 'D');
+        assert_eq!(Propagation::Hybrid.letter(), 'H');
     }
 
     #[test]
@@ -137,6 +170,36 @@ mod tests {
         assert!(!Propagation::Pull.uses_atomics());
         assert!(Propagation::Push.uses_atomics());
         assert!(Propagation::PushPull.uses_atomics());
+        assert!(Propagation::Hybrid.uses_atomics());
+    }
+
+    #[test]
+    fn paper_grid_excludes_hybrid() {
+        // ALL is the paper-faithful Table I axis; the hybrid extension
+        // must never leak into it.
+        assert_eq!(Propagation::ALL.len(), 3);
+        assert!(!Propagation::ALL.contains(&Propagation::Hybrid));
+    }
+
+    #[test]
+    fn hybrid_switches_at_density_threshold() {
+        let t = Propagation::HYBRID_DENSITY_THRESHOLD;
+        assert_eq!(
+            Propagation::hybrid_direction_for_density(0.0),
+            Propagation::Push
+        );
+        assert_eq!(
+            Propagation::hybrid_direction_for_density(t / 2.0),
+            Propagation::Push
+        );
+        assert_eq!(
+            Propagation::hybrid_direction_for_density(t),
+            Propagation::Pull
+        );
+        assert_eq!(
+            Propagation::hybrid_direction_for_density(1.0),
+            Propagation::Pull
+        );
     }
 
     #[test]
@@ -159,5 +222,6 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Propagation::PushPull.to_string(), "push+pull");
+        assert_eq!(Propagation::Hybrid.to_string(), "hybrid");
     }
 }

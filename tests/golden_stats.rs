@@ -22,9 +22,13 @@ use gpu_graph_spec::prelude::*;
 const SCALE: f64 = 0.05;
 
 /// PR is a static app (Pull `T*` / Push `S*` directions); CC is the
-/// dynamic app covering PushPull (`D*`). Together the 18 cells span
-/// every (direction, coherence, consistency) combination.
-const CELLS: [(AppKind, &str); 18] = [
+/// dynamic app covering PushPull (`D*`). Together the first 18 cells
+/// span every paper-grid (direction, coherence, consistency)
+/// combination. The `H*` cells pin the frontier-adaptive hybrid
+/// extension for both frontier apps: the realized per-kernel push/pull
+/// schedule is a pure function of the graph, so these are as
+/// deterministic as the static cells.
+const CELLS: [(AppKind, &str); 26] = [
     (AppKind::Pr, "TG0"),
     (AppKind::Pr, "TG1"),
     (AppKind::Pr, "TGR"),
@@ -43,6 +47,14 @@ const CELLS: [(AppKind, &str); 18] = [
     (AppKind::Cc, "DD0"),
     (AppKind::Cc, "DD1"),
     (AppKind::Cc, "DDR"),
+    (AppKind::Bfs, "HG1"),
+    (AppKind::Bfs, "HGR"),
+    (AppKind::Bfs, "HD1"),
+    (AppKind::Bfs, "HDR"),
+    (AppKind::Sssp, "HG1"),
+    (AppKind::Sssp, "HGR"),
+    (AppKind::Sssp, "HD1"),
+    (AppKind::Sssp, "HDR"),
 ];
 
 fn render_cell(app: AppKind, code: &str, s: &ExecStats) -> String {
